@@ -1,0 +1,77 @@
+"""Ablation benchmark: the design choices behind Sprout's forecaster.
+
+The paper freezes two model constants (sigma = 200 packets/s/sqrt(s) and
+lambda_z = 1/s) and one control constant (the 100 ms / 5-tick look-ahead)
+before collecting its traces, and Section 7 asks how much better a protocol
+could do with different stochastic models.  This benchmark varies those
+choices on one link to show the trade-off each one embodies:
+
+* a smaller sigma makes the forecast less cautious (higher throughput, more
+  delay risk); a larger sigma the opposite;
+* a longer look-ahead window tolerates more queueing before throttling.
+"""
+
+from __future__ import annotations
+
+import os
+
+from repro.core.connection import SproutConfig, make_connection
+from repro.core.rate_model import RateModelParams
+from repro.experiments.registry import SchemeSpec
+from repro.experiments.runner import RunConfig, run_scheme_on_link
+
+BENCH_DURATION = float(os.environ.get("REPRO_BENCH_DURATION", "60"))
+ABLATION_LINK = "Verizon LTE downlink"
+
+
+def _sprout_variant(name: str, sigma: float = 200.0, lookahead_ticks: int = 5) -> SchemeSpec:
+    def factory():
+        config = SproutConfig(
+            lookahead_ticks=lookahead_ticks,
+            model_params=RateModelParams(sigma=sigma),
+        )
+        connection = make_connection(config)
+        return connection.sender, connection.receiver
+
+    return SchemeSpec(name=name, factory=factory, category="sprout")
+
+
+def test_bench_ablation_sigma_and_lookahead(benchmark):
+    config = RunConfig(duration=BENCH_DURATION, warmup=min(10.0, BENCH_DURATION / 4))
+    variants = [
+        _sprout_variant("Sprout (paper: sigma=200, 100ms)", sigma=200.0, lookahead_ticks=5),
+        _sprout_variant("Sprout (sigma=50)", sigma=50.0, lookahead_ticks=5),
+        _sprout_variant("Sprout (sigma=500)", sigma=500.0, lookahead_ticks=5),
+        _sprout_variant("Sprout (lookahead=8 ticks)", sigma=200.0, lookahead_ticks=8),
+    ]
+
+    def run_all():
+        return {v.name: run_scheme_on_link(v, ABLATION_LINK, config) for v in variants}
+
+    results = benchmark.pedantic(run_all, rounds=1, iterations=1)
+
+    print()
+    print(f"Ablation — Sprout model constants on {ABLATION_LINK}")
+    print(f"{'variant':36s} {'tput (kbps)':>12s} {'delay (ms)':>12s} {'util %':>8s}")
+    for name, result in results.items():
+        print(
+            f"{name:36s} {result.throughput_kbps:12.0f} "
+            f"{result.self_inflicted_delay_ms:12.0f} {100 * result.utilization:8.1f}"
+        )
+
+    paper = results["Sprout (paper: sigma=200, 100ms)"]
+    trusting = results["Sprout (sigma=50)"]
+    paranoid = results["Sprout (sigma=500)"]
+    patient = results["Sprout (lookahead=8 ticks)"]
+
+    # Assuming a calmer link (small sigma) makes the forecast bolder:
+    # throughput should not drop relative to the paper's constants.
+    assert trusting.throughput_bps >= 0.9 * paper.throughput_bps
+    # Assuming a wilder link (large sigma) costs throughput.
+    assert paranoid.throughput_bps <= 1.1 * paper.throughput_bps
+    # A longer delay tolerance buys throughput.
+    assert patient.throughput_bps >= 0.9 * paper.throughput_bps
+    # All variants remain interactive-grade on this link (well under Cubic's
+    # multi-second queues).
+    for result in results.values():
+        assert result.self_inflicted_delay_s < 1.0

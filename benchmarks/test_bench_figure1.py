@@ -1,0 +1,33 @@
+"""Benchmark: regenerate Figure 1 (Skype vs Sprout time series, Verizon LTE downlink).
+
+Paper reference points: Skype overshoots the varying capacity and builds
+standing queues of several seconds; Sprout tracks capacity while holding
+per-packet delay near its 100 ms target.
+"""
+
+from __future__ import annotations
+
+import os
+
+import numpy as np
+
+from repro.experiments.figure1 import render_figure1, run_figure1
+
+BENCH_DURATION = float(os.environ.get("REPRO_BENCH_DURATION", "60"))
+
+
+def test_bench_figure1(benchmark):
+    data = benchmark.pedantic(
+        lambda: run_figure1(duration=BENCH_DURATION), rounds=1, iterations=1
+    )
+    print()
+    print(render_figure1(data))
+
+    summary = data.summary()
+    sprout = summary["Sprout"]
+    skype = summary["Skype"]
+    # The qualitative shape of Figure 1: Sprout's delay stays far below
+    # Skype's, and Sprout is not starved of throughput.
+    assert sprout["p95_delay_ms"] < skype["p95_delay_ms"]
+    assert sprout["mean_throughput_kbps"] > 0.5 * skype["mean_throughput_kbps"]
+    assert np.mean(data.capacity_kbps) > 0

@@ -1,0 +1,27 @@
+"""Benchmark: regenerate Figure 2 (interarrival distribution of a saturated
+Verizon LTE downlink).
+
+Paper reference points: the vast majority of interarrivals are short
+(99.99% within 20 ms in the paper's measurement) and the tail beyond 20 ms
+is heavy, fit by a power law (density ~ t^-3.27).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.experiments.figure2 import render_figure2, run_figure2
+
+
+def test_bench_figure2(benchmark):
+    data = benchmark.pedantic(lambda: run_figure2(duration=300.0), rounds=1, iterations=1)
+    print()
+    print(render_figure2(data))
+
+    # Bulk of the distribution is short interarrivals.
+    idx_20ms = int(np.searchsorted(data.thresholds, 0.020))
+    assert data.survival_percent[idx_20ms] < 5.0
+    # The tail is heavy: some interarrivals an order of magnitude longer exist.
+    assert data.stats.max > 0.1
+    # A power-law fit of the tail is obtained (exponent in a plausible range).
+    assert np.isnan(data.tail_exponent) or 1.5 < data.tail_exponent < 8.0

@@ -1,0 +1,29 @@
+"""Benchmark: regenerate Figure 8 (average utilization vs average
+self-inflicted delay for Sprout, Sprout-EWMA, Cubic, Cubic-CoDel).
+
+Paper reference points: CoDel cuts Cubic's delay dramatically at modest
+throughput cost; Sprout's delay is lower still despite being end-to-end;
+Sprout-EWMA approaches Cubic-CoDel's delay with more throughput than Sprout.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure8 import FIGURE8_SCHEMES, render_figure8, run_figure8
+
+
+def test_bench_figure8(benchmark, measurement_matrix):
+    data = benchmark.pedantic(
+        lambda: run_figure8(results=measurement_matrix.results), rounds=1, iterations=1
+    )
+    print()
+    print(render_figure8(data))
+
+    assert set(data.averages) == set(FIGURE8_SCHEMES)
+    # CoDel cuts Cubic's delay.
+    assert data.mean_delay_ms("Cubic-CoDel") < data.mean_delay_ms("Cubic")
+    # Sprout's delay is the lowest of the four, despite being end-to-end.
+    assert data.mean_delay_ms("Sprout") <= data.mean_delay_ms("Cubic-CoDel")
+    # The throughput ordering: Cubic-family utilization above Sprout's
+    # cautious forecasts, Sprout-EWMA between.
+    assert data.utilization_percent("Cubic") > data.utilization_percent("Sprout")
+    assert data.utilization_percent("Sprout-EWMA") > data.utilization_percent("Sprout")

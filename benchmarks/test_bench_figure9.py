@@ -1,0 +1,32 @@
+"""Benchmark: regenerate Figure 9 (confidence-parameter sweep on the
+T-Mobile 3G UMTS uplink).
+
+Paper reference points: lowering the forecast's confidence from 95% towards
+5% trades delay for throughput, tracing a frontier; even so, Sprout does not
+beat Sprout-EWMA on both metrics simultaneously.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.figure9 import render_figure9, run_figure9
+
+
+def test_bench_figure9(benchmark, bench_config):
+    data = benchmark.pedantic(
+        lambda: run_figure9(config=bench_config), rounds=1, iterations=1
+    )
+    print()
+    print(render_figure9(data))
+
+    frontier = data.frontier()
+    most_cautious = frontier[0]
+    least_cautious = frontier[-1]
+    # Relaxing the confidence parameter buys throughput...
+    assert least_cautious.throughput_bps >= most_cautious.throughput_bps
+    # ...at the cost of (not less) delay.
+    assert (
+        least_cautious.self_inflicted_delay_s
+        >= 0.8 * most_cautious.self_inflicted_delay_s
+    )
+    # Sprout-EWMA context point is present for comparison.
+    assert any(r.scheme == "Sprout-EWMA" for r in data.context)

@@ -1,0 +1,34 @@
+"""Benchmark: regenerate the introduction's second table (Sprout, Cubic and
+Cubic-CoDel relative to Sprout-EWMA).
+
+Paper reference points: Sprout-EWMA carries about 2x Sprout's bit rate at
+higher delay; it beats plain Cubic on both throughput and delay, and gets
+within a few percent of Cubic-CoDel's delay with roughly 30% more
+throughput.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import ewma_table, render_ewma_table
+
+
+def test_bench_table_ewma(benchmark, measurement_matrix):
+    comparisons = benchmark.pedantic(
+        lambda: ewma_table(results=measurement_matrix.results), rounds=1, iterations=1
+    )
+    print()
+    print(render_ewma_table(comparisons))
+
+    by_scheme = {c.scheme: c for c in comparisons}
+    assert by_scheme["Sprout-EWMA"].speedup == 1.0
+
+    # Sprout-EWMA out-throughputs cautious Sprout (speedup > 1 means the
+    # reference, Sprout-EWMA, carried more).
+    assert by_scheme["Sprout"].speedup > 1.0
+    # ...while Sprout keeps the lower delay (ratio below 1).
+    assert by_scheme["Sprout"].delay_reduction <= 1.0
+
+    # Sprout-EWMA's delay is far below plain Cubic's.
+    assert by_scheme["Cubic"].delay_reduction > 2.0
+    # And its delay is in the same league as Cubic-over-CoDel's.
+    assert by_scheme["Cubic-CoDel"].delay_reduction < 3.0

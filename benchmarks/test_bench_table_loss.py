@@ -1,0 +1,32 @@
+"""Benchmark: regenerate the Section 5.6 loss-resilience table (Sprout over
+the Verizon LTE links with 0%, 5% and 10% Bernoulli loss in each direction).
+
+Paper reference points: throughput diminishes with loss (4741 -> 3971 ->
+2768 kbps on the downlink; 3703 -> 2598 -> 1163 kbps on the uplink) but
+Sprout keeps working, and its delay does not blow up (73/60/58 ms downlink,
+332/378/314 ms uplink).
+"""
+
+from __future__ import annotations
+
+from repro.experiments.tables import LOSS_RATES, loss_table, render_loss_table
+
+
+def test_bench_table_loss(benchmark, bench_config):
+    data = benchmark.pedantic(
+        lambda: loss_table(config=bench_config), rounds=1, iterations=1
+    )
+    print()
+    print(render_loss_table(data))
+
+    for link, by_rate in data.rows.items():
+        clean = by_rate[0.0]
+        heavy = by_rate[0.10]
+        # Loss costs throughput...
+        assert heavy.throughput_bps < clean.throughput_bps
+        # ...but Sprout keeps delivering useful throughput even at 10% loss
+        # (TCP would collapse here, as the paper notes).
+        assert heavy.throughput_bps > 0.15 * clean.throughput_bps
+        # And the delay stays bounded (no multi-second queue build-up).
+        assert heavy.self_inflicted_delay_s < 1.0
+    assert set(LOSS_RATES) == {0.0, 0.05, 0.10}

@@ -1,0 +1,65 @@
+#!/usr/bin/env python3
+"""Compare Sprout against Skype/Hangout/Facetime models and TCP variants.
+
+This reproduces the spirit of Figure 7 for a single link: every scheme runs
+over the same emulated cellular link and the script prints the resulting
+throughput / self-inflicted-delay frontier (up and to the right is better
+for an interactive application).
+
+Run it with::
+
+    python examples/videoconference_comparison.py --link "AT&T LTE downlink"
+"""
+
+from __future__ import annotations
+
+import argparse
+
+from repro.experiments import RunConfig, run_scheme_on_link
+
+DEFAULT_SCHEMES = (
+    "Sprout",
+    "Sprout-EWMA",
+    "Skype",
+    "Google Hangout",
+    "Facetime",
+    "Cubic",
+    "Cubic-CoDel",
+    "Vegas",
+    "LEDBAT",
+)
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--link", default="Verizon LTE downlink")
+    parser.add_argument("--duration", type=float, default=60.0)
+    parser.add_argument("--warmup", type=float, default=10.0)
+    parser.add_argument(
+        "--schemes", nargs="*", default=list(DEFAULT_SCHEMES),
+        help="schemes to compare (default: the Figure 7 set)",
+    )
+    args = parser.parse_args()
+
+    config = RunConfig(duration=args.duration, warmup=args.warmup)
+    print(f"{args.link}: {args.duration:.0f} s emulation per scheme\n")
+    print(f"{'scheme':16s} {'throughput kbps':>16s} {'self-inflicted delay ms':>24s} "
+          f"{'utilization %':>14s}")
+
+    results = []
+    for scheme in args.schemes:
+        result = run_scheme_on_link(scheme, args.link, config)
+        results.append(result)
+        print(f"{result.scheme:16s} {result.throughput_kbps:16.0f} "
+              f"{result.self_inflicted_delay_ms:24.0f} {100 * result.utilization:14.1f}")
+
+    best_delay = min(results, key=lambda r: r.self_inflicted_delay_s)
+    best_throughput = max(results, key=lambda r: r.throughput_bps)
+    print(f"\nlowest delay:      {best_delay.scheme} "
+          f"({best_delay.self_inflicted_delay_ms:.0f} ms)")
+    print(f"highest throughput: {best_throughput.scheme} "
+          f"({best_throughput.throughput_kbps:.0f} kbps)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,56 @@
+"""Baseline schemes from the paper's evaluation (Sections 5-6).
+
+Window-based congestion control: TCP Reno, TCP Cubic (the Linux default),
+TCP Vegas, Compound TCP, and LEDBAT, all built on the shared transport in
+:mod:`repro.baselines.base`.  Rate-based videoconference application models
+stand in for Skype, Google Hangout, and Apple Facetime.  The omniscient
+reference protocol defines the zero point of self-inflicted delay.
+"""
+
+from repro.baselines.base import AckingReceiver, RttEstimator, WindowedSender
+from repro.baselines.compound import CompoundSender
+from repro.baselines.cubic import CubicSender
+from repro.baselines.ledbat import LedbatSender
+from repro.baselines.omniscient import (
+    OmniscientResult,
+    omniscient_delay,
+    omniscient_result,
+    omniscient_schedule,
+)
+from repro.baselines.reno import RenoSender
+from repro.baselines.vegas import VegasSender
+from repro.baselines.videoconference import (
+    FACETIME_PROFILE,
+    HANGOUT_PROFILE,
+    SKYPE_PROFILE,
+    VideoconferenceProfile,
+    VideoconferenceReceiver,
+    VideoconferenceSender,
+    make_facetime,
+    make_hangout,
+    make_skype,
+)
+
+__all__ = [
+    "AckingReceiver",
+    "RttEstimator",
+    "WindowedSender",
+    "CompoundSender",
+    "CubicSender",
+    "LedbatSender",
+    "RenoSender",
+    "VegasSender",
+    "OmniscientResult",
+    "omniscient_delay",
+    "omniscient_result",
+    "omniscient_schedule",
+    "VideoconferenceProfile",
+    "VideoconferenceReceiver",
+    "VideoconferenceSender",
+    "SKYPE_PROFILE",
+    "HANGOUT_PROFILE",
+    "FACETIME_PROFILE",
+    "make_skype",
+    "make_hangout",
+    "make_facetime",
+]

@@ -1,0 +1,271 @@
+"""Shared machinery for the window-based (TCP-style) baseline protocols.
+
+The paper compares Sprout against TCP Cubic, TCP Vegas, Compound TCP, and
+LEDBAT (plus Skype/Hangout/Facetime, which are rate-based and live in
+:mod:`repro.baselines.videoconference`).  All the window-based schemes share
+the same packet-level transport: a bulk sender that keeps ``cwnd`` segments
+in flight, a receiver that acknowledges every segment, duplicate-ACK fast
+retransmit, and an RFC 6298 retransmission timer.  Congestion-control
+algorithms are plugged in by subclassing :class:`WindowedSender` and
+overriding the three reaction hooks (:meth:`on_ack`, :meth:`on_loss`,
+:meth:`on_timeout`).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from repro.simulation.endpoints import HostContext, Protocol
+from repro.simulation.packet import MTU_BYTES, Packet
+
+#: size of a pure acknowledgment packet (bytes)
+ACK_BYTES = 60
+
+HEADER_SEQ = "tcp_seq"
+HEADER_IS_RETRANSMIT = "tcp_retx"
+HEADER_ACK = "tcp_ack"
+HEADER_ECHO_TS = "tcp_echo_ts"
+HEADER_ECHO_OWD = "tcp_echo_owd"
+
+
+class RttEstimator:
+    """Smoothed RTT / RTO estimation per RFC 6298."""
+
+    K = 4.0
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+    MIN_RTO = 0.2
+    MAX_RTO = 60.0
+
+    def __init__(self, initial_rto: float = 1.0) -> None:
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.rto = initial_rto
+        self.min_rtt: Optional[float] = None
+        self.latest_rtt: Optional[float] = None
+
+    def update(self, rtt: float) -> None:
+        """Fold a new RTT sample into the smoothed estimate."""
+        if rtt <= 0:
+            return
+        self.latest_rtt = rtt
+        if self.min_rtt is None or rtt < self.min_rtt:
+            self.min_rtt = rtt
+        if self.srtt is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            assert self.rttvar is not None
+            self.rttvar = (1 - self.BETA) * self.rttvar + self.BETA * abs(self.srtt - rtt)
+            self.srtt = (1 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self.rto = min(
+            self.MAX_RTO, max(self.MIN_RTO, self.srtt + self.K * (self.rttvar or 0.0))
+        )
+
+    def backoff(self) -> None:
+        """Exponential RTO backoff after a timeout."""
+        self.rto = min(self.MAX_RTO, self.rto * 2.0)
+
+
+class WindowedSender(Protocol):
+    """Bulk-transfer sender driven by a congestion window in segments.
+
+    Subclasses implement the congestion-control reaction hooks; the base
+    class handles segment numbering, the in-flight ledger, duplicate-ACK
+    fast retransmit, the retransmission timer, and transmission pacing via
+    ACK clocking (plus a coarse tick used only to fire the RTO).
+    """
+
+    #: coarse timer used for RTO checks
+    tick_interval = 0.010
+    #: duplicate-ACK threshold for fast retransmit
+    DUPACK_THRESHOLD = 3
+
+    def __init__(
+        self,
+        initial_cwnd: float = 3.0,
+        mss: int = MTU_BYTES,
+        flow_id: str = "tcp",
+    ) -> None:
+        if initial_cwnd < 1.0:
+            raise ValueError("initial_cwnd must be at least 1 segment")
+        self.mss = mss
+        self.flow_id = flow_id
+        self.cwnd = float(initial_cwnd)
+        self.ssthresh = float("inf")
+        self.rtt = RttEstimator()
+
+        self.next_seq = 0
+        self.highest_acked = -1  # cumulative: all segments <= this are acked
+        self.dupacks = 0
+        self.in_fast_recovery = False
+        self._recovery_point = -1
+        #: seq -> send time of segments currently considered in flight
+        self.sent_times: Dict[int, float] = {}
+        self._last_ack_time = 0.0
+        self._last_send_time = 0.0
+
+        self.segments_sent = 0
+        self.retransmissions = 0
+        self.timeouts = 0
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self, ctx: HostContext) -> None:
+        super().start(ctx)
+        self._last_ack_time = ctx.now()
+        self._fill_window(ctx.now())
+
+    # ------------------------------------------------------ CC reaction hooks
+
+    def on_ack(self, newly_acked: int, rtt_sample: Optional[float], now: float) -> None:
+        """Called for every ACK that advances the cumulative ACK point."""
+        raise NotImplementedError
+
+    def on_loss(self, now: float) -> None:
+        """Called on entry to fast recovery (triple duplicate ACK)."""
+        raise NotImplementedError
+
+    def on_timeout(self, now: float) -> None:
+        """Called when the retransmission timer fires."""
+        raise NotImplementedError
+
+    def on_delay_sample(self, one_way_delay: float, now: float) -> None:
+        """Optional hook for delay-based schemes (LEDBAT); default ignores it."""
+
+    # ------------------------------------------------------------ inspection
+
+    @property
+    def flight_size(self) -> int:
+        """Segments currently outstanding."""
+        return self.next_seq - (self.highest_acked + 1)
+
+    def effective_window(self) -> float:
+        """Congestion window in segments; subclasses may combine components."""
+        return self.cwnd
+
+    # ----------------------------------------------------------- transmission
+
+    def _send_segment(self, seq: int, now: float, retransmit: bool = False) -> None:
+        packet = Packet(
+            size=self.mss,
+            flow_id=self.flow_id,
+            headers={
+                HEADER_SEQ: seq,
+                HEADER_IS_RETRANSMIT: retransmit,
+                HEADER_ECHO_TS: now,
+            },
+        )
+        self.sent_times[seq] = now
+        self.segments_sent += 1
+        if retransmit:
+            self.retransmissions += 1
+        self._last_send_time = now
+        self.ctx.send(packet)
+
+    def _fill_window(self, now: float) -> None:
+        window = max(1.0, self.effective_window())
+        while self.flight_size < int(window):
+            self._send_segment(self.next_seq, now)
+            self.next_seq += 1
+
+    # ----------------------------------------------------------------- ACKs
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        ack = packet.headers.get(HEADER_ACK)
+        if ack is None:
+            return
+        self._last_ack_time = now
+
+        echo_ts = packet.headers.get(HEADER_ECHO_TS)
+        rtt_sample: Optional[float] = None
+        if echo_ts is not None:
+            rtt_sample = now - float(echo_ts)
+            self.rtt.update(rtt_sample)
+        owd = packet.headers.get(HEADER_ECHO_OWD)
+        if owd is not None:
+            self.on_delay_sample(float(owd), now)
+
+        if ack > self.highest_acked:
+            newly_acked = ack - self.highest_acked
+            for seq in range(self.highest_acked + 1, ack + 1):
+                self.sent_times.pop(seq, None)
+            self.highest_acked = ack
+            self.dupacks = 0
+            if self.in_fast_recovery and ack >= self._recovery_point:
+                self.in_fast_recovery = False
+            self.on_ack(newly_acked, rtt_sample, now)
+        else:
+            self.dupacks += 1
+            if self.dupacks == self.DUPACK_THRESHOLD and not self.in_fast_recovery:
+                self.in_fast_recovery = True
+                self._recovery_point = self.next_seq - 1
+                # Retransmit the presumed-lost segment.
+                self._send_segment(self.highest_acked + 1, now, retransmit=True)
+                self.on_loss(now)
+
+        self._fill_window(now)
+
+    # ------------------------------------------------------------------ RTO
+
+    def on_tick(self, now: float) -> None:
+        if self.flight_size == 0:
+            self._fill_window(now)
+            return
+        oldest_seq = self.highest_acked + 1
+        sent_at = self.sent_times.get(oldest_seq)
+        if sent_at is None:
+            # The oldest unacked segment has no record (it was fast
+            # retransmitted); fall back to the time of the last ACK.
+            sent_at = self._last_ack_time
+        if now - sent_at >= self.rtt.rto:
+            self.timeouts += 1
+            self.rtt.backoff()
+            self.dupacks = 0
+            self.in_fast_recovery = False
+            self._send_segment(oldest_seq, now, retransmit=True)
+            self.on_timeout(now)
+            self._fill_window(now)
+
+
+class AckingReceiver(Protocol):
+    """Receives data segments and acknowledges every one of them.
+
+    The cumulative ACK carries the highest in-order sequence number, the echo
+    of the newest segment's timestamp (for RTT estimation), and the measured
+    one-way delay (for LEDBAT).  Out-of-order segments generate duplicate
+    ACKs, which is what drives the senders' fast retransmit.
+    """
+
+    def __init__(self, flow_id: str = "tcp", ack_size: int = ACK_BYTES) -> None:
+        self.flow_id = flow_id
+        self.ack_size = ack_size
+        self.received_seqs: set = set()
+        self.cumulative_ack = -1
+        self.acks_sent = 0
+        self.bytes_received = 0
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        seq = packet.headers.get(HEADER_SEQ)
+        if seq is None:
+            return
+        self.bytes_received += packet.size
+        self.received_seqs.add(seq)
+        while (self.cumulative_ack + 1) in self.received_seqs:
+            self.received_seqs.discard(self.cumulative_ack + 1)
+            self.cumulative_ack += 1
+
+        one_way_delay = None
+        if packet.sent_at is not None:
+            one_way_delay = now - packet.sent_at
+        ack = Packet(
+            size=self.ack_size,
+            flow_id=f"{self.flow_id}-ack",
+            headers={
+                HEADER_ACK: self.cumulative_ack,
+                HEADER_ECHO_TS: packet.headers.get(HEADER_ECHO_TS),
+                HEADER_ECHO_OWD: one_way_delay,
+            },
+        )
+        self.acks_sent += 1
+        self.ctx.send(ack)

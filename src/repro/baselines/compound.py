@@ -1,0 +1,69 @@
+"""Compound TCP (Tan, Song, Zhang & Sridharan, INFOCOM 2006).
+
+Compound TCP, the default in the Windows versions the paper tests, combines
+a loss-based AIMD component (``cwnd``) with a delay-based component
+(``dwnd``).  The delay component grows aggressively (binomially, exponent
+``k = 0.75``) while the path's queues are short and backs off once the
+estimated backlog exceeds ``gamma`` segments, so the scheme ramps up faster
+than Reno on long-fat paths but stops inflating the queue once delay builds.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import WindowedSender
+
+
+class CompoundSender(WindowedSender):
+    """Compound TCP: window = cwnd (loss-based) + dwnd (delay-based)."""
+
+    ALPHA = 0.125
+    BETA = 0.5
+    ETA = 1.0
+    K = 0.75
+    GAMMA = 30.0  # backlog threshold, segments
+
+    def __init__(self, initial_cwnd: float = 3.0, **kwargs) -> None:
+        super().__init__(initial_cwnd=initial_cwnd, **kwargs)
+        self.dwnd = 0.0
+
+    def effective_window(self) -> float:
+        return self.cwnd + self.dwnd
+
+    def on_ack(self, newly_acked: int, rtt_sample: Optional[float], now: float) -> None:
+        window = self.effective_window()
+        if window < self.ssthresh:
+            # Standard slow start applies to the loss-based component.
+            self.cwnd += float(newly_acked)
+            return
+
+        # Loss-based component: one segment per RTT across the whole window.
+        self.cwnd += newly_acked / max(window, 1.0)
+
+        base_rtt = self.rtt.min_rtt
+        rtt = rtt_sample if rtt_sample is not None else self.rtt.srtt
+        if base_rtt is None or rtt is None or rtt <= 0:
+            return
+        expected = window / base_rtt
+        actual = window / rtt
+        diff = (expected - actual) * base_rtt  # estimated queued segments
+
+        if diff < self.GAMMA:
+            # Binomial increase of the delay window while queues are short.
+            increment = self.ALPHA * (window ** self.K) - 1.0
+            self.dwnd += max(0.0, increment) * newly_acked / max(window, 1.0)
+        else:
+            # Queues building: retreat the delay window.
+            self.dwnd = max(0.0, self.dwnd - self.ETA * diff)
+
+    def on_loss(self, now: float) -> None:
+        window = self.effective_window()
+        self.cwnd = max(2.0, self.cwnd * 0.5)
+        self.dwnd = max(0.0, window * (1.0 - self.BETA) - self.cwnd)
+        self.ssthresh = max(2.0, self.effective_window())
+
+    def on_timeout(self, now: float) -> None:
+        self.ssthresh = max(2.0, self.effective_window() / 2.0)
+        self.cwnd = 1.0
+        self.dwnd = 0.0

@@ -1,0 +1,84 @@
+"""TCP Cubic congestion control (the Linux default the paper evaluates).
+
+Follows Ha, Rhee & Xu, "CUBIC: a new TCP-friendly high-speed TCP variant"
+(2008) and the Linux implementation's constants: window growth is a cubic
+function of the time since the last congestion event, anchored at the window
+size where that event occurred (``w_max``), with a multiplicative decrease
+factor of 0.7 and a TCP-friendly lower bound.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import WindowedSender
+
+
+class CubicSender(WindowedSender):
+    """CUBIC window growth with fast convergence and the TCP-friendly region."""
+
+    C = 0.4
+    BETA = 0.7
+
+    def __init__(self, initial_cwnd: float = 3.0, **kwargs) -> None:
+        super().__init__(initial_cwnd=initial_cwnd, **kwargs)
+        self.w_max = 0.0
+        self.epoch_start: Optional[float] = None
+        self.k = 0.0
+        self.origin_point = 0.0
+        self.tcp_cwnd = 0.0
+        self.fast_convergence = True
+
+    # ----------------------------------------------------------- internals
+
+    def _reset_epoch(self, now: float) -> None:
+        self.epoch_start = now
+        if self.cwnd < self.w_max:
+            self.k = ((self.w_max - self.cwnd) / self.C) ** (1.0 / 3.0)
+            self.origin_point = self.w_max
+        else:
+            self.k = 0.0
+            self.origin_point = self.cwnd
+        self.tcp_cwnd = self.cwnd
+
+    def _cubic_target(self, now: float) -> float:
+        assert self.epoch_start is not None
+        t = now - self.epoch_start + (self.rtt.min_rtt or 0.0)
+        return self.origin_point + self.C * (t - self.k) ** 3
+
+    # --------------------------------------------------------------- hooks
+
+    def on_ack(self, newly_acked: int, rtt_sample: Optional[float], now: float) -> None:
+        if self.cwnd < self.ssthresh:
+            self.cwnd += float(newly_acked)
+            return
+        if self.epoch_start is None:
+            self._reset_epoch(now)
+        target = self._cubic_target(now)
+        rtt = self.rtt.srtt or 0.1
+        if target > self.cwnd:
+            # Close the gap to the cubic target within one RTT.
+            increment = (target - self.cwnd) / self.cwnd
+        else:
+            increment = 0.01 / self.cwnd  # minimal growth in the plateau
+        # TCP-friendly region: estimate what standard AIMD would have reached.
+        self.tcp_cwnd += newly_acked * (3.0 * (1.0 - self.BETA) / (1.0 + self.BETA)) / self.cwnd
+        if self.tcp_cwnd > self.cwnd + increment * newly_acked:
+            increment = max(increment, (self.tcp_cwnd - self.cwnd) / self.cwnd)
+        self.cwnd += increment * newly_acked
+        del rtt
+
+    def on_loss(self, now: float) -> None:
+        self.epoch_start = None
+        if self.cwnd < self.w_max and self.fast_convergence:
+            self.w_max = self.cwnd * (1.0 + self.BETA) / 2.0
+        else:
+            self.w_max = self.cwnd
+        self.cwnd = max(2.0, self.cwnd * self.BETA)
+        self.ssthresh = self.cwnd
+
+    def on_timeout(self, now: float) -> None:
+        self.epoch_start = None
+        self.w_max = self.cwnd
+        self.ssthresh = max(2.0, self.cwnd * self.BETA)
+        self.cwnd = 1.0

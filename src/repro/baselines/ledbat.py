@@ -1,0 +1,59 @@
+"""LEDBAT congestion control (RFC 6817), as used by uTP/BitTorrent.
+
+LEDBAT shares Sprout's goal — high throughput without building long queues —
+but pursues it reactively: it measures the *one-way* queueing delay against
+a 100 ms target and applies a proportional controller to the window.  The
+paper (Section 6) attributes LEDBAT's weaker results to the choice of signal
+(one-way delay, a trailing indicator) and the absence of forecasting.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import WindowedSender
+
+
+class LedbatSender(WindowedSender):
+    """LEDBAT: proportional control towards a 100 ms one-way queueing delay."""
+
+    TARGET = 0.100     # seconds of queueing delay (RFC 6817 MUST be <= 100 ms)
+    GAIN = 1.0         # window gain per RTT per unit of off-target error
+    BASE_HISTORY = 10.0  # seconds over which the base delay is remembered
+
+    def __init__(self, initial_cwnd: float = 3.0, **kwargs) -> None:
+        super().__init__(initial_cwnd=initial_cwnd, **kwargs)
+        self._base_delay: Optional[float] = None
+        self._base_delay_time = 0.0
+        self._latest_queueing_delay = 0.0
+
+    # --------------------------------------------------------- delay signal
+
+    def on_delay_sample(self, one_way_delay: float, now: float) -> None:
+        if one_way_delay < 0:
+            return
+        if (
+            self._base_delay is None
+            or one_way_delay < self._base_delay
+            or now - self._base_delay_time > self.BASE_HISTORY
+        ):
+            self._base_delay = one_way_delay
+            self._base_delay_time = now
+        self._latest_queueing_delay = max(0.0, one_way_delay - self._base_delay)
+
+    # --------------------------------------------------------------- hooks
+
+    def on_ack(self, newly_acked: int, rtt_sample: Optional[float], now: float) -> None:
+        off_target = (self.TARGET - self._latest_queueing_delay) / self.TARGET
+        # RFC 6817: cwnd += GAIN * off_target * bytes_newly_acked * MSS / cwnd,
+        # expressed here in segments.
+        self.cwnd += self.GAIN * off_target * newly_acked / max(self.cwnd, 1.0)
+        self.cwnd = max(2.0, self.cwnd)
+
+    def on_loss(self, now: float) -> None:
+        self.cwnd = max(2.0, self.cwnd / 2.0)
+        self.ssthresh = self.cwnd
+
+    def on_timeout(self, now: float) -> None:
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = 2.0

@@ -1,0 +1,35 @@
+"""TCP Reno / NewReno congestion control.
+
+Not evaluated by name in the paper's headline table, but included because it
+is the classical AIMD baseline the other algorithms are defined against, and
+because Section 6 discusses Tahoe/Reno as the starting point of the design
+space.  Slow start, congestion avoidance, fast retransmit / fast recovery.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import WindowedSender
+
+
+class RenoSender(WindowedSender):
+    """Classic AIMD: slow start to ``ssthresh``, then +1 MSS per RTT."""
+
+    def __init__(self, initial_cwnd: float = 3.0, **kwargs) -> None:
+        super().__init__(initial_cwnd=initial_cwnd, **kwargs)
+
+    def on_ack(self, newly_acked: int, rtt_sample: Optional[float], now: float) -> None:
+        for _ in range(newly_acked):
+            if self.cwnd < self.ssthresh:
+                self.cwnd += 1.0  # slow start: one segment per ACKed segment
+            else:
+                self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+
+    def on_loss(self, now: float) -> None:
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = self.ssthresh
+
+    def on_timeout(self, now: float) -> None:
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = 1.0

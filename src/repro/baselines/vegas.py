@@ -1,0 +1,64 @@
+"""TCP Vegas congestion control (Brakmo & Peterson, SIGCOMM 1994).
+
+Vegas is the delay-triggered baseline in the paper's comparison: it keeps an
+estimate of the minimum ("base") RTT and adjusts the window so that the
+number of packets buffered in the network stays between ``alpha`` and
+``beta`` segments.  Because it reacts to delay rather than loss it keeps
+queues much shorter than Cubic, at some cost in throughput — exactly the
+trade-off visible in Figure 7.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from repro.baselines.base import WindowedSender
+
+
+class VegasSender(WindowedSender):
+    """Vegas: keep between ``alpha`` and ``beta`` segments queued in the path."""
+
+    ALPHA = 2.0
+    BETA = 4.0
+    GAMMA = 1.0  # slow-start exit threshold
+
+    def __init__(self, initial_cwnd: float = 3.0, **kwargs) -> None:
+        super().__init__(initial_cwnd=initial_cwnd, **kwargs)
+        self.in_slow_start = True
+
+    def on_ack(self, newly_acked: int, rtt_sample: Optional[float], now: float) -> None:
+        base_rtt = self.rtt.min_rtt
+        rtt = rtt_sample if rtt_sample is not None else self.rtt.srtt
+        if base_rtt is None or rtt is None or rtt <= 0:
+            self.cwnd += float(newly_acked)
+            return
+
+        expected = self.cwnd / base_rtt       # segments/s if no queueing
+        actual = self.cwnd / rtt              # achieved segments/s
+        diff = (expected - actual) * base_rtt  # segments sitting in queues
+
+        if self.in_slow_start:
+            if diff > self.GAMMA:
+                self.in_slow_start = False
+                self.cwnd = max(2.0, self.cwnd - 1.0)
+            else:
+                # Vegas doubles every *other* RTT; halve the per-ACK growth.
+                self.cwnd += 0.5 * newly_acked
+            return
+
+        if diff < self.ALPHA:
+            self.cwnd += 1.0 / self.cwnd * newly_acked
+        elif diff > self.BETA:
+            self.cwnd -= 1.0 / self.cwnd * newly_acked
+            self.cwnd = max(2.0, self.cwnd)
+        # between alpha and beta: hold
+
+    def on_loss(self, now: float) -> None:
+        self.in_slow_start = False
+        self.cwnd = max(2.0, self.cwnd * 0.75)
+        self.ssthresh = self.cwnd
+
+    def on_timeout(self, now: float) -> None:
+        self.in_slow_start = False
+        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.cwnd = 2.0

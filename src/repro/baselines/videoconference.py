@@ -1,0 +1,245 @@
+"""Reactive videoconference application models (Skype, Hangout, Facetime).
+
+The paper measures the real applications through Cellsim; what matters for
+the evaluation is their *rate-control behaviour*: they send at a chosen
+encoder rate, react to congestion only after it has persisted for seconds,
+and are equally slow to claim newly-available capacity (Sections 2.2 and
+5.2: "they are slow to decrease their transmission rate when the link has
+deteriorated, and as a result they often create a large backlog of queued
+packets").  This module models that behaviour:
+
+* the sender emits a frame every ``frame_interval`` seconds at the current
+  encoder rate, chosen from a discrete rate ladder;
+* the receiver returns a report every ``report_interval`` seconds carrying
+  the observed queueing delay and goodput;
+* the sender steps the encoder down only after the reported delay has stayed
+  above a threshold for ``down_react_time`` seconds, and steps it up only
+  after conditions have looked good for ``up_react_time`` seconds.
+
+Three profiles parameterise the model to the qualitative differences the
+paper reports between Skype, Google Hangout, and Apple Facetime (maximum
+bitrate and sluggishness of adaptation).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional
+
+import numpy as np
+
+from repro.simulation.endpoints import HostContext, Protocol
+from repro.simulation.packet import MTU_BYTES, Packet
+
+HEADER_FRAME_SEQ = "vc_frame_seq"
+HEADER_REPORT = "vc_report"
+HEADER_REPORT_DELAY = "vc_report_delay"
+HEADER_REPORT_GOODPUT = "vc_report_goodput"
+
+REPORT_PACKET_BYTES = 80
+
+
+@dataclass
+class VideoconferenceProfile:
+    """Behavioural parameters of one videoconferencing application."""
+
+    name: str
+    max_rate_bps: float
+    min_rate_bps: float
+    start_rate_bps: float
+    #: seconds the reported delay must exceed the threshold before a downgrade
+    down_react_time: float
+    #: seconds conditions must look good before an upgrade
+    up_react_time: float
+    #: reported one-way queueing delay (s) considered congested
+    congestion_delay_threshold: float = 0.35
+    #: reported one-way queueing delay (s) considered comfortable
+    comfort_delay_threshold: float = 0.10
+    frame_interval: float = 1.0 / 30.0
+    report_interval: float = 0.20
+    ladder_steps: int = 16
+
+    def rate_ladder(self) -> List[float]:
+        """Geometric encoder ladder from the minimum to the maximum bitrate."""
+        return list(
+            np.geomspace(self.min_rate_bps, self.max_rate_bps, self.ladder_steps)
+        )
+
+
+#: Qualitative profiles for the three applications in the paper's evaluation.
+#: Skype ramps to the highest rates ("uses up to 5 Mbps even when the image
+#: is static"), Facetime is somewhat more conservative, and Hangout both
+#: caps its rate lower and adapts the most sluggishly (it shows the largest
+#: throughput deficit in the paper's table).
+SKYPE_PROFILE = VideoconferenceProfile(
+    name="Skype",
+    max_rate_bps=5_000_000.0,
+    min_rate_bps=120_000.0,
+    start_rate_bps=500_000.0,
+    down_react_time=2.5,
+    up_react_time=3.0,
+)
+FACETIME_PROFILE = VideoconferenceProfile(
+    name="Facetime",
+    max_rate_bps=2_500_000.0,
+    min_rate_bps=100_000.0,
+    start_rate_bps=400_000.0,
+    down_react_time=3.0,
+    up_react_time=4.0,
+)
+HANGOUT_PROFILE = VideoconferenceProfile(
+    name="Google Hangout",
+    max_rate_bps=1_800_000.0,
+    min_rate_bps=80_000.0,
+    start_rate_bps=300_000.0,
+    down_react_time=4.0,
+    up_react_time=6.0,
+)
+
+
+class VideoconferenceSender(Protocol):
+    """Frame-paced sender with a sluggish, report-driven rate controller."""
+
+    def __init__(self, profile: VideoconferenceProfile, flow_id: Optional[str] = None) -> None:
+        self.profile = profile
+        self.flow_id = flow_id if flow_id is not None else profile.name.lower().replace(" ", "-")
+        self.tick_interval = profile.frame_interval
+        self.ladder = profile.rate_ladder()
+        # Start at the ladder step closest to the profile's starting rate.
+        self.rate_index = int(
+            np.argmin([abs(r - profile.start_rate_bps) for r in self.ladder])
+        )
+        self.frame_seq = 0
+        self.bytes_sent = 0
+        self._congested_since: Optional[float] = None
+        self._comfortable_since: Optional[float] = None
+        self._last_rate_change = 0.0
+        #: history of (time, encoder_rate_bps), for plots and tests
+        self.rate_history: List[tuple] = []
+
+    # ------------------------------------------------------------ properties
+
+    @property
+    def current_rate_bps(self) -> float:
+        return self.ladder[self.rate_index]
+
+    # ------------------------------------------------------------- reception
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        if not packet.headers.get(HEADER_REPORT):
+            return
+        delay = float(packet.headers.get(HEADER_REPORT_DELAY, 0.0))
+        profile = self.profile
+
+        if delay >= profile.congestion_delay_threshold:
+            self._comfortable_since = None
+            if self._congested_since is None:
+                self._congested_since = now
+            elif now - self._congested_since >= profile.down_react_time:
+                self._step_down(now)
+                self._congested_since = now
+        elif delay <= profile.comfort_delay_threshold:
+            self._congested_since = None
+            if self._comfortable_since is None:
+                self._comfortable_since = now
+            elif now - self._comfortable_since >= profile.up_react_time:
+                self._step_up(now)
+                self._comfortable_since = now
+        else:
+            # Neither clearly congested nor clearly comfortable: hold.
+            self._congested_since = None
+            self._comfortable_since = None
+
+    def _step_down(self, now: float) -> None:
+        if self.rate_index > 0:
+            self.rate_index -= 1
+            self._last_rate_change = now
+            self.rate_history.append((now, self.current_rate_bps))
+
+    def _step_up(self, now: float) -> None:
+        if self.rate_index < len(self.ladder) - 1:
+            self.rate_index += 1
+            self._last_rate_change = now
+            self.rate_history.append((now, self.current_rate_bps))
+
+    # ----------------------------------------------------------------- tick
+
+    def on_tick(self, now: float) -> None:
+        frame_bytes = int(self.current_rate_bps * self.profile.frame_interval / 8.0)
+        if frame_bytes <= 0:
+            return
+        self.frame_seq += 1
+        remaining = frame_bytes
+        while remaining > 0:
+            size = min(MTU_BYTES, remaining)
+            remaining -= size
+            packet = Packet(
+                size=size,
+                flow_id=self.flow_id,
+                headers={HEADER_FRAME_SEQ: self.frame_seq},
+            )
+            self.bytes_sent += size
+            self.ctx.send(packet)
+
+
+class VideoconferenceReceiver(Protocol):
+    """Returns periodic receiver reports with observed delay and goodput."""
+
+    def __init__(
+        self,
+        report_interval: float = 0.20,
+        flow_id: str = "videoconference",
+    ) -> None:
+        if report_interval <= 0:
+            raise ValueError("report_interval must be positive")
+        self.tick_interval = report_interval
+        self.flow_id = flow_id
+        self.bytes_since_report = 0
+        self.total_bytes = 0
+        self._min_one_way_delay: Optional[float] = None
+        self._latest_one_way_delay: Optional[float] = None
+        self.reports_sent = 0
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        if HEADER_FRAME_SEQ not in packet.headers:
+            return
+        self.bytes_since_report += packet.size
+        self.total_bytes += packet.size
+        if packet.sent_at is not None:
+            owd = now - packet.sent_at
+            self._latest_one_way_delay = owd
+            if self._min_one_way_delay is None or owd < self._min_one_way_delay:
+                self._min_one_way_delay = owd
+
+    def on_tick(self, now: float) -> None:
+        queueing_delay = 0.0
+        if self._latest_one_way_delay is not None and self._min_one_way_delay is not None:
+            queueing_delay = max(0.0, self._latest_one_way_delay - self._min_one_way_delay)
+        goodput = self.bytes_since_report * 8.0 / self.tick_interval
+        self.bytes_since_report = 0
+        report = Packet(
+            size=REPORT_PACKET_BYTES,
+            flow_id=f"{self.flow_id}-report",
+            headers={
+                HEADER_REPORT: True,
+                HEADER_REPORT_DELAY: queueing_delay,
+                HEADER_REPORT_GOODPUT: goodput,
+            },
+        )
+        self.reports_sent += 1
+        self.ctx.send(report)
+
+
+def make_skype() -> tuple:
+    """Skype sender/receiver pair."""
+    return VideoconferenceSender(SKYPE_PROFILE), VideoconferenceReceiver(flow_id="skype")
+
+
+def make_facetime() -> tuple:
+    """Facetime sender/receiver pair."""
+    return VideoconferenceSender(FACETIME_PROFILE), VideoconferenceReceiver(flow_id="facetime")
+
+
+def make_hangout() -> tuple:
+    """Google Hangout sender/receiver pair."""
+    return VideoconferenceSender(HANGOUT_PROFILE), VideoconferenceReceiver(flow_id="hangout")

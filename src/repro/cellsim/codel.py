@@ -1,0 +1,18 @@
+"""CoDel active queue management for Cellsim (Section 5.4).
+
+The queue discipline itself lives with the other disciplines in
+:mod:`repro.simulation.queues`; this module re-exports it under the name the
+paper uses ("Cellsim also includes an optional implementation of CoDel,
+based on the pseudocode in [17]") and records the published defaults.
+"""
+
+from __future__ import annotations
+
+from repro.simulation.queues import CoDelQueue
+
+#: CoDel's target sojourn time (5 ms) from Nichols & Jacobson.
+CODEL_TARGET = CoDelQueue.TARGET
+#: CoDel's estimation interval (100 ms).
+CODEL_INTERVAL = CoDelQueue.INTERVAL
+
+__all__ = ["CoDelQueue", "CODEL_TARGET", "CODEL_INTERVAL"]

@@ -1,0 +1,50 @@
+"""Stochastic packet-loss injection (Section 5.6).
+
+The paper studies Sprout's loss resilience by making Cellsim drop packets
+"from the tail of the queue according to a specified random drop rate" —
+independent Bernoulli drops in each direction.  The loss decision is applied
+by :class:`repro.simulation.path.OneWayPipe`; this module holds the reusable
+loss process so that other components (e.g. the tunnel) can share the same
+behaviour and so it can be tested in isolation.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.simulation.random import SeedLike, make_rng
+
+
+class BernoulliLossProcess:
+    """Drops each packet independently with a fixed probability."""
+
+    def __init__(self, loss_rate: float, seed: SeedLike = 0, stream: str = "loss") -> None:
+        if not 0.0 <= loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {loss_rate}")
+        self.loss_rate = loss_rate
+        self._rng: np.random.Generator = make_rng(seed, stream)
+        self.offered = 0
+        self.dropped = 0
+
+    def should_drop(self) -> bool:
+        """Decide the fate of one packet; updates the loss statistics."""
+        self.offered += 1
+        if self.loss_rate <= 0.0:
+            return False
+        drop = bool(self._rng.random() < self.loss_rate)
+        if drop:
+            self.dropped += 1
+        return drop
+
+    @property
+    def observed_loss_rate(self) -> float:
+        """Empirical drop fraction so far (0 before any packet was offered)."""
+        if self.offered == 0:
+            return 0.0
+        return self.dropped / self.offered
+
+    def reset_statistics(self) -> None:
+        self.offered = 0
+        self.dropped = 0

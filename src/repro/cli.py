@@ -1,0 +1,174 @@
+"""Command-line interface: ``python -m repro <command>`` / ``repro-sprout``.
+
+Commands:
+
+* ``run``        — run one scheme over one link and print its metrics
+* ``figure``     — regenerate one of the paper's figures (1, 2, 7, 8, 9)
+* ``table``      — regenerate one of the paper's tables (intro, ewma, loss, tunnel)
+* ``report``     — run the full reproduction and print/write the report
+* ``trace``      — generate a synthetic delivery trace file for a modelled link
+* ``list``       — list the available schemes and links
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.experiments.competing import render_competing
+from repro.experiments.figure1 import render_figure1, run_figure1
+from repro.experiments.figure2 import render_figure2, run_figure2
+from repro.experiments.figure7 import render_figure7, run_figure7
+from repro.experiments.figure8 import render_figure8, run_figure8
+from repro.experiments.figure9 import render_figure9, run_figure9
+from repro.experiments.registry import scheme_names
+from repro.experiments.report import ReportConfig, generate_report
+from repro.experiments.runner import RunConfig, run_scheme_on_link
+from repro.experiments.tables import (
+    ewma_table,
+    intro_table,
+    loss_table,
+    render_ewma_table,
+    render_intro_table,
+    render_loss_table,
+    tunnel_table,
+)
+from repro.traces.format import write_trace
+from repro.traces.networks import get_link, link_names, link_trace
+
+
+def _add_run_options(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--duration", type=float, default=60.0, help="trace seconds to emulate")
+    parser.add_argument("--warmup", type=float, default=10.0, help="seconds excluded from metrics")
+
+
+def _run_config(args: argparse.Namespace) -> RunConfig:
+    return RunConfig(duration=args.duration, warmup=args.warmup)
+
+
+def _cmd_run(args: argparse.Namespace) -> int:
+    result = run_scheme_on_link(args.scheme, args.link, _run_config(args))
+    print(f"scheme:               {result.scheme}")
+    print(f"link:                 {result.link}")
+    print(f"throughput:           {result.throughput_kbps:.0f} kbps")
+    print(f"self-inflicted delay: {result.self_inflicted_delay_ms:.0f} ms")
+    print(f"utilization:          {100 * result.utilization:.1f} %")
+    return 0
+
+
+def _cmd_figure(args: argparse.Namespace) -> int:
+    config = _run_config(args)
+    if args.number == 1:
+        print(render_figure1(run_figure1(duration=args.duration)))
+    elif args.number == 2:
+        print(render_figure2(run_figure2(duration=max(args.duration, 120.0))))
+    elif args.number == 7:
+        print(render_figure7(run_figure7(config=config)))
+    elif args.number == 8:
+        print(render_figure8(run_figure8(config=config)))
+    elif args.number == 9:
+        print(render_figure9(run_figure9(config=config)))
+    else:
+        print(f"no such figure: {args.number} (valid: 1, 2, 7, 8, 9)", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_table(args: argparse.Namespace) -> int:
+    config = _run_config(args)
+    if args.name == "intro":
+        print(render_intro_table(intro_table(config=config)))
+    elif args.name == "ewma":
+        print(render_ewma_table(ewma_table(config=config)))
+    elif args.name == "loss":
+        print(render_loss_table(loss_table(config=config)))
+    elif args.name == "tunnel":
+        print(render_competing(tunnel_table(duration=args.duration, warmup=args.warmup)))
+    else:
+        print(f"no such table: {args.name}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def _cmd_report(args: argparse.Namespace) -> int:
+    config = ReportConfig(duration=args.duration, warmup=args.warmup)
+    report = generate_report(config)
+    if args.output:
+        with open(args.output, "w", encoding="utf-8") as f:
+            f.write(report)
+        print(f"report written to {args.output}")
+    else:
+        print(report)
+    return 0
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    link = get_link(args.link)
+    trace = link_trace(link, args.duration)
+    write_trace(args.output, trace)
+    print(f"wrote {len(trace)} delivery opportunities ({args.duration:.0f} s of "
+          f"{link.name}) to {args.output}")
+    return 0
+
+
+def _cmd_list(args: argparse.Namespace) -> int:
+    del args
+    print("schemes:")
+    for name in scheme_names():
+        print(f"  {name}")
+    print("links:")
+    for name in link_names():
+        print(f"  {name}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-sprout",
+        description="Reproduction of Sprout (NSDI 2013): run schemes over emulated "
+        "cellular links and regenerate the paper's figures and tables.",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_parser = sub.add_parser("run", help="run one scheme over one link")
+    run_parser.add_argument("scheme", choices=scheme_names())
+    run_parser.add_argument("link", choices=link_names())
+    _add_run_options(run_parser)
+    run_parser.set_defaults(func=_cmd_run)
+
+    figure_parser = sub.add_parser("figure", help="regenerate a figure (1, 2, 7, 8, 9)")
+    figure_parser.add_argument("number", type=int)
+    _add_run_options(figure_parser)
+    figure_parser.set_defaults(func=_cmd_figure)
+
+    table_parser = sub.add_parser("table", help="regenerate a table")
+    table_parser.add_argument("name", choices=["intro", "ewma", "loss", "tunnel"])
+    _add_run_options(table_parser)
+    table_parser.set_defaults(func=_cmd_table)
+
+    report_parser = sub.add_parser("report", help="run the full reproduction")
+    _add_run_options(report_parser)
+    report_parser.add_argument("--output", "-o", help="write the report to this file")
+    report_parser.set_defaults(func=_cmd_report)
+
+    trace_parser = sub.add_parser("trace", help="write a synthetic trace file")
+    trace_parser.add_argument("link", choices=link_names())
+    trace_parser.add_argument("output")
+    trace_parser.add_argument("--duration", type=float, default=120.0)
+    trace_parser.set_defaults(func=_cmd_trace)
+
+    list_parser = sub.add_parser("list", help="list schemes and links")
+    list_parser.set_defaults(func=_cmd_list)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,166 @@
+"""Receiver-side rate inference and cautious forecasting (Sections 3.2-3.3).
+
+The :class:`BayesianForecaster` owns the belief distribution over the link
+rate and exposes the two operations the Sprout receiver performs every tick:
+
+* :meth:`tick` — advance the belief one tick, optionally incorporating the
+  number of bytes observed during that tick (the observation is skipped when
+  the sender's "time-to-next" marking says the queue is known to be empty);
+* :meth:`forecast` — the cautious cumulative-delivery forecast: for each of
+  the next eight ticks, the number of bytes that will be delivered with at
+  least the configured confidence.
+
+:class:`EWMAForecaster` is the drop-in replacement used by Sprout-EWMA
+(Section 5.3): the same interface, but the estimate is a simple
+exponentially-weighted moving average of the observed per-tick throughput
+and the "forecast" just extrapolates that rate with no caution.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Optional
+
+import numpy as np
+
+from repro.core.rate_model import RateModel, RateModelParams, shared_rate_model
+
+
+class Forecaster(ABC):
+    """Common interface of the Bayesian and EWMA forecasters."""
+
+    #: tick duration in seconds
+    tick_duration: float
+    #: number of ticks covered by each forecast
+    forecast_ticks: int
+
+    @abstractmethod
+    def tick(self, observed_bytes: Optional[float], at_least: bool = False) -> None:
+        """Advance one tick.
+
+        Args:
+            observed_bytes: bytes that arrived during the tick, or ``None``
+                to skip the observation entirely (the sender said nothing
+                should be expected yet).
+            at_least: True when the observation is only a lower bound on the
+                link's deliverable bytes — the queue ran dry because the
+                sender had nothing more to send, so the link may well have
+                been able to deliver more (generalised time-to-next rule).
+        """
+
+    @abstractmethod
+    def forecast(self) -> np.ndarray:
+        """Cumulative bytes expected to be deliverable in each future tick."""
+
+    @abstractmethod
+    def estimated_rate_bytes_per_sec(self) -> float:
+        """Current point estimate of the link rate in bytes/second."""
+
+
+class BayesianForecaster(Forecaster):
+    """Sprout's stochastic forecaster.
+
+    Args:
+        confidence: probability with which the forecast must be achievable;
+            the paper uses 0.95.  The forecast is the ``1 - confidence``
+            quantile of the cumulative-delivery distribution (Section 5.5
+            sweeps this parameter to trace the throughput/delay frontier of
+            Figure 9).
+        params: model parameters; defaults to the paper's frozen values.
+        model: optionally, a pre-built (shared) :class:`RateModel`.
+    """
+
+    def __init__(
+        self,
+        confidence: float = 0.95,
+        params: Optional[RateModelParams] = None,
+        model: Optional[RateModel] = None,
+    ) -> None:
+        if not 0.0 < confidence < 1.0:
+            raise ValueError(f"confidence must be in (0, 1), got {confidence}")
+        self.model = model if model is not None else shared_rate_model(params)
+        self.confidence = confidence
+        self.percentile = 1.0 - confidence
+        self.belief = self.model.uniform_prior()
+        self.tick_duration = self.model.params.tick
+        self.forecast_ticks = self.model.params.forecast_ticks
+        self.mtu_bytes = self.model.params.mtu_bytes
+        self.ticks_processed = 0
+        self.observations = 0
+
+    def tick(self, observed_bytes: Optional[float], at_least: bool = False) -> None:
+        if observed_bytes is None:
+            self.belief = self.model.evolve(self.belief)
+        else:
+            if observed_bytes < 0:
+                raise ValueError("observed_bytes must be non-negative")
+            packets = observed_bytes / self.mtu_bytes
+            self.belief = self.model.update(self.belief, packets, censored=at_least)
+            self.observations += 1
+        self.ticks_processed += 1
+
+    def forecast(self) -> np.ndarray:
+        packets = self.model.cumulative_quantile(self.belief, self.percentile)
+        return packets * self.mtu_bytes
+
+    def estimated_rate_bytes_per_sec(self) -> float:
+        return self.model.expected_rate(self.belief) * self.mtu_bytes
+
+    def rate_distribution(self) -> np.ndarray:
+        """Copy of the current belief over the discretized rates."""
+        return self.belief.copy()
+
+
+class EWMAForecaster(Forecaster):
+    """Sprout-EWMA's throughput tracker.
+
+    The observed bytes per tick are smoothed with gain ``alpha``; the
+    forecast simply assumes the link continues at the smoothed rate for the
+    whole forecast horizon ("predicts that the link will continue at that
+    speed for the next eight ticks", Section 5.3).
+    """
+
+    def __init__(
+        self,
+        alpha: float = 0.125,
+        tick_duration: float = 0.020,
+        forecast_ticks: int = 8,
+        mtu_bytes: int = 1500,
+    ) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ValueError(f"alpha must be in (0, 1], got {alpha}")
+        if tick_duration <= 0:
+            raise ValueError("tick_duration must be positive")
+        if forecast_ticks < 1:
+            raise ValueError("forecast_ticks must be at least 1")
+        self.alpha = alpha
+        self.tick_duration = tick_duration
+        self.forecast_ticks = forecast_ticks
+        self.mtu_bytes = mtu_bytes
+        self.bytes_per_tick = 0.0
+        self._initialised = False
+        self.ticks_processed = 0
+        self.observations = 0
+
+    def tick(self, observed_bytes: Optional[float], at_least: bool = False) -> None:
+        if observed_bytes is not None:
+            if observed_bytes < 0:
+                raise ValueError("observed_bytes must be non-negative")
+            if at_least and self._initialised and observed_bytes < self.bytes_per_tick:
+                # A sender-limited tick cannot pull the estimate down: the
+                # link may have been able to deliver more than was offered.
+                pass
+            elif not self._initialised:
+                self.bytes_per_tick = float(observed_bytes)
+                self._initialised = True
+            else:
+                self.bytes_per_tick += self.alpha * (observed_bytes - self.bytes_per_tick)
+            self.observations += 1
+        self.ticks_processed += 1
+
+    def forecast(self) -> np.ndarray:
+        per_tick = max(self.bytes_per_tick, 0.0)
+        return per_tick * np.arange(1, self.forecast_ticks + 1, dtype=float)
+
+    def estimated_rate_bytes_per_sec(self) -> float:
+        return max(self.bytes_per_tick, 0.0) / self.tick_duration

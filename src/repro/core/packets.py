@@ -1,0 +1,145 @@
+"""Sprout wire format (Section 3.4).
+
+Sprout packets are ordinary packets whose ``headers`` dict carries the
+control-protocol fields.  Two kinds of packets exist:
+
+* **data packets** (sender -> receiver): a byte-granularity sequence number
+  counting all bytes sent so far, the "throwaway number" marking the newest
+  sequence position the receiver may safely write off (the sequence offset
+  of the most recent packet sent more than 10 ms earlier), and the
+  "time-to-next" hint telling the receiver when to expect the next packet so
+  an empty queue is not mistaken for an outage.  Heartbeats are tiny data
+  packets sent while the application is idle.
+* **feedback packets** (receiver -> sender): the 8-tick cautious forecast of
+  cumulative deliverable bytes, the time the forecast was made, and the
+  total count of bytes received or written off as lost.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+from repro.simulation.packet import MTU_BYTES, Packet
+
+#: reordering tolerance used by the throwaway number (Section 3.4: packets
+#: sent more than 10 ms apart are assumed not to be reordered)
+THROWAWAY_INTERVAL = 0.010
+
+#: size of a heartbeat / feedback packet in bytes (headers only, no payload)
+CONTROL_PACKET_BYTES = 60
+
+HEADER_SEQ_BYTES = "sprout_seq_bytes"
+HEADER_THROWAWAY_BYTES = "sprout_throwaway_bytes"
+HEADER_TIME_TO_NEXT = "sprout_time_to_next"
+HEADER_IS_HEARTBEAT = "sprout_heartbeat"
+HEADER_FORECAST = "sprout_forecast_bytes"
+HEADER_FORECAST_TIME = "sprout_forecast_time"
+HEADER_RECEIVED_OR_LOST = "sprout_received_or_lost"
+
+
+@dataclass
+class SproutDataHeader:
+    """Parsed view of a Sprout data packet's headers."""
+
+    seq_bytes: int
+    throwaway_bytes: int
+    time_to_next: float
+    is_heartbeat: bool
+
+
+@dataclass
+class SproutFeedback:
+    """Parsed view of a Sprout feedback packet's headers."""
+
+    forecast_bytes: List[float]
+    forecast_time: float
+    received_or_lost_bytes: int
+
+
+def make_data_packet(
+    size: int,
+    seq_bytes: int,
+    throwaway_bytes: int,
+    time_to_next: float,
+    flow_id: str = "sprout",
+    is_heartbeat: bool = False,
+) -> Packet:
+    """Build a Sprout data packet (or heartbeat when ``is_heartbeat``)."""
+    if size <= 0:
+        raise ValueError("data packet size must be positive")
+    if seq_bytes < 0 or throwaway_bytes < 0:
+        raise ValueError("sequence fields must be non-negative")
+    if time_to_next < 0:
+        raise ValueError("time_to_next must be non-negative")
+    return Packet(
+        size=size,
+        flow_id=flow_id,
+        headers={
+            HEADER_SEQ_BYTES: seq_bytes,
+            HEADER_THROWAWAY_BYTES: throwaway_bytes,
+            HEADER_TIME_TO_NEXT: time_to_next,
+            HEADER_IS_HEARTBEAT: is_heartbeat,
+        },
+    )
+
+
+def make_feedback_packet(
+    forecast_bytes: Sequence[float],
+    forecast_time: float,
+    received_or_lost_bytes: int,
+    flow_id: str = "sprout-feedback",
+    size: int = CONTROL_PACKET_BYTES,
+) -> Packet:
+    """Build a Sprout feedback packet carrying the receiver's forecast."""
+    if received_or_lost_bytes < 0:
+        raise ValueError("received_or_lost_bytes must be non-negative")
+    return Packet(
+        size=size,
+        flow_id=flow_id,
+        headers={
+            HEADER_FORECAST: [float(v) for v in forecast_bytes],
+            HEADER_FORECAST_TIME: float(forecast_time),
+            HEADER_RECEIVED_OR_LOST: int(received_or_lost_bytes),
+        },
+    )
+
+
+def parse_data_header(packet: Packet) -> Optional[SproutDataHeader]:
+    """Parse a data-packet header, or None if the packet is not Sprout data."""
+    if HEADER_SEQ_BYTES not in packet.headers:
+        return None
+    return SproutDataHeader(
+        seq_bytes=int(packet.headers[HEADER_SEQ_BYTES]),
+        throwaway_bytes=int(packet.headers.get(HEADER_THROWAWAY_BYTES, 0)),
+        time_to_next=float(packet.headers.get(HEADER_TIME_TO_NEXT, 0.0)),
+        is_heartbeat=bool(packet.headers.get(HEADER_IS_HEARTBEAT, False)),
+    )
+
+
+def parse_feedback(packet: Packet) -> Optional[SproutFeedback]:
+    """Parse a feedback-packet header, or None if the packet is not feedback."""
+    if HEADER_FORECAST not in packet.headers:
+        return None
+    return SproutFeedback(
+        forecast_bytes=list(packet.headers[HEADER_FORECAST]),
+        forecast_time=float(packet.headers[HEADER_FORECAST_TIME]),
+        received_or_lost_bytes=int(packet.headers[HEADER_RECEIVED_OR_LOST]),
+    )
+
+
+def is_heartbeat(packet: Packet) -> bool:
+    """True if ``packet`` is a Sprout heartbeat."""
+    return bool(packet.headers.get(HEADER_IS_HEARTBEAT, False))
+
+
+def data_packet_sizes(window_bytes: int, mtu_bytes: int = MTU_BYTES) -> List[int]:
+    """Split a byte budget into MTU-sized packet payloads.
+
+    Sprout sends full MTU packets; a remainder smaller than one MTU is left
+    for the next window evaluation rather than sent as a runt, matching the
+    paper's packet-granularity accounting.
+    """
+    if window_bytes < 0:
+        raise ValueError("window_bytes must be non-negative")
+    return [mtu_bytes] * (int(window_bytes) // mtu_bytes)

@@ -1,0 +1,360 @@
+"""Discretized doubly-stochastic model of the link rate (Section 3.1-3.2).
+
+Sprout models the link as a Poisson packet-delivery process whose rate
+:math:`\\lambda` varies in Brownian motion with noise power :math:`\\sigma`
+(packets per second per sqrt(second)) and a sticky outage state at
+:math:`\\lambda = 0` whose escape rate is :math:`\\lambda_z`.  To make
+inference tractable the rate space is discretized into 256 values sampled
+uniformly from 0 to 1000 MTU-sized packets per second, and the belief is
+updated once per 20 ms "tick".
+
+Everything that does not depend on the observations is precomputed here:
+
+* the Brownian-motion transition matrix for one tick (including the outage
+  bias on the :math:`\\lambda = 0` row);
+* the Poisson observation likelihoods on a grid of byte counts;
+* the per-bin cumulative-delivery CDFs used by the forecast, for each of the
+  forecast horizons.
+
+The default parameter values are exactly the paper's frozen values:
+``sigma = 200``, ``lambda_z = 1``, 256 bins, 20 ms ticks, 8-tick forecasts.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Optional
+
+import numpy as np
+from scipy.special import gammainc, gammaln
+
+from repro.simulation.packet import MTU_BYTES
+
+#: number of discrete rate values (paper: 256)
+DEFAULT_NUM_BINS = 256
+#: largest modelled rate, MTU-sized packets per second (paper: 1000 ~= 11 Mbit/s)
+DEFAULT_MAX_RATE = 1000.0
+#: inference update period, seconds (paper: 20 ms)
+DEFAULT_TICK = 0.020
+#: Brownian noise power, packets per second per sqrt(second) (paper: 200)
+DEFAULT_SIGMA = 200.0
+#: outage escape rate, 1/seconds (paper: 1)
+DEFAULT_OUTAGE_ESCAPE_RATE = 1.0
+#: forecast horizon in ticks (paper: 8 ticks = 160 ms)
+DEFAULT_FORECAST_TICKS = 8
+
+
+@dataclass(frozen=True)
+class RateModelParams:
+    """Frozen parameters of the stochastic link model."""
+
+    num_bins: int = DEFAULT_NUM_BINS
+    max_rate: float = DEFAULT_MAX_RATE
+    tick: float = DEFAULT_TICK
+    sigma: float = DEFAULT_SIGMA
+    outage_escape_rate: float = DEFAULT_OUTAGE_ESCAPE_RATE
+    forecast_ticks: int = DEFAULT_FORECAST_TICKS
+    mtu_bytes: int = MTU_BYTES
+
+    def __post_init__(self) -> None:
+        if self.num_bins < 2:
+            raise ValueError("num_bins must be at least 2")
+        if self.max_rate <= 0:
+            raise ValueError("max_rate must be positive")
+        if self.tick <= 0:
+            raise ValueError("tick must be positive")
+        if self.sigma < 0:
+            raise ValueError("sigma must be non-negative")
+        if self.outage_escape_rate < 0:
+            raise ValueError("outage_escape_rate must be non-negative")
+        if self.forecast_ticks < 1:
+            raise ValueError("forecast_ticks must be at least 1")
+
+
+class RateModel:
+    """Precomputed matrices for Bayesian inference on the link rate.
+
+    Args:
+        params: model parameters (the paper's frozen values by default).
+        forecast_paths: number of Monte-Carlo sample paths per rate bin used
+            to precompute the cumulative-delivery distributions.  The paths
+            are drawn once, from a fixed seed, at model construction; the
+            runtime forecast is a deterministic weighted sum over the bins.
+    """
+
+    #: fixed seed for the offline Monte-Carlo precomputation, so that every
+    #: model instance (and therefore every experiment) is reproducible.
+    FORECAST_SEED = 20130419
+
+    def __init__(
+        self,
+        params: Optional[RateModelParams] = None,
+        forecast_paths: int = 4000,
+    ) -> None:
+        if forecast_paths < 100:
+            raise ValueError("forecast_paths must be at least 100")
+        self.params = params if params is not None else RateModelParams()
+        self.forecast_paths = forecast_paths
+        p = self.params
+
+        #: the 256 candidate rates, packets per second
+        self.rates = np.linspace(0.0, p.max_rate, p.num_bins)
+        #: expected packets per tick for each candidate rate
+        self.packets_per_tick = self.rates * p.tick
+
+        self.transition = self._build_transition_matrix()
+        # Maximum plausible cumulative count over the full forecast horizon,
+        # with headroom so the CDF always reaches ~1 inside the grid.
+        self._max_count = int(math.ceil(p.max_rate * p.tick * p.forecast_ticks)) + 40
+        self.cumulative_cdfs = self._build_cumulative_cdfs()
+
+    # -------------------------------------------------------------- builders
+
+    def _brownian_row(self, rate: float) -> np.ndarray:
+        """Distribution of the rate one tick later, given its current value."""
+        p = self.params
+        std = p.sigma * math.sqrt(p.tick)
+        if std <= 0:
+            row = np.zeros(p.num_bins)
+            row[int(np.argmin(np.abs(self.rates - rate)))] = 1.0
+            return row
+        z = (self.rates - rate) / std
+        row = np.exp(-0.5 * z * z)
+        total = row.sum()
+        if total <= 0:  # pragma: no cover - defensive; cannot happen with linspace grid
+            row = np.zeros(p.num_bins)
+            row[int(np.argmin(np.abs(self.rates - rate)))] = 1.0
+            return row
+        return row / total
+
+    def _build_transition_matrix(self) -> np.ndarray:
+        """One-tick transition matrix T with T[i, j] = P(next bin j | bin i).
+
+        Row 0 (the outage state) mixes "stay in outage" with probability
+        ``exp(-lambda_z * tick)`` and the ordinary Brownian spread with the
+        complementary probability, reproducing the sticky-outage behaviour of
+        Section 3.1.
+        """
+        p = self.params
+        matrix = np.empty((p.num_bins, p.num_bins))
+        for i, rate in enumerate(self.rates):
+            matrix[i] = self._brownian_row(rate)
+        stay = math.exp(-p.outage_escape_rate * p.tick)
+        outage_row = np.zeros(p.num_bins)
+        outage_row[0] = 1.0
+        matrix[0] = stay * outage_row + (1.0 - stay) * matrix[0]
+        # Normalise each row exactly (guards against accumulated float error).
+        matrix /= matrix.sum(axis=1, keepdims=True)
+        return matrix
+
+    def _build_cumulative_cdfs(self) -> np.ndarray:
+        """Cumulative-delivery CDF grids used by the forecast (Section 3.3).
+
+        ``cumulative_cdfs[j, i, n]`` is the probability that the link
+        delivers at most ``n`` packets within ``j + 1`` ticks, *given that
+        the current rate is* ``rates[i]`` and that the rate then follows the
+        model's own dynamics (Brownian drift with the sticky outage state).
+        The distribution is over the whole rate path, so early ticks — when
+        the rate cannot yet have wandered far from its current value —
+        contribute deliveries even under the cautious quantile, exactly as
+        in the paper's tick-by-tick evolution.
+
+        The grids are computed once per model by propagating a fixed-seed
+        Monte-Carlo ensemble of rate paths for every starting bin; at
+        runtime the forecast is a deterministic weighted sum of these rows
+        under the current belief.
+        """
+        p = self.params
+        rng = np.random.default_rng(self.FORECAST_SEED)
+        paths = self.forecast_paths
+        std = p.sigma * math.sqrt(p.tick)
+        stay_in_outage = math.exp(-p.outage_escape_rate * p.tick)
+        # Rates closer to zero than half a bin belong to the outage bin of
+        # the discretized chain and inherit its stickiness.
+        half_bin = 0.5 * (self.rates[1] - self.rates[0])
+
+        # One row of sample paths per starting rate bin.
+        rates = np.repeat(self.rates[:, None], paths, axis=1)
+        counts = np.zeros((p.num_bins, paths), dtype=np.int64)
+        cdfs = np.empty((p.forecast_ticks, p.num_bins, self._max_count + 1))
+        count_grid = np.arange(self._max_count + 1)
+
+        def brownian_step(current: np.ndarray) -> np.ndarray:
+            """One conditional Brownian step, staying on the [0, max] grid.
+
+            The discretized transition matrix renormalises each Gaussian row
+            over the rate grid, which is equivalent to sampling the Gaussian
+            step *conditioned on* landing inside the grid; a few rounds of
+            rejection resampling reproduce that here.
+            """
+            proposal = current + rng.normal(0.0, std, size=current.shape)
+            for _ in range(6):
+                outside = (proposal < 0.0) | (proposal > p.max_rate)
+                if not outside.any():
+                    break
+                proposal = np.where(
+                    outside,
+                    current + rng.normal(0.0, std, size=current.shape),
+                    proposal,
+                )
+            return np.clip(proposal, 0.0, p.max_rate)
+
+        for j in range(p.forecast_ticks):
+            # Evolve every path by one tick of the discretized rate dynamics.
+            in_outage = rates < half_bin
+            stepped = brownian_step(rates)
+            stays = in_outage & (rng.random(size=rates.shape) < stay_in_outage)
+            rates = np.where(stays, 0.0, stepped)
+            rates = np.where(rates < half_bin, 0.0, rates)
+            # Deliveries during this tick given the (new) instantaneous rate.
+            counts += rng.poisson(rates * p.tick)
+            clipped = np.minimum(counts, self._max_count)
+            # Empirical CDF over the ensemble, per starting bin.
+            sorted_counts = np.sort(clipped, axis=1)
+            positions = np.apply_along_axis(
+                np.searchsorted, 1, sorted_counts, count_grid, side="right"
+            )
+            cdfs[j] = positions / float(paths)
+        return cdfs
+
+    # ------------------------------------------------------------- inference
+
+    def uniform_prior(self) -> np.ndarray:
+        """The paper's startup belief: every rate equally probable."""
+        return np.full(self.params.num_bins, 1.0 / self.params.num_bins)
+
+    def evolve(self, belief: np.ndarray) -> np.ndarray:
+        """Push the belief forward one tick of Brownian motion."""
+        return belief @ self.transition
+
+    def observation_likelihood(self, packets_observed: float) -> np.ndarray:
+        """Likelihood of observing ``packets_observed`` packets in one tick.
+
+        ``packets_observed`` may be fractional because Sprout counts bytes
+        (a 750-byte arrival is half an MTU-sized packet); the Poisson pmf is
+        extended continuously through the gamma function.
+        """
+        if packets_observed < 0:
+            raise ValueError("cannot observe a negative packet count")
+        mu = self.packets_per_tick
+        likelihood = np.zeros_like(mu)
+        positive = mu > 0
+        log_pmf = (
+            packets_observed * np.log(mu[positive])
+            - mu[positive]
+            - gammaln(packets_observed + 1.0)
+        )
+        likelihood[positive] = np.exp(log_pmf)
+        # The outage bin can only produce zero packets.
+        likelihood[~positive] = 1.0 if packets_observed == 0 else 0.0
+        return likelihood
+
+    def censored_likelihood(self, packets_observed: float) -> np.ndarray:
+        """Likelihood that *at least* ``packets_observed`` packets were deliverable.
+
+        Used for ticks in which the queue ran dry because the sender had
+        nothing more to send: the arrivals then establish only a lower bound
+        on what the link could have delivered, so the correct update weights
+        each rate by :math:`P(N \\ge k \\mid \\lambda)` instead of the exact
+        Poisson probability.  (This is the natural generalisation of the
+        paper's time-to-next rule, which handles the ``k = 0`` case.)
+        """
+        if packets_observed < 0:
+            raise ValueError("cannot observe a negative packet count")
+        if packets_observed == 0:
+            return np.ones_like(self.packets_per_tick)
+        mu = self.packets_per_tick
+        likelihood = np.zeros_like(mu)
+        positive = mu > 0
+        # P(N >= k) for Poisson(mu) equals the regularised lower incomplete
+        # gamma function gammainc(k, mu) (continuous in k).
+        likelihood[positive] = gammainc(packets_observed, mu[positive])
+        likelihood[~positive] = 0.0
+        return likelihood
+
+    def update(
+        self, belief: np.ndarray, packets_observed: float, censored: bool = False
+    ) -> np.ndarray:
+        """One full Bayesian tick: evolve, weight by the observation, normalise.
+
+        Args:
+            belief: current distribution over rate bins.
+            packets_observed: packets (possibly fractional) seen this tick.
+            censored: True when the observation is only a lower bound on what
+                the link could have delivered (sender-limited tick).
+        """
+        evolved = self.evolve(belief)
+        if censored:
+            likelihood = self.censored_likelihood(packets_observed)
+        else:
+            likelihood = self.observation_likelihood(packets_observed)
+        posterior = evolved * likelihood
+        total = posterior.sum()
+        if total <= 0.0 or not np.isfinite(total):
+            # All mass annihilated (e.g. an enormous observation): fall back
+            # to the evolved prior rather than dividing by zero.
+            return evolved
+        return posterior / total
+
+    # -------------------------------------------------------------- forecast
+
+    def cumulative_quantile(
+        self, belief: np.ndarray, percentile: float, num_ticks: Optional[int] = None
+    ) -> np.ndarray:
+        """Cautious cumulative-delivery forecast (Section 3.3).
+
+        For each forecast horizon, mixes the per-bin cumulative-delivery
+        distributions (which already account for the rate's own future
+        evolution) under the current belief and takes the requested
+        percentile of the resulting distribution.
+
+        Args:
+            belief: current probability distribution over rate bins.
+            percentile: quantile in (0, 1); the paper's default cautious
+                forecast uses 0.05 (the 5th percentile, i.e. 95% confidence
+                that at least this much will be delivered).
+            num_ticks: forecast horizon; defaults to the model's 8 ticks.
+
+        Returns:
+            Array of length ``num_ticks``: forecast cumulative *packets*
+            delivered by the end of each tick.  The array is monotonically
+            non-decreasing (cumulative deliveries cannot shrink).
+        """
+        if not 0.0 < percentile < 1.0:
+            raise ValueError(f"percentile must be in (0, 1), got {percentile}")
+        ticks = self.params.forecast_ticks if num_ticks is None else num_ticks
+        if not 1 <= ticks <= self.params.forecast_ticks:
+            raise ValueError(
+                f"num_ticks must be between 1 and {self.params.forecast_ticks}"
+            )
+        forecast = np.empty(ticks)
+        previous = 0.0
+        for j in range(ticks):
+            mixture_cdf = belief @ self.cumulative_cdfs[j]
+            index = int(np.searchsorted(mixture_cdf, percentile, side="left"))
+            value = float(min(index, self._max_count))
+            # Enforce monotonicity against Monte-Carlo quantile jitter.
+            previous = max(previous, value)
+            forecast[j] = previous
+        return forecast
+
+    def expected_rate(self, belief: np.ndarray) -> float:
+        """Posterior-mean link rate in packets per second."""
+        return float(np.dot(belief, self.rates))
+
+
+@lru_cache(maxsize=8)
+def _shared_model(params: RateModelParams) -> RateModel:
+    return RateModel(params)
+
+
+def shared_rate_model(params: Optional[RateModelParams] = None) -> RateModel:
+    """Return a memoised :class:`RateModel`.
+
+    Building the forecast CDF tensor takes a noticeable fraction of a second;
+    every Sprout connection with the same (frozen) parameters can share one
+    instance because the model itself is immutable after construction.
+    """
+    return _shared_model(params if params is not None else RateModelParams())

@@ -1,0 +1,169 @@
+"""The Sprout receiver (Sections 3.2-3.4).
+
+Every 20 ms tick the receiver:
+
+1. feeds the number of bytes that arrived during the tick to its forecaster
+   (skipping the observation when the sender's "time-to-next" marking shows
+   that the queue is simply empty rather than the link being in an outage);
+2. recomputes the cautious cumulative-delivery forecast; and
+3. sends the forecast back to the sender, together with the total number of
+   bytes it has received or written off as lost, piggybacked on a small
+   feedback packet (in a one-way transfer the receiver has no data of its
+   own, so the feedback packet is the paper's "outgoing packet").
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Tuple
+
+from repro.core.forecaster import BayesianForecaster, EWMAForecaster, Forecaster
+from repro.core.packets import make_feedback_packet, parse_data_header
+from repro.simulation.endpoints import HostContext, Protocol
+from repro.simulation.packet import Packet
+
+
+class SproutReceiver(Protocol):
+    """Receiver half of a Sprout connection.
+
+    Args:
+        forecaster: the inference engine; a :class:`BayesianForecaster` with
+            the paper's parameters by default.  Pass an
+            :class:`EWMAForecaster` to obtain the Sprout-EWMA receiver.
+        feedback_interval_ticks: send a feedback packet every N ticks
+            (1 = every 20 ms, the default).
+        observation_grace: extra time (seconds) beyond the announced
+            time-to-next during which a silent tick is attributed to an empty
+            queue rather than an outage; covers queueing jitter of the last
+            flight.
+        flow_id: label attached to feedback packets.
+    """
+
+    def __init__(
+        self,
+        forecaster: Optional[Forecaster] = None,
+        feedback_interval_ticks: int = 1,
+        observation_grace: float = 0.020,
+        flow_id: str = "sprout",
+    ) -> None:
+        if feedback_interval_ticks < 1:
+            raise ValueError("feedback_interval_ticks must be at least 1")
+        if observation_grace < 0:
+            raise ValueError("observation_grace must be non-negative")
+        self.forecaster = forecaster if forecaster is not None else BayesianForecaster()
+        self.tick_interval = self.forecaster.tick_duration
+        self.feedback_interval_ticks = feedback_interval_ticks
+        self.observation_grace = observation_grace
+        self.flow_id = flow_id
+
+        # Per-tick observation accumulators.  Data bytes and heartbeat bytes
+        # are tracked separately: a tick in which only a heartbeat arrived
+        # tells us the link is not in an outage, but says nothing about how
+        # fast a backlogged queue would drain, so it must not be fed to the
+        # forecaster as if it were the link's full delivery rate.
+        self._bytes_this_tick = 0
+        self._heartbeat_bytes_this_tick = 0
+        # Accounting for the "received or lost" counter (Section 3.4).
+        self._highest_seq_bytes = 0
+        self._written_off_bytes = 0
+        self.total_bytes_received = 0
+        self.data_packets_received = 0
+        self.heartbeats_received = 0
+        # Expected arrival of the sender's next packet (time-to-next marking).
+        self._expect_next_by = 0.0
+        # time-to-next announced by the most recent arrival in this tick:
+        # zero means more data was right behind it (link-limited tick),
+        # positive means the sender paused of its own accord.
+        self._last_time_to_next = 0.0
+        self._ticks_since_feedback = 0
+        self.feedback_packets_sent = 0
+        #: history of (time, estimated_rate_bytes_per_sec), for plotting
+        self.rate_history: List[Tuple[float, float]] = []
+
+    # ------------------------------------------------------------- lifecycle
+
+    def start(self, ctx: HostContext) -> None:
+        super().start(ctx)
+        self._expect_next_by = ctx.now() + self.observation_grace
+
+    # ------------------------------------------------------------ reception
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        header = parse_data_header(packet)
+        if header is None:
+            return
+        self.total_bytes_received += packet.size
+        if header.is_heartbeat:
+            self.heartbeats_received += 1
+            self._heartbeat_bytes_this_tick += packet.size
+        else:
+            self.data_packets_received += 1
+            self._bytes_this_tick += packet.size
+        if header.seq_bytes > self._highest_seq_bytes:
+            self._highest_seq_bytes = header.seq_bytes
+        if header.throwaway_bytes > self._written_off_bytes:
+            self._written_off_bytes = header.throwaway_bytes
+        self._expect_next_by = now + header.time_to_next
+        self._last_time_to_next = header.time_to_next
+
+    # ----------------------------------------------------------------- tick
+
+    def on_tick(self, now: float) -> None:
+        observed = self._bytes_this_tick
+        heartbeat_bytes = self._heartbeat_bytes_this_tick
+        self._bytes_this_tick = 0
+        self._heartbeat_bytes_this_tick = 0
+
+        if observed > 0:
+            # If the newest arrival announced a pause (nonzero time-to-next),
+            # the queue ran dry because the sender stopped, so this tick's
+            # count is only a lower bound on what the link could deliver.
+            sender_limited = self._last_time_to_next > 0.0
+            self.forecaster.tick(float(observed + heartbeat_bytes), at_least=sender_limited)
+        elif heartbeat_bytes > 0:
+            # Only a heartbeat arrived: the sender is idle or window-limited,
+            # so this says nothing about how fast a backlog would drain — but
+            # it does prove the link is not in an outage ("even one tiny
+            # packet does much to dispel this ambiguity", Section 3.2).
+            # Treat it as a lower-bound observation.
+            self.forecaster.tick(float(heartbeat_bytes), at_least=True)
+        elif now < self._expect_next_by + self.observation_grace:
+            # The sender told us not to expect anything yet: an empty tick is
+            # indistinguishable from an empty queue, so skip the observation.
+            self.forecaster.tick(None)
+        else:
+            self.forecaster.tick(0.0)
+
+        self.rate_history.append((now, self.forecaster.estimated_rate_bytes_per_sec()))
+
+        self._ticks_since_feedback += 1
+        if self._ticks_since_feedback >= self.feedback_interval_ticks:
+            self._ticks_since_feedback = 0
+            self._send_feedback(now)
+
+    # ------------------------------------------------------------- feedback
+
+    @property
+    def received_or_lost_bytes(self) -> int:
+        """Bytes the receiver has received or written off as lost."""
+        return max(self._highest_seq_bytes, self._written_off_bytes)
+
+    def _send_feedback(self, now: float) -> None:
+        forecast = self.forecaster.forecast()
+        packet = make_feedback_packet(
+            forecast_bytes=forecast,
+            forecast_time=now,
+            received_or_lost_bytes=self.received_or_lost_bytes,
+            flow_id=f"{self.flow_id}-feedback",
+        )
+        self.ctx.send(packet)
+        self.feedback_packets_sent += 1
+
+
+def make_sprout_receiver(confidence: float = 0.95, **kwargs) -> SproutReceiver:
+    """Receiver configured with the paper's Bayesian forecaster."""
+    return SproutReceiver(forecaster=BayesianForecaster(confidence=confidence), **kwargs)
+
+
+def make_sprout_ewma_receiver(alpha: float = 0.125, **kwargs) -> SproutReceiver:
+    """Receiver configured with the Sprout-EWMA moving-average tracker."""
+    return SproutReceiver(forecaster=EWMAForecaster(alpha=alpha), **kwargs)

@@ -1,0 +1,89 @@
+"""Experiment harness regenerating every table and figure of the paper."""
+
+from repro.experiments.registry import (
+    FIGURE7_SCHEMES,
+    INTRO_TABLE_SCHEMES,
+    SCHEMES,
+    SchemeSpec,
+    get_scheme,
+    scheme_names,
+    sprout_with_confidence,
+)
+from repro.experiments.runner import (
+    RunConfig,
+    collect_metrics,
+    run_matrix,
+    run_scheme_on_link,
+    run_with_loss_rates,
+)
+from repro.experiments.figure1 import Figure1Data, render_figure1, run_figure1
+from repro.experiments.figure2 import Figure2Data, render_figure2, run_figure2
+from repro.experiments.figure7 import Figure7Data, render_figure7, run_figure7
+from repro.experiments.figure8 import FIGURE8_SCHEMES, Figure8Data, render_figure8, run_figure8
+from repro.experiments.figure9 import Figure9Data, render_figure9, run_figure9
+from repro.experiments.competing import (
+    CompetingComparison,
+    CompetingResult,
+    render_competing,
+    run_competing_comparison,
+    run_direct,
+    run_tunnelled,
+)
+from repro.experiments.tables import (
+    LossTableData,
+    ewma_table,
+    intro_table,
+    loss_table,
+    render_ewma_table,
+    render_intro_table,
+    render_loss_table,
+    tunnel_table,
+)
+from repro.experiments.report import ReportConfig, generate_report
+
+__all__ = [
+    "SCHEMES",
+    "SchemeSpec",
+    "FIGURE7_SCHEMES",
+    "FIGURE8_SCHEMES",
+    "INTRO_TABLE_SCHEMES",
+    "get_scheme",
+    "scheme_names",
+    "sprout_with_confidence",
+    "RunConfig",
+    "collect_metrics",
+    "run_matrix",
+    "run_scheme_on_link",
+    "run_with_loss_rates",
+    "Figure1Data",
+    "Figure2Data",
+    "Figure7Data",
+    "Figure8Data",
+    "Figure9Data",
+    "run_figure1",
+    "run_figure2",
+    "run_figure7",
+    "run_figure8",
+    "run_figure9",
+    "render_figure1",
+    "render_figure2",
+    "render_figure7",
+    "render_figure8",
+    "render_figure9",
+    "CompetingComparison",
+    "CompetingResult",
+    "run_competing_comparison",
+    "run_direct",
+    "run_tunnelled",
+    "render_competing",
+    "LossTableData",
+    "intro_table",
+    "ewma_table",
+    "loss_table",
+    "tunnel_table",
+    "render_intro_table",
+    "render_ewma_table",
+    "render_loss_table",
+    "ReportConfig",
+    "generate_report",
+]

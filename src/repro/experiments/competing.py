@@ -1,0 +1,249 @@
+"""Competing-traffic experiments: Cubic + Skype, direct vs. SproutTunnel (§5.7).
+
+The paper runs a TCP Cubic bulk download and a Skype call simultaneously
+over the Verizon LTE downlink, first directly (both flows share the same
+deep carrier queue) and then through SproutTunnel (each flow in its own
+queue at the tunnel ingress, the total limited by Sprout's forecast).
+Directly, Cubic fills the queue and Skype's delay explodes; through the
+tunnel, Skype is isolated from Cubic's backlog at some cost to Cubic's
+throughput.
+
+Simplifications relative to the paper's testbed (documented in DESIGN.md):
+the Skype call is modelled download-only, and client feedback (TCP ACKs,
+receiver reports) returns over the reverse direction outside the tunnel —
+the uplink is lightly loaded in this experiment, so the feedback path is not
+the bottleneck either way.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.baselines.base import AckingReceiver
+from repro.baselines.cubic import CubicSender
+from repro.baselines.videoconference import (
+    SKYPE_PROFILE,
+    VideoconferenceReceiver,
+    VideoconferenceSender,
+)
+from repro.cellsim.cellsim import build_cellsim, traces_for_link
+from repro.core.connection import SproutConfig
+from repro.metrics.delay import percentile_of_delay_signal
+from repro.simulation.endpoints import HostContext, Protocol
+from repro.simulation.mux import MultiplexProtocol
+from repro.simulation.packet import Packet
+from repro.traces.networks import get_link
+from repro.tunnel.tunnel import HEADER_TUNNEL_FLOW, make_tunnel
+
+
+@dataclass
+class FlowMetrics:
+    """Per-client-flow metrics of one competing-traffic run."""
+
+    throughput_bps: float
+    delay_95_s: float
+
+    @property
+    def throughput_kbps(self) -> float:
+        return self.throughput_bps / 1000.0
+
+    @property
+    def delay_95_ms(self) -> float:
+        return self.delay_95_s * 1000.0
+
+
+@dataclass
+class CompetingResult:
+    """Results of one competing-traffic run (direct or tunnelled)."""
+
+    mode: str
+    flows: Dict[str, FlowMetrics]
+    tunnel_drops: int = 0
+
+
+@dataclass
+class CompetingComparison:
+    """Direct vs. tunnelled runs, the rows of the Section 5.7 table."""
+
+    direct: CompetingResult
+    tunnelled: CompetingResult
+
+    def change_percent(self, flow: str, metric: str) -> float:
+        """Relative change (percent) of ``metric`` for ``flow`` via the tunnel."""
+        before = getattr(self.direct.flows[flow], metric)
+        after = getattr(self.tunnelled.flows[flow], metric)
+        if before == 0:
+            return float("inf")
+        return 100.0 * (after - before) / before
+
+
+class _TunnelClientContext(HostContext):
+    """Redirects a client protocol's sends into the tunnel ingress."""
+
+    def __init__(self, parent: HostContext, flow: str, ingress) -> None:
+        super().__init__(parent._loop, parent._transmit, f"{parent.name}:{flow}")
+        self._flow = flow
+        self._ingress = ingress
+
+    def send(self, packet: Packet) -> None:
+        packet.sent_at = self.now()
+        packet.flow_id = self._flow
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        self._ingress.accept(self._flow, packet)
+
+
+class TunnelClient(Protocol):
+    """Wraps a client protocol so its traffic enters the tunnel ingress."""
+
+    def __init__(self, inner: Protocol, flow: str, ingress) -> None:
+        self.inner = inner
+        self.flow = flow
+        self.ingress = ingress
+        self.tick_interval = inner.tick_interval
+
+    def start(self, ctx: HostContext) -> None:
+        super().start(ctx)
+        self.inner.start(_TunnelClientContext(ctx, self.flow, self.ingress))
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        self.inner.on_packet(packet, now)
+
+    def on_tick(self, now: float) -> None:
+        self.inner.on_tick(now)
+
+    def stop(self, now: float) -> None:
+        self.inner.stop(now)
+
+
+def _flow_metrics(
+    arrivals: List[Tuple[float, Packet]],
+    warmup: float,
+    duration: float,
+) -> FlowMetrics:
+    window = duration - warmup
+    in_window = [(t, p) for t, p in arrivals if warmup <= t <= duration]
+    total_bytes = sum(p.size for _, p in in_window)
+    pairs = [(t, p.sent_at) for t, p in arrivals if p.sent_at is not None]
+    delay = percentile_of_delay_signal(pairs, start_time=warmup, end_time=duration)
+    return FlowMetrics(throughput_bps=total_bytes * 8.0 / window, delay_95_s=delay)
+
+
+def run_direct(
+    link_name: str = "Verizon LTE downlink",
+    duration: float = 60.0,
+    warmup: float = 10.0,
+) -> CompetingResult:
+    """Cubic and Skype sharing the emulated link's single queue directly."""
+    link = get_link(link_name)
+    forward, reverse = traces_for_link(link, duration)
+
+    sender_mux = MultiplexProtocol(
+        {
+            "cubic": CubicSender(flow_id="cubic"),
+            "skype": VideoconferenceSender(SKYPE_PROFILE, flow_id="skype"),
+        }
+    )
+    receiver_mux = MultiplexProtocol(
+        {
+            "cubic": AckingReceiver(flow_id="cubic"),
+            "skype": VideoconferenceReceiver(flow_id="skype"),
+        }
+    )
+    sim = build_cellsim(
+        sender_mux, receiver_mux, forward, reverse, name=f"{link.name} direct", seed=link.seed
+    )
+    sim.run(duration)
+
+    flows = {
+        name: _flow_metrics(receiver_mux.received_by_flow.get(name, []), warmup, duration)
+        for name in ("cubic", "skype")
+    }
+    return CompetingResult(mode="direct", flows=flows)
+
+
+def run_tunnelled(
+    link_name: str = "Verizon LTE downlink",
+    duration: float = 60.0,
+    warmup: float = 10.0,
+    sprout_config: Optional[SproutConfig] = None,
+) -> CompetingResult:
+    """Cubic and Skype carried through SproutTunnel over the same link."""
+    link = get_link(link_name)
+    forward, reverse = traces_for_link(link, duration)
+    tunnel = make_tunnel(sprout_config)
+
+    cubic_receiver = AckingReceiver(flow_id="cubic")
+    skype_receiver = VideoconferenceReceiver(flow_id="skype")
+
+    sender_mux = MultiplexProtocol(
+        {
+            "sprout-tunnel": tunnel.sender_protocol,
+            "cubic": TunnelClient(CubicSender(flow_id="cubic"), "cubic", tunnel.ingress),
+            "skype": TunnelClient(
+                VideoconferenceSender(SKYPE_PROFILE, flow_id="skype"), "skype", tunnel.ingress
+            ),
+        }
+    )
+    receiver_mux = MultiplexProtocol(
+        {
+            "sprout-tunnel": tunnel.receiver_protocol,
+            "cubic": cubic_receiver,
+            "skype": skype_receiver,
+        }
+    )
+    # Tunnelled client packets are delivered to the local client receivers by
+    # the egress, which also triggers their feedback (ACKs / reports).
+    delivered: Dict[str, List[Tuple[float, Packet]]] = {"cubic": [], "skype": []}
+
+    def _handler(flow: str, receiver: Protocol):
+        def handle(packet: Packet, now: float) -> None:
+            delivered[flow].append((now, packet))
+            receiver.on_packet(packet, now)
+
+        return handle
+
+    tunnel.egress.register_flow("cubic", _handler("cubic", cubic_receiver))
+    tunnel.egress.register_flow("skype", _handler("skype", skype_receiver))
+
+    sim = build_cellsim(
+        sender_mux, receiver_mux, forward, reverse, name=f"{link.name} tunnel", seed=link.seed
+    )
+    sim.run(duration)
+
+    flows = {
+        name: _flow_metrics(delivered[name], warmup, duration) for name in ("cubic", "skype")
+    }
+    return CompetingResult(
+        mode="sprout-tunnel", flows=flows, tunnel_drops=tunnel.dropped_for_limit
+    )
+
+
+def run_competing_comparison(
+    link_name: str = "Verizon LTE downlink",
+    duration: float = 60.0,
+    warmup: float = 10.0,
+) -> CompetingComparison:
+    """The full Section 5.7 comparison: direct vs. through SproutTunnel."""
+    direct = run_direct(link_name, duration, warmup)
+    tunnelled = run_tunnelled(link_name, duration, warmup)
+    return CompetingComparison(direct=direct, tunnelled=tunnelled)
+
+
+def render_competing(comparison: CompetingComparison) -> str:
+    """Plain-text rendering of the Section 5.7 table."""
+    d, t = comparison.direct, comparison.tunnelled
+    lines = ["Section 5.7 — Cubic + Skype, direct vs via SproutTunnel", ""]
+    lines.append(f"{'metric':24s} {'direct':>12s} {'via Sprout':>12s} {'change':>10s}")
+    rows = [
+        ("Cubic throughput (kbps)", d.flows["cubic"].throughput_kbps,
+         t.flows["cubic"].throughput_kbps, comparison.change_percent("cubic", "throughput_bps")),
+        ("Skype throughput (kbps)", d.flows["skype"].throughput_kbps,
+         t.flows["skype"].throughput_kbps, comparison.change_percent("skype", "throughput_bps")),
+        ("Skype 95% delay (ms)", d.flows["skype"].delay_95_ms,
+         t.flows["skype"].delay_95_ms, comparison.change_percent("skype", "delay_95_s")),
+    ]
+    for label, before, after, change in rows:
+        lines.append(f"{label:24s} {before:12.0f} {after:12.0f} {change:+9.0f}%")
+    return "\n".join(lines)

@@ -1,0 +1,92 @@
+"""Figure 2: interarrival distribution of a saturated LTE downlink.
+
+The paper saturates a Verizon LTE downlink and plots the distribution of
+packet interarrival times on a log-log scale: the body is memoryless
+(Poisson-like), the tail between 20 ms and several seconds is heavy and well
+fit by a power law (the paper quotes an exponent of about 3.27 for the
+density).  This module regenerates the survival curve and the tail fit from
+the synthetic channel (or, optionally, a Saturator measurement of it).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence
+
+import numpy as np
+
+from repro.traces.analysis import (
+    InterarrivalStats,
+    fit_powerlaw_tail,
+    interarrival_stats,
+    interarrival_survival,
+    interarrival_times,
+)
+from repro.traces.networks import get_link, link_trace
+from repro.traces.saturator import record_trace_with_saturator
+
+#: thresholds (seconds) at which the survival curve is reported, matching the
+#: 1 ms .. 4 s span of the paper's x-axis
+DEFAULT_THRESHOLDS = tuple(float(t) for t in np.geomspace(0.001, 4.0, 25))
+
+
+@dataclass
+class Figure2Data:
+    """The interarrival survival curve and its power-law tail fit."""
+
+    link: str
+    thresholds: np.ndarray
+    survival_percent: np.ndarray
+    stats: InterarrivalStats
+
+    @property
+    def tail_exponent(self) -> float:
+        return self.stats.tail_exponent
+
+
+def run_figure2(
+    link_name: str = "Verizon LTE downlink",
+    duration: float = 300.0,
+    thresholds: Sequence[float] = DEFAULT_THRESHOLDS,
+    use_saturator: bool = False,
+    tail_start: float = 0.020,
+) -> Figure2Data:
+    """Regenerate the data behind Figure 2.
+
+    Args:
+        link_name: which modelled link to saturate.
+        duration: how much of the link to observe (longer = smoother tail).
+        thresholds: interarrival thresholds of the survival curve.
+        use_saturator: measure the link with the Saturator tool instead of
+            reading the channel's ground-truth delivery times (slower, but
+            exercises the measurement path end to end).
+        tail_start: where the power-law tail fit begins (20 ms in the paper).
+    """
+    link = get_link(link_name)
+    if use_saturator:
+        trace = record_trace_with_saturator(link.config, duration, seed=link.seed)
+    else:
+        trace = link_trace(link, duration)
+    gaps = interarrival_times(trace)
+    survival = interarrival_survival(gaps, thresholds) * 100.0
+    stats = interarrival_stats(trace, tail_start=tail_start)
+    return Figure2Data(
+        link=link.name,
+        thresholds=np.asarray(thresholds, dtype=float),
+        survival_percent=survival,
+        stats=stats,
+    )
+
+
+def render_figure2(data: Figure2Data) -> str:
+    """Plain-text rendering of the interarrival survival curve."""
+    lines = [f"Figure 2 — interarrival distribution, {data.link}", ""]
+    lines.append(f"{'interarrival (ms)':>18s} {'% interarrivals above':>22s}")
+    for threshold, pct in zip(data.thresholds, data.survival_percent):
+        lines.append(f"{threshold * 1000:18.1f} {pct:22.4f}")
+    lines.append("")
+    lines.append(
+        f"power-law tail (> {20:.0f} ms): density exponent ~ t^-{data.tail_exponent:.2f} "
+        f"(paper: t^-3.27); tail fraction {data.stats.tail_fraction * 100:.2f}%"
+    )
+    return "\n".join(lines)

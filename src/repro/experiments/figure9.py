@@ -1,0 +1,66 @@
+"""Figure 9: the effect of Sprout's confidence parameter (Section 5.5).
+
+Sprout's receiver normally forecasts the bytes deliverable with 95%
+confidence.  Lowering the confidence trades delay for throughput; the paper
+sweeps 95/75/50/25/5% on the T-Mobile 3G (UMTS) uplink and shows the
+resulting frontier, together with the other schemes for context.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.experiments.registry import sprout_with_confidence
+from repro.experiments.runner import RunConfig, run_scheme_on_link
+from repro.metrics.summary import SchemeResult
+
+#: the confidence values swept in the paper
+DEFAULT_CONFIDENCES = (0.95, 0.75, 0.50, 0.25, 0.05)
+
+
+@dataclass
+class Figure9Data:
+    """Sweep results plus any context schemes measured on the same link."""
+
+    link: str
+    sweep: Dict[float, SchemeResult]
+    context: List[SchemeResult]
+
+    def frontier(self) -> List[SchemeResult]:
+        """Sweep results ordered from most to least cautious."""
+        return [self.sweep[c] for c in sorted(self.sweep, reverse=True)]
+
+
+def run_figure9(
+    link_name: str = "T-Mobile 3G (UMTS) uplink",
+    confidences: Sequence[float] = DEFAULT_CONFIDENCES,
+    context_schemes: Sequence[str] = ("Sprout-EWMA", "Cubic", "Vegas", "Skype"),
+    config: Optional[RunConfig] = None,
+) -> Figure9Data:
+    """Regenerate the confidence-parameter sweep of Figure 9."""
+    sweep: Dict[float, SchemeResult] = {}
+    for confidence in confidences:
+        spec = sprout_with_confidence(confidence)
+        sweep[confidence] = run_scheme_on_link(spec, link_name, config)
+    context = [
+        run_scheme_on_link(scheme, link_name, config) for scheme in context_schemes
+    ]
+    return Figure9Data(link=link_name, sweep=sweep, context=context)
+
+
+def render_figure9(data: Figure9Data) -> str:
+    """Plain-text rendering of the throughput/delay frontier."""
+    lines = [f"Figure 9 — confidence parameter sweep on {data.link}", ""]
+    lines.append(f"{'scheme':18s} {'tput (kbps)':>12s} {'delay (ms)':>12s}")
+    for result in data.frontier():
+        lines.append(
+            f"{result.scheme:18s} {result.throughput_kbps:12.0f} "
+            f"{result.self_inflicted_delay_ms:12.0f}"
+        )
+    for result in data.context:
+        lines.append(
+            f"{result.scheme:18s} {result.throughput_kbps:12.0f} "
+            f"{result.self_inflicted_delay_ms:12.0f}"
+        )
+    return "\n".join(lines)

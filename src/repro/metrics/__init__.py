@@ -1,0 +1,39 @@
+"""Evaluation metrics: throughput, delay, utilization (Section 5.1)."""
+
+from repro.metrics.delay import (
+    arrivals_from_log,
+    delay_signal_segments,
+    end_to_end_delay_95,
+    percentile_of_delay_signal,
+    self_inflicted_delay,
+)
+from repro.metrics.summary import (
+    RelativeComparison,
+    SchemeResult,
+    average_by_scheme,
+    format_results_table,
+    relative_to_reference,
+)
+from repro.metrics.throughput import (
+    average_throughput_bps,
+    link_capacity_bps,
+    received_bytes_in_window,
+    utilization,
+)
+
+__all__ = [
+    "arrivals_from_log",
+    "delay_signal_segments",
+    "end_to_end_delay_95",
+    "percentile_of_delay_signal",
+    "self_inflicted_delay",
+    "RelativeComparison",
+    "SchemeResult",
+    "average_by_scheme",
+    "format_results_table",
+    "relative_to_reference",
+    "average_throughput_bps",
+    "link_capacity_bps",
+    "received_bytes_in_window",
+    "utilization",
+]

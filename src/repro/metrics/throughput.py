@@ -1,0 +1,61 @@
+"""Throughput and utilization metrics (Section 5.1).
+
+Throughput is "the total number of bits received by an application, divided
+by the duration of the experiment"; utilization (Figure 8) is the fraction
+of the link's capacity — the bits the trace could have carried — that the
+scheme actually achieved.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Sequence, Tuple
+
+from repro.simulation.packet import Packet
+
+
+def received_bytes_in_window(
+    received_log: Iterable[Tuple[float, Packet]],
+    start_time: float,
+    end_time: float,
+) -> int:
+    """Total bytes delivered to a host within ``[start_time, end_time]``."""
+    total = 0
+    for arrival_time, packet in received_log:
+        if start_time <= arrival_time <= end_time:
+            total += packet.size
+    return total
+
+
+def average_throughput_bps(
+    received_log: Iterable[Tuple[float, Packet]],
+    start_time: float,
+    end_time: float,
+) -> float:
+    """Average received throughput in bits per second over the window."""
+    if end_time <= start_time:
+        raise ValueError("end_time must be after start_time")
+    total_bytes = received_bytes_in_window(received_log, start_time, end_time)
+    return total_bytes * 8.0 / (end_time - start_time)
+
+
+def link_capacity_bps(
+    delivery_times: Sequence[float],
+    start_time: float,
+    end_time: float,
+    mtu_bytes: int = 1500,
+) -> float:
+    """Capacity the trace offered during the window, in bits per second."""
+    if end_time <= start_time:
+        raise ValueError("end_time must be after start_time")
+    count = sum(1 for t in delivery_times if start_time <= t <= end_time)
+    return count * mtu_bytes * 8.0 / (end_time - start_time)
+
+
+def utilization(
+    throughput_bps: float,
+    capacity_bps: float,
+) -> float:
+    """Fraction of the link capacity achieved (0 when the link offered nothing)."""
+    if capacity_bps <= 0:
+        return 0.0
+    return min(1.0, throughput_bps / capacity_bps)

@@ -1,0 +1,39 @@
+"""Virtual clock for the discrete-event simulator."""
+
+from __future__ import annotations
+
+
+class Clock:
+    """A monotonically non-decreasing virtual clock measured in seconds.
+
+    The clock is advanced only by the event loop; components read it through
+    :meth:`now`.  Keeping the clock in its own object (rather than passing
+    bare floats everywhere) lets components hold a reference to the single
+    source of simulated time.
+    """
+
+    def __init__(self, start: float = 0.0) -> None:
+        if start < 0.0:
+            raise ValueError(f"clock cannot start at negative time: {start}")
+        self._now = float(start)
+
+    def now(self) -> float:
+        """Return the current simulated time in seconds."""
+        return self._now
+
+    def advance_to(self, t: float) -> None:
+        """Move the clock forward to ``t``.
+
+        Raises:
+            ValueError: if ``t`` is earlier than the current time.  The
+                simulator never travels backwards; a violation indicates an
+                event scheduled in the past.
+        """
+        if t < self._now:
+            raise ValueError(
+                f"cannot move clock backwards: now={self._now:.9f}, requested={t:.9f}"
+            )
+        self._now = float(t)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Clock(now={self._now:.6f})"

@@ -1,0 +1,50 @@
+"""Fixed propagation-delay element.
+
+Cellsim "takes in packets on two Ethernet interfaces, delays them for a
+configurable amount of time (the propagation delay), and adds them to the
+tail of a queue" (Section 4.2).  The paper measures about 20 ms of one-way
+propagation delay on its cellular links and runs all experiments with that
+value (40 ms minimum RTT); :data:`DEFAULT_PROPAGATION_DELAY` records it.
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+from repro.simulation.event_loop import EventLoop
+from repro.simulation.packet import Packet
+
+#: one-way propagation delay used throughout the paper's evaluation (20 ms)
+DEFAULT_PROPAGATION_DELAY = 0.020
+
+
+class DelayBox:
+    """Delays every packet by a fixed amount, preserving order.
+
+    Args:
+        loop: the event loop that provides time and scheduling.
+        delay: fixed one-way delay in seconds (non-negative).
+        deliver: callback receiving ``(packet, now)`` after the delay.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        delay: float,
+        deliver: Callable[[Packet, float], None],
+    ) -> None:
+        if delay < 0:
+            raise ValueError(f"propagation delay must be non-negative, got {delay}")
+        self._loop = loop
+        self.delay = delay
+        self._deliver = deliver
+        self.packets_in_flight = 0
+
+    def receive(self, packet: Packet, now: float) -> None:
+        """Accept a packet and schedule its delivery ``delay`` seconds later."""
+        self.packets_in_flight += 1
+        self._loop.schedule_after(self.delay, self._emit, packet)
+
+    def _emit(self, packet: Packet) -> None:
+        self.packets_in_flight -= 1
+        self._deliver(packet, self._loop.now())

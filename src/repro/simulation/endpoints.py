@@ -1,0 +1,141 @@
+"""Protocol endpoints and the host wrapper that connects them to a path.
+
+The experiment harness runs one *sender* protocol on one side of a duplex
+path and one *receiver* protocol on the other.  Protocols never talk to the
+event loop directly; they receive a :class:`HostContext` exposing exactly the
+operations they need (send a packet, read the clock, set timers), which keeps
+them easy to unit-test in isolation.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Callable, List, Optional, Tuple
+
+from repro.simulation.event_loop import EventLoop
+from repro.simulation.events import Event
+from repro.simulation.packet import Packet
+
+
+class HostContext:
+    """The facilities a :class:`Host` grants to its protocol."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        transmit: Callable[[Packet], None],
+        name: str,
+    ) -> None:
+        self._loop = loop
+        self._transmit = transmit
+        self.name = name
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    def now(self) -> float:
+        """Current simulated time in seconds."""
+        return self._loop.now()
+
+    def send(self, packet: Packet) -> None:
+        """Transmit ``packet`` towards the peer endpoint."""
+        packet.sent_at = self._loop.now()
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        self._transmit(packet)
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]) -> Event:
+        """Run ``callback`` after ``delay`` seconds of simulated time."""
+        return self._loop.schedule_after(delay, callback)
+
+
+class Protocol(ABC):
+    """Base class for every transport endpoint in the reproduction.
+
+    Subclasses set :attr:`tick_interval` (seconds) if they want a periodic
+    :meth:`on_tick` callback; Sprout uses the paper's 20 ms tick, the TCPs
+    use a coarser timer tick for RTO handling.
+    """
+
+    #: period of the on_tick callback; None disables ticking
+    tick_interval: Optional[float] = None
+
+    def start(self, ctx: HostContext) -> None:
+        """Called once when the host comes up; protocols store ``ctx`` here."""
+        self.ctx = ctx
+
+    @abstractmethod
+    def on_packet(self, packet: Packet, now: float) -> None:
+        """Called for every packet delivered to this endpoint."""
+
+    def on_tick(self, now: float) -> None:
+        """Periodic callback (only if :attr:`tick_interval` is set)."""
+
+    def stop(self, now: float) -> None:
+        """Called when the experiment ends; optional cleanup/statistics."""
+
+
+class Host:
+    """Runs a protocol endpoint attached to one side of a duplex path.
+
+    The host records every packet the protocol receives (with its delivery
+    time) so that the metrics layer can compute throughput and delay without
+    protocols having to cooperate.
+    """
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        protocol: Protocol,
+        transmit: Callable[[Packet], None],
+        name: str = "host",
+    ) -> None:
+        self._loop = loop
+        self.protocol = protocol
+        self.name = name
+        self.ctx = HostContext(loop, transmit, name)
+        #: (delivery_time, packet) for every packet delivered to this host
+        self.received_log: List[Tuple[float, Packet]] = []
+        self.bytes_received = 0
+        self._tick_event: Optional[Event] = None
+        self._running = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def start(self) -> None:
+        """Start the protocol and (if requested) its periodic tick."""
+        if self._running:
+            raise RuntimeError(f"host {self.name!r} already started")
+        self._running = True
+        self.protocol.start(self.ctx)
+        if self.protocol.tick_interval is not None:
+            self._schedule_tick()
+
+    def stop(self) -> None:
+        """Stop ticking and notify the protocol."""
+        if not self._running:
+            return
+        self._running = False
+        if self._tick_event is not None:
+            self._tick_event.cancel()
+            self._tick_event = None
+        self.protocol.stop(self._loop.now())
+
+    def _schedule_tick(self) -> None:
+        assert self.protocol.tick_interval is not None
+        self._tick_event = self._loop.schedule_after(self.protocol.tick_interval, self._tick)
+
+    def _tick(self) -> None:
+        if not self._running:
+            return
+        self.protocol.on_tick(self._loop.now())
+        self._schedule_tick()
+
+    # ------------------------------------------------------------- delivery
+
+    def deliver(self, packet: Packet, now: float) -> None:
+        """Entry point the path calls when a packet reaches this host."""
+        packet.delivered_at = now
+        self.received_log.append((now, packet))
+        self.bytes_received += packet.size
+        if self._running:
+            self.protocol.on_packet(packet, now)

@@ -1,0 +1,32 @@
+"""Event records used by the event loop."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Callable
+
+
+@dataclass(order=True)
+class Event:
+    """A single scheduled callback.
+
+    Events are ordered by ``(time, sequence)``.  The sequence number is a
+    monotonically increasing tiebreaker assigned by the event loop so that
+    events scheduled for the same instant fire in FIFO order, which keeps the
+    simulation deterministic.
+    """
+
+    time: float
+    sequence: int
+    callback: Callable[..., Any] = field(compare=False)
+    args: tuple = field(default=(), compare=False)
+    cancelled: bool = field(default=False, compare=False)
+
+    def cancel(self) -> None:
+        """Mark the event so the loop skips it when it comes due."""
+        self.cancelled = True
+
+    def fire(self) -> None:
+        """Invoke the callback unless the event has been cancelled."""
+        if not self.cancelled:
+            self.callback(*self.args)

@@ -1,0 +1,100 @@
+"""Multiplexing several protocol endpoints onto one side of a path.
+
+The competing-traffic experiments (Section 5.7) run two client flows — a TCP
+Cubic bulk download and a Skype call — over the *same* emulated cellular
+link.  :class:`MultiplexProtocol` makes that possible with the existing
+single-protocol hosts: it hosts several sub-protocols, forwards received
+packets to the owner of the packet's flow, and lets every sub-protocol send
+through the shared host.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+from repro.simulation.endpoints import HostContext, Protocol
+from repro.simulation.packet import Packet
+
+HEADER_MUX_FLOW = "mux_flow"
+
+
+class _SubContext(HostContext):
+    """Per-sub-protocol view of the shared host context."""
+
+    def __init__(self, parent: HostContext, flow: str) -> None:
+        super().__init__(parent._loop, parent._transmit, f"{parent.name}:{flow}")
+        self._parent = parent
+        self._flow = flow
+
+    def send(self, packet: Packet) -> None:
+        packet.headers[HEADER_MUX_FLOW] = self._flow
+        packet.flow_id = self._flow
+        self._parent.send(packet)
+
+
+class MultiplexProtocol(Protocol):
+    """Hosts several sub-protocols behind a single path endpoint.
+
+    Received packets are dispatched by their ``mux_flow`` header (falling
+    back to ``flow_id``); packets with an unknown flow are counted and
+    dropped rather than raising, because cross-traffic experiments routinely
+    carry flows that one endpoint does not terminate.
+    """
+
+    def __init__(self, flows: Dict[str, Protocol]) -> None:
+        if not flows:
+            raise ValueError("MultiplexProtocol needs at least one sub-protocol")
+        self.flows = dict(flows)
+        self.unclaimed_packets = 0
+        # The mux ticks at the finest granularity any sub-protocol needs.
+        intervals = [p.tick_interval for p in self.flows.values() if p.tick_interval]
+        self.tick_interval = min(intervals) if intervals else None
+        self._next_tick_due: Dict[str, float] = {}
+        #: per-flow received packet log: flow -> list of (time, packet)
+        self.received_by_flow: Dict[str, List[Tuple[float, Packet]]] = {
+            name: [] for name in self.flows
+        }
+
+    def start(self, ctx: HostContext) -> None:
+        super().start(ctx)
+        now = ctx.now()
+        for name, protocol in self.flows.items():
+            protocol.start(_SubContext(ctx, name))
+            if protocol.tick_interval is not None:
+                self._next_tick_due[name] = now + protocol.tick_interval
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        flow = packet.headers.get(HEADER_MUX_FLOW, packet.flow_id)
+        protocol = self._find_owner(flow)
+        if protocol is None:
+            self.unclaimed_packets += 1
+            return
+        owner_name = flow if flow in self.flows else self._owner_name(flow)
+        self.received_by_flow.setdefault(owner_name, []).append((now, packet))
+        protocol.on_packet(packet, now)
+
+    def _owner_name(self, flow: str) -> Optional[str]:
+        for name in self.flows:
+            if flow.startswith(name):
+                return name
+        return None
+
+    def _find_owner(self, flow: str) -> Optional[Protocol]:
+        if flow in self.flows:
+            return self.flows[flow]
+        name = self._owner_name(flow)
+        return self.flows[name] if name is not None else None
+
+    def on_tick(self, now: float) -> None:
+        for name, protocol in self.flows.items():
+            if protocol.tick_interval is None:
+                continue
+            due = self._next_tick_due.get(name, now)
+            while due <= now + 1e-12:
+                protocol.on_tick(now)
+                due += protocol.tick_interval
+            self._next_tick_due[name] = due
+
+    def stop(self, now: float) -> None:
+        for protocol in self.flows.values():
+            protocol.stop(now)

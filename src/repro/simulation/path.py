@@ -1,0 +1,181 @@
+"""Assembly of a full duplex emulated path (the reproduction's Cellsim).
+
+A :class:`OneWayPipe` models one direction of the cellular link exactly as
+Section 4.2 describes Cellsim: propagation delay, then an optional Bernoulli
+loss process at the queue tail, then the queue, released by the trace-driven
+link.  A :class:`DuplexPath` pairs two pipes (uplink and downlink) between
+two hosts.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+import numpy as np
+
+from repro.simulation.delay_box import DEFAULT_PROPAGATION_DELAY, DelayBox
+from repro.simulation.event_loop import EventLoop
+from repro.simulation.link import TraceDrivenLink
+from repro.simulation.packet import MTU_BYTES, Packet
+from repro.simulation.queues import CoDelQueue, DropTailQueue, Queue
+from repro.simulation.random import make_rng
+
+
+@dataclass
+class DuplexLinkConfig:
+    """Configuration of an emulated duplex cellular link.
+
+    Attributes:
+        forward_trace: delivery-opportunity times for the data direction.
+        reverse_trace: delivery-opportunity times for the feedback direction.
+        propagation_delay: one-way delay in seconds (20 ms in the paper).
+        loss_rate: Bernoulli drop probability applied independently in each
+            direction at the queue tail (Section 5.6); 0 disables loss.
+        use_codel: apply the CoDel AQM to both queues (Section 5.4).
+        queue_byte_limit: optional finite buffer size; None = deep buffer.
+        seed: seed for the loss process.
+        name: label used in reports.
+    """
+
+    forward_trace: Sequence[float]
+    reverse_trace: Sequence[float]
+    propagation_delay: float = DEFAULT_PROPAGATION_DELAY
+    loss_rate: float = 0.0
+    use_codel: bool = False
+    queue_byte_limit: Optional[int] = None
+    seed: Optional[int] = 0
+    name: str = "emulated-link"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.propagation_delay < 0:
+            raise ValueError("propagation_delay must be non-negative")
+
+
+class OneWayPipe:
+    """propagation delay -> [Bernoulli tail loss] -> queue -> trace link."""
+
+    def __init__(
+        self,
+        loop: EventLoop,
+        trace: Sequence[float],
+        deliver: Callable[[Packet, float], None],
+        propagation_delay: float = DEFAULT_PROPAGATION_DELAY,
+        loss_rate: float = 0.0,
+        use_codel: bool = False,
+        queue_byte_limit: Optional[int] = None,
+        rng: Optional[np.random.Generator] = None,
+        name: str = "pipe",
+    ) -> None:
+        self.name = name
+        self.loss_rate = loss_rate
+        self._rng = rng if rng is not None else make_rng(0, name)
+        self.packets_lost = 0
+        self.packets_offered = 0
+
+        queue: Queue
+        if use_codel:
+            queue = CoDelQueue(byte_limit=queue_byte_limit)
+        else:
+            queue = DropTailQueue(byte_limit=queue_byte_limit)
+        self.queue = queue
+
+        self.link = TraceDrivenLink(loop, trace, deliver, queue=queue)
+        self.delay_box = DelayBox(loop, propagation_delay, self._after_propagation)
+
+    # ---------------------------------------------------------------- entry
+
+    def send(self, packet: Packet, now: float) -> None:
+        """Inject a packet into this direction of the link."""
+        self.packets_offered += 1
+        self.delay_box.receive(packet, now)
+
+    def _after_propagation(self, packet: Packet, now: float) -> None:
+        if self.loss_rate > 0.0 and self._rng.random() < self.loss_rate:
+            packet.dropped = True
+            self.packets_lost += 1
+            return
+        self.link.receive(packet, now)
+
+    # ------------------------------------------------------------ telemetry
+
+    @property
+    def bytes_delivered(self) -> int:
+        return self.link.bytes_delivered
+
+    @property
+    def capacity_bytes(self) -> int:
+        """Bytes the link could have carried so far (every opportunity used)."""
+        return self.link.opportunities * self.link.bytes_per_opportunity
+
+
+class DuplexPath:
+    """Two hosts joined by an emulated duplex cellular link.
+
+    ``attach_a`` / ``attach_b`` register the delivery callbacks of the two
+    endpoints (normally :meth:`repro.simulation.endpoints.Host.deliver`).
+    Data sent with :meth:`send_from_a` traverses the *forward* pipe; data
+    sent with :meth:`send_from_b` traverses the *reverse* pipe.
+    """
+
+    def __init__(self, loop: EventLoop, config: DuplexLinkConfig) -> None:
+        self.loop = loop
+        self.config = config
+        self._deliver_to_b: Optional[Callable[[Packet, float], None]] = None
+        self._deliver_to_a: Optional[Callable[[Packet, float], None]] = None
+
+        rng_fwd = make_rng(config.seed, f"{config.name}-forward-loss")
+        rng_rev = make_rng(config.seed, f"{config.name}-reverse-loss")
+
+        self.forward = OneWayPipe(
+            loop,
+            config.forward_trace,
+            self._on_forward_delivery,
+            propagation_delay=config.propagation_delay,
+            loss_rate=config.loss_rate,
+            use_codel=config.use_codel,
+            queue_byte_limit=config.queue_byte_limit,
+            rng=rng_fwd,
+            name=f"{config.name}-forward",
+        )
+        self.reverse = OneWayPipe(
+            loop,
+            config.reverse_trace,
+            self._on_reverse_delivery,
+            propagation_delay=config.propagation_delay,
+            loss_rate=config.loss_rate,
+            use_codel=config.use_codel,
+            queue_byte_limit=config.queue_byte_limit,
+            rng=rng_rev,
+            name=f"{config.name}-reverse",
+        )
+
+    # ------------------------------------------------------------- wiring
+
+    def attach_a(self, deliver: Callable[[Packet, float], None]) -> None:
+        """Register the callback receiving packets addressed to endpoint A."""
+        self._deliver_to_a = deliver
+
+    def attach_b(self, deliver: Callable[[Packet, float], None]) -> None:
+        """Register the callback receiving packets addressed to endpoint B."""
+        self._deliver_to_b = deliver
+
+    def send_from_a(self, packet: Packet) -> None:
+        """Endpoint A transmits a packet towards endpoint B."""
+        self.forward.send(packet, self.loop.now())
+
+    def send_from_b(self, packet: Packet) -> None:
+        """Endpoint B transmits a packet towards endpoint A."""
+        self.reverse.send(packet, self.loop.now())
+
+    # ------------------------------------------------------------ delivery
+
+    def _on_forward_delivery(self, packet: Packet, now: float) -> None:
+        if self._deliver_to_b is not None:
+            self._deliver_to_b(packet, now)
+
+    def _on_reverse_delivery(self, packet: Packet, now: float) -> None:
+        if self._deliver_to_a is not None:
+            self._deliver_to_a(packet, now)

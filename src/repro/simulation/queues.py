@@ -1,0 +1,266 @@
+"""Queue disciplines for the bottleneck link.
+
+Two disciplines are provided:
+
+* :class:`DropTailQueue` — the default behaviour of the paper's Cellsim: an
+  (optionally bounded) FIFO that drops arriving packets when full.  Cellular
+  networks are modelled with a very deep (effectively unbounded) buffer,
+  which is what produces the "bufferbloat" delays the paper studies.
+* :class:`CoDelQueue` — the CoDel active-queue-management algorithm
+  (Nichols & Jacobson, ACM Queue 2012), following the published pseudocode.
+  The paper adds CoDel to Cellsim's uplink and downlink queues to compare
+  Sprout's end-to-end approach with an in-network deployment (Section 5.4).
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+from typing import Callable, Deque, List, Optional
+
+from repro.simulation.packet import Packet
+
+
+class Queue:
+    """Interface shared by all queue disciplines.
+
+    A queue holds packets between their arrival at the bottleneck (after the
+    propagation delay) and their release by the trace-driven link.  The link
+    calls :meth:`dequeue` once per packet it is able to deliver.
+    """
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        """Add ``packet`` to the queue.  Returns False if it was dropped."""
+        raise NotImplementedError
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        """Remove and return the next packet, or None if empty."""
+        raise NotImplementedError
+
+    def peek(self) -> Optional[Packet]:
+        """Return the head-of-line packet without removing it."""
+        raise NotImplementedError
+
+    def __len__(self) -> int:
+        raise NotImplementedError
+
+    def byte_length(self) -> int:
+        """Total bytes currently queued."""
+        raise NotImplementedError
+
+    def drop_from_head_of_longest(self) -> None:  # pragma: no cover - tunnel only
+        raise NotImplementedError
+
+
+class DropTailQueue(Queue):
+    """FIFO queue that drops arriving packets once a byte limit is reached.
+
+    Args:
+        byte_limit: maximum number of queued bytes; ``None`` means unbounded,
+            matching the deep buffers of the cellular networks in the paper.
+        on_drop: optional callback invoked with each dropped packet, used by
+            experiments that count losses.
+    """
+
+    def __init__(
+        self,
+        byte_limit: Optional[int] = None,
+        on_drop: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        if byte_limit is not None and byte_limit <= 0:
+            raise ValueError(f"byte_limit must be positive or None, got {byte_limit}")
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        self.byte_limit = byte_limit
+        self.on_drop = on_drop
+        self.drops = 0
+        self.enqueues = 0
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self.byte_limit is not None and self._bytes + packet.size > self.byte_limit:
+            packet.dropped = True
+            self.drops += 1
+            if self.on_drop is not None:
+                self.on_drop(packet)
+            return False
+        packet.enqueued_at = now
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.enqueues += 1
+        return True
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        if not self._queue:
+            return None
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        packet.dequeued_at = now
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def byte_length(self) -> int:
+        return self._bytes
+
+
+class CoDelQueue(Queue):
+    """CoDel ("controlled delay") active queue management.
+
+    Implementation of the dequeue-side algorithm from the CoDel pseudocode:
+    the sojourn time of each departing packet is compared with ``target``
+    (5 ms by default); once the sojourn time has stayed above the target for
+    an ``interval`` (100 ms by default) the queue enters the dropping state
+    and drops packets at increasing frequency (interval / sqrt(count)) until
+    the sojourn time falls below the target.
+    """
+
+    TARGET = 0.005
+    INTERVAL = 0.100
+    MAX_PACKET = 1500
+
+    def __init__(
+        self,
+        target: float = TARGET,
+        interval: float = INTERVAL,
+        byte_limit: Optional[int] = None,
+        on_drop: Optional[Callable[[Packet], None]] = None,
+    ) -> None:
+        if target <= 0 or interval <= 0:
+            raise ValueError("CoDel target and interval must be positive")
+        self._queue: Deque[Packet] = deque()
+        self._bytes = 0
+        self.target = target
+        self.interval = interval
+        self.byte_limit = byte_limit
+        self.on_drop = on_drop
+
+        # CoDel state machine
+        self._first_above_time = 0.0
+        self._drop_next = 0.0
+        self._count = 0
+        self._last_count = 0
+        self._dropping = False
+
+        self.drops = 0
+        self.enqueues = 0
+
+    # -------------------------------------------------------------- enqueue
+
+    def enqueue(self, packet: Packet, now: float) -> bool:
+        if self.byte_limit is not None and self._bytes + packet.size > self.byte_limit:
+            packet.dropped = True
+            self.drops += 1
+            if self.on_drop is not None:
+                self.on_drop(packet)
+            return False
+        packet.enqueued_at = now
+        self._queue.append(packet)
+        self._bytes += packet.size
+        self.enqueues += 1
+        return True
+
+    # -------------------------------------------------------------- dequeue
+
+    def _do_dequeue(self, now: float) -> tuple[Optional[Packet], bool]:
+        """Pop a packet and report whether its sojourn time is acceptable.
+
+        Returns ``(packet, ok_to_drop)`` following the pseudocode's
+        ``dodeque`` helper.  ``ok_to_drop`` is True when the sojourn time has
+        exceeded the target continuously for at least one interval.
+        """
+        if not self._queue:
+            self._first_above_time = 0.0
+            return None, False
+        packet = self._queue.popleft()
+        self._bytes -= packet.size
+        sojourn = now - (packet.enqueued_at if packet.enqueued_at is not None else now)
+        ok_to_drop = False
+        if sojourn < self.target or self._bytes <= self.MAX_PACKET:
+            # Went below target: leave the dropping-eligible state.
+            self._first_above_time = 0.0
+        else:
+            if self._first_above_time == 0.0:
+                self._first_above_time = now + self.interval
+            elif now >= self._first_above_time:
+                ok_to_drop = True
+        return packet, ok_to_drop
+
+    def _drop(self, packet: Packet) -> None:
+        packet.dropped = True
+        self.drops += 1
+        if self.on_drop is not None:
+            self.on_drop(packet)
+
+    def dequeue(self, now: float) -> Optional[Packet]:
+        packet, ok_to_drop = self._do_dequeue(now)
+        if packet is None:
+            self._dropping = False
+            return None
+
+        if self._dropping:
+            if not ok_to_drop:
+                self._dropping = False
+            else:
+                while self._dropping and now >= self._drop_next:
+                    self._drop(packet)
+                    self._count += 1
+                    packet, ok_to_drop = self._do_dequeue(now)
+                    if packet is None:
+                        self._dropping = False
+                        return None
+                    if not ok_to_drop:
+                        self._dropping = False
+                    else:
+                        self._drop_next = self._control_law(self._drop_next)
+        elif ok_to_drop and (
+            now - self._drop_next < self.interval
+            or now - self._first_above_time >= self.interval
+        ):
+            self._drop(packet)
+            self._count += 1
+            packet, ok_to_drop = self._do_dequeue(now)
+            if packet is None:
+                self._dropping = False
+                return None
+            self._dropping = True
+            # Start the next drop sooner if we were recently dropping.
+            if now - self._drop_next < self.interval:
+                self._count = self._count - self._last_count if self._count > 2 else 1
+            else:
+                self._count = 1
+            self._last_count = self._count
+            self._drop_next = self._control_law(now)
+
+        packet.dequeued_at = now
+        return packet
+
+    def _control_law(self, t: float) -> float:
+        return t + self.interval / math.sqrt(self._count)
+
+    # ------------------------------------------------------------ inspection
+
+    def peek(self) -> Optional[Packet]:
+        return self._queue[0] if self._queue else None
+
+    def __len__(self) -> int:
+        return len(self._queue)
+
+    def byte_length(self) -> int:
+        return self._bytes
+
+
+def drain(queue: Queue, now: float) -> List[Packet]:
+    """Remove and return every packet currently in ``queue``.
+
+    Utility used by tests and by the tunnel when tearing down flows.
+    """
+    packets: List[Packet] = []
+    while True:
+        packet = queue.dequeue(now)
+        if packet is None:
+            return packets
+        packets.append(packet)

@@ -1,0 +1,139 @@
+"""Trace analysis helpers (used to regenerate Figure 2 and sanity checks).
+
+Figure 2 of the paper shows the distribution of interarrival times of 1.2
+million MTU-sized packets on a saturated Verizon LTE downlink: the bulk fits
+a memoryless (Poisson) process, while the tail between 20 ms and several
+seconds is heavy, well described by a power law (the paper quotes
+:math:`t^{-3.27}`).  The helpers here compute the interarrival distribution,
+its survival function, and a maximum-likelihood (Hill) estimate of the tail
+exponent from a delivery trace.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+@dataclass
+class InterarrivalStats:
+    """Summary of a trace's interarrival distribution."""
+
+    count: int
+    mean: float
+    median: float
+    p99: float
+    p9999: float
+    max: float
+    tail_exponent: float
+    tail_fraction: float
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "mean_s": self.mean,
+            "median_s": self.median,
+            "p99_s": self.p99,
+            "p99.99_s": self.p9999,
+            "max_s": self.max,
+            "tail_exponent": self.tail_exponent,
+            "tail_fraction": self.tail_fraction,
+        }
+
+
+def interarrival_times(delivery_times: Sequence[float]) -> np.ndarray:
+    """Interarrival gaps (seconds) of a sorted delivery trace."""
+    times = np.asarray(sorted(delivery_times), dtype=float)
+    if times.size < 2:
+        return np.empty(0, dtype=float)
+    return np.diff(times)
+
+
+def interarrival_survival(
+    interarrivals: Sequence[float], thresholds: Sequence[float]
+) -> np.ndarray:
+    """Fraction of interarrivals strictly greater than each threshold.
+
+    This is the complementary CDF plotted (as a percentage, log-log) in
+    Figure 2.
+    """
+    gaps = np.asarray(interarrivals, dtype=float)
+    out = np.empty(len(thresholds), dtype=float)
+    if gaps.size == 0:
+        out.fill(0.0)
+        return out
+    for i, threshold in enumerate(thresholds):
+        out[i] = float(np.mean(gaps > threshold))
+    return out
+
+
+def fit_powerlaw_tail(
+    interarrivals: Sequence[float], tail_start: float = 0.020
+) -> Tuple[float, float]:
+    """Estimate the power-law exponent of the interarrival tail.
+
+    Uses the Hill maximum-likelihood estimator on gaps larger than
+    ``tail_start`` (20 ms by default, the point at which the paper says the
+    distribution departs from memoryless behaviour).
+
+    Returns:
+        ``(exponent, tail_fraction)`` where ``exponent`` is the probability
+        density's power-law exponent alpha (density ~ t^-alpha) and
+        ``tail_fraction`` is the fraction of samples in the tail.  The
+        exponent is ``nan`` when fewer than 10 samples lie in the tail.
+    """
+    gaps = np.asarray(interarrivals, dtype=float)
+    tail = gaps[gaps > tail_start]
+    if tail.size < 10:
+        return float("nan"), float(tail.size) / max(gaps.size, 1)
+    # Hill estimator for the survival exponent; density exponent is +1.
+    hill = tail.size / np.sum(np.log(tail / tail_start))
+    alpha = 1.0 + float(hill)
+    return alpha, float(tail.size) / gaps.size
+
+
+def interarrival_stats(
+    delivery_times: Sequence[float], tail_start: float = 0.020
+) -> InterarrivalStats:
+    """Full interarrival summary for a trace."""
+    gaps = interarrival_times(delivery_times)
+    if gaps.size == 0:
+        return InterarrivalStats(0, 0.0, 0.0, 0.0, 0.0, 0.0, float("nan"), 0.0)
+    exponent, tail_fraction = fit_powerlaw_tail(gaps, tail_start)
+    return InterarrivalStats(
+        count=int(gaps.size),
+        mean=float(np.mean(gaps)),
+        median=float(np.median(gaps)),
+        p99=float(np.percentile(gaps, 99)),
+        p9999=float(np.percentile(gaps, 99.99)),
+        max=float(np.max(gaps)),
+        tail_exponent=exponent,
+        tail_fraction=tail_fraction,
+    )
+
+
+def capacity_timeseries(
+    delivery_times: Sequence[float],
+    bin_width: float = 1.0,
+    mtu_bytes: int = 1500,
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Link capacity over time.
+
+    Returns ``(bin_centers, kbps)`` where each bin of ``bin_width`` seconds
+    reports the capacity (in kbit/s) the trace offered during that bin.  This
+    is the "Capacity" series of Figure 1.
+    """
+    if bin_width <= 0:
+        raise ValueError("bin_width must be positive")
+    times = np.asarray(sorted(delivery_times), dtype=float)
+    if times.size == 0:
+        return np.empty(0), np.empty(0)
+    duration = times[-1]
+    n_bins = max(1, int(np.ceil(duration / bin_width)))
+    edges = np.arange(0, (n_bins + 1) * bin_width, bin_width)
+    counts, _ = np.histogram(times, bins=edges)
+    kbps = counts * mtu_bytes * 8.0 / bin_width / 1000.0
+    centers = (edges[:-1] + edges[1:]) / 2.0
+    return centers, kbps

@@ -1,0 +1,76 @@
+"""On-disk format for delivery-opportunity traces.
+
+The format is the one popularised by the paper's Cellsim and its successor
+mahimahi: a plain text file with one non-negative integer per line, the time
+in *milliseconds* at which the link can deliver one MTU-sized packet.
+Repeated timestamps mean several opportunities in the same millisecond.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence, Union
+
+PathLike = Union[str, os.PathLike]
+
+
+def write_trace(path: PathLike, delivery_times: Sequence[float]) -> None:
+    """Write delivery times (seconds) to ``path`` in milliseconds, sorted.
+
+    Raises:
+        ValueError: if any delivery time is negative.
+    """
+    times_ms: List[int] = []
+    for t in delivery_times:
+        if t < 0:
+            raise ValueError(f"delivery times must be non-negative, got {t}")
+        times_ms.append(int(round(t * 1000.0)))
+    times_ms.sort()
+    with open(path, "w", encoding="ascii") as f:
+        for ms in times_ms:
+            f.write(f"{ms}\n")
+
+
+def read_trace(path: PathLike) -> List[float]:
+    """Read a trace file and return delivery times in seconds, sorted.
+
+    Blank lines and lines starting with ``#`` are ignored so traces may be
+    annotated by hand.
+
+    Raises:
+        ValueError: if a line is not a non-negative integer.
+    """
+    times: List[float] = []
+    with open(path, "r", encoding="ascii") as f:
+        for lineno, raw in enumerate(f, start=1):
+            line = raw.strip()
+            if not line or line.startswith("#"):
+                continue
+            try:
+                ms = int(line)
+            except ValueError as exc:
+                raise ValueError(
+                    f"{path}:{lineno}: expected an integer millisecond timestamp, got {line!r}"
+                ) from exc
+            if ms < 0:
+                raise ValueError(f"{path}:{lineno}: negative timestamp {ms}")
+            times.append(ms / 1000.0)
+    times.sort()
+    return times
+
+
+def trace_duration(delivery_times: Iterable[float]) -> float:
+    """Duration covered by a trace: the time of its last opportunity."""
+    last = 0.0
+    for t in delivery_times:
+        if t > last:
+            last = t
+    return last
+
+
+def trace_mean_rate(delivery_times: Sequence[float], mtu_bytes: int = 1500) -> float:
+    """Average capacity of a trace in bits per second."""
+    duration = trace_duration(delivery_times)
+    if duration <= 0:
+        return 0.0
+    return len(delivery_times) * mtu_bytes * 8.0 / duration

@@ -1,0 +1,24 @@
+"""SproutTunnel: per-flow queues over a Sprout connection (Section 4.3)."""
+
+from repro.tunnel.flow_queue import FlowQueue, FlowQueueSet
+from repro.tunnel.scheduler import RoundRobinScheduler
+from repro.tunnel.tunnel import (
+    HEADER_TUNNEL_FLOW,
+    HEADER_TUNNEL_PAYLOAD,
+    SproutTunnel,
+    TunnelEgress,
+    TunnelIngress,
+    make_tunnel,
+)
+
+__all__ = [
+    "FlowQueue",
+    "FlowQueueSet",
+    "RoundRobinScheduler",
+    "SproutTunnel",
+    "TunnelEgress",
+    "TunnelIngress",
+    "make_tunnel",
+    "HEADER_TUNNEL_FLOW",
+    "HEADER_TUNNEL_PAYLOAD",
+]

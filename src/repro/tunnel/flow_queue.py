@@ -1,0 +1,114 @@
+"""Per-flow queues for SproutTunnel (Section 4.3).
+
+SproutTunnel "separates each flow into its own queue, and fill[s] up the
+Sprout window in round-robin fashion among the flows that have pending
+data.  The total queue length of all flows is limited to the receiver's most
+recent estimate of the number of packets that can be delivered over the life
+of the forecast.  When the queue lengths exceed this value, the tunnel
+endpoints drop packets from the head of the longest queue."
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional
+
+from repro.simulation.packet import Packet
+
+
+class FlowQueue:
+    """A FIFO of client packets belonging to one tunnelled flow."""
+
+    def __init__(self, flow_id: str) -> None:
+        self.flow_id = flow_id
+        self._packets: Deque[Packet] = deque()
+        self._bytes = 0
+        self.enqueued = 0
+        self.dropped = 0
+
+    def push(self, packet: Packet) -> None:
+        self._packets.append(packet)
+        self._bytes += packet.size
+        self.enqueued += 1
+
+    def pop(self) -> Optional[Packet]:
+        if not self._packets:
+            return None
+        packet = self._packets.popleft()
+        self._bytes -= packet.size
+        return packet
+
+    def drop_head(self) -> Optional[Packet]:
+        """Remove the head-of-line packet as a deliberate drop."""
+        packet = self.pop()
+        if packet is not None:
+            packet.dropped = True
+            self.dropped += 1
+        return packet
+
+    def peek(self) -> Optional[Packet]:
+        return self._packets[0] if self._packets else None
+
+    @property
+    def byte_length(self) -> int:
+        return self._bytes
+
+    def __len__(self) -> int:
+        return len(self._packets)
+
+
+class FlowQueueSet:
+    """All of a tunnel endpoint's per-flow queues plus the shared byte limit."""
+
+    def __init__(self) -> None:
+        self._queues: Dict[str, FlowQueue] = {}
+        self.total_limit_bytes: Optional[int] = None
+        self.dropped_for_limit = 0
+
+    # --------------------------------------------------------------- queues
+
+    def queue_for(self, flow_id: str) -> FlowQueue:
+        """Get (or lazily create) the queue of ``flow_id``."""
+        if flow_id not in self._queues:
+            self._queues[flow_id] = FlowQueue(flow_id)
+        return self._queues[flow_id]
+
+    def flows(self) -> List[str]:
+        return list(self._queues.keys())
+
+    @property
+    def total_bytes(self) -> int:
+        return sum(q.byte_length for q in self._queues.values())
+
+    @property
+    def total_packets(self) -> int:
+        return sum(len(q) for q in self._queues.values())
+
+    def pending_flows(self) -> List[str]:
+        """Flows that currently have queued packets, in insertion order."""
+        return [name for name, q in self._queues.items() if len(q) > 0]
+
+    # ------------------------------------------------------------ admission
+
+    def set_limit(self, limit_bytes: Optional[int]) -> None:
+        """Update the shared queue limit (the forecast's deliverable bytes)."""
+        if limit_bytes is not None and limit_bytes < 0:
+            raise ValueError("queue limit must be non-negative")
+        self.total_limit_bytes = limit_bytes
+
+    def enqueue(self, flow_id: str, packet: Packet) -> None:
+        """Add a client packet, enforcing the shared limit by head drops.
+
+        The paper's tunnel drops from the *head of the longest queue* when
+        the total exceeds the forecast-derived limit, which keeps newly
+        arriving interactive packets and penalises the flow responsible for
+        the backlog (the bulk transfer).
+        """
+        self.queue_for(flow_id).push(packet)
+        if self.total_limit_bytes is None:
+            return
+        while self.total_bytes > self.total_limit_bytes and self.total_packets > 1:
+            longest = max(self._queues.values(), key=lambda q: q.byte_length)
+            if longest.drop_head() is None:  # pragma: no cover - defensive
+                break
+            self.dropped_for_limit += 1

@@ -1,0 +1,58 @@
+"""Round-robin window filling for SproutTunnel (Section 4.3)."""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.simulation.packet import Packet
+from repro.tunnel.flow_queue import FlowQueueSet
+
+
+class RoundRobinScheduler:
+    """Fills a byte budget from the per-flow queues, one packet per turn.
+
+    The scheduler remembers where the previous round stopped so that no flow
+    is systematically favoured, which is what gives interactive flows their
+    fair share of the Sprout window alongside a bulk transfer.
+    """
+
+    def __init__(self, queues: FlowQueueSet) -> None:
+        self.queues = queues
+        self._next_index = 0
+
+    def take(self, budget_bytes: int) -> List[Packet]:
+        """Remove packets from the queues, round-robin, up to ``budget_bytes``.
+
+        A flow whose head-of-line packet does not fit in the remaining
+        budget is skipped this round (its packet stays queued); the round
+        ends when no pending flow can contribute another packet.
+        """
+        if budget_bytes <= 0:
+            return []
+        taken: List[Packet] = []
+        remaining = budget_bytes
+
+        while remaining > 0:
+            pending = self.queues.pending_flows()
+            if not pending:
+                break
+            progressed = False
+            # Start each sweep from the rotation point.
+            start = self._next_index % len(pending)
+            order = pending[start:] + pending[:start]
+            for flow_id in order:
+                queue = self.queues.queue_for(flow_id)
+                head = queue.peek()
+                if head is None or head.size > remaining:
+                    continue
+                packet = queue.pop()
+                assert packet is not None
+                taken.append(packet)
+                remaining -= packet.size
+                progressed = True
+                self._next_index += 1
+                if remaining <= 0:
+                    break
+            if not progressed:
+                break
+        return taken

@@ -1,0 +1,159 @@
+"""SproutTunnel: carrying arbitrary client traffic over Sprout (Section 4.3).
+
+The tunnel gives each client flow "the abstraction of a low-delay
+connection, without modifying carrier equipment": client packets entering
+the tunnel are placed in per-flow queues at the ingress, the Sprout window
+is filled from those queues in round-robin order, and the total amount of
+queued data is capped at the receiver's most recent forecast of how much the
+link can deliver over the forecast horizon — excess is dropped from the head
+of the longest queue, which acts as a dynamic traffic shaper.
+
+The tunnel here carries client traffic in the data direction (the direction
+under test); client feedback (TCP ACKs, videoconference receiver reports)
+returns over the same emulated link's reverse direction alongside Sprout's
+own forecast feedback.  This matches the paper's downlink experiment, where
+the uplink is lightly loaded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from repro.core.connection import SproutConfig
+from repro.core.forecaster import BayesianForecaster, EWMAForecaster
+from repro.core.packets import parse_data_header
+from repro.core.receiver import SproutReceiver
+from repro.core.sender import SproutSender
+from repro.simulation.endpoints import HostContext, Protocol
+from repro.simulation.packet import Packet
+from repro.tunnel.flow_queue import FlowQueueSet
+from repro.tunnel.scheduler import RoundRobinScheduler
+
+HEADER_TUNNEL_PAYLOAD = "tunnel_payload"
+HEADER_TUNNEL_FLOW = "tunnel_flow"
+
+
+class TunnelIngress:
+    """Sender-side tunnel endpoint: per-flow queues feeding the Sprout window."""
+
+    def __init__(self, config: Optional[SproutConfig] = None) -> None:
+        self.config = config if config is not None else SproutConfig()
+        self.queues = FlowQueueSet()
+        self.scheduler = RoundRobinScheduler(self.queues)
+        if self.config.use_ewma:
+            forecaster = EWMAForecaster(alpha=self.config.ewma_alpha)
+        else:
+            forecaster = BayesianForecaster(confidence=self.config.confidence)
+        self.receiver_forecaster = forecaster
+        self.sprout_sender = SproutSender(
+            lookahead_ticks=self.config.lookahead_ticks,
+            tick_interval=self.config.tick_interval,
+            heartbeat_interval=self.config.heartbeat_interval,
+            bootstrap_packets_per_tick=self.config.bootstrap_packets_per_tick,
+            packet_source=self._fill_window,
+            flow_id="sprout-tunnel",
+        )
+        self.accepted = 0
+
+    # ------------------------------------------------------- client ingress
+
+    def accept(self, flow_id: str, packet: Packet) -> None:
+        """A client packet enters the tunnel."""
+        self.accepted += 1
+        packet.headers[HEADER_TUNNEL_FLOW] = flow_id
+        self.queues.enqueue(flow_id, packet)
+        self._update_queue_limit()
+
+    #: lower bound on the shared queue limit (bytes).  A forecast of zero
+    #: (e.g. right after an outage) must not strangle the tunnel completely,
+    #: or Sprout would have nothing to send and no way to relearn the rate.
+    MIN_QUEUE_LIMIT_BYTES = 2 * 1500
+
+    def _update_queue_limit(self) -> None:
+        forecast = self.sprout_sender._forecast
+        if forecast is None:
+            return
+        # "The total queue length of all flows is limited to the receiver's
+        # most recent estimate of the number of packets that can be
+        # delivered over the life of the forecast."
+        limit = int(float(np.max(forecast)))
+        self.queues.set_limit(max(limit, self.MIN_QUEUE_LIMIT_BYTES))
+
+    # ----------------------------------------------------- window provider
+
+    def _fill_window(self, now: float, budget_bytes: int) -> List[Packet]:
+        self._update_queue_limit()
+        return self.scheduler.take(budget_bytes)
+
+
+class TunnelEgress(SproutReceiver):
+    """Receiver-side tunnel endpoint: unwraps client packets and delivers them.
+
+    It behaves exactly like a Sprout receiver (inference, forecasts,
+    feedback) and additionally hands each tunnelled client packet to the
+    callback registered for its flow.
+    """
+
+    def __init__(self, config: Optional[SproutConfig] = None) -> None:
+        cfg = config if config is not None else SproutConfig()
+        if cfg.use_ewma:
+            forecaster = EWMAForecaster(alpha=cfg.ewma_alpha)
+        else:
+            forecaster = BayesianForecaster(confidence=cfg.confidence)
+        super().__init__(
+            forecaster=forecaster,
+            feedback_interval_ticks=cfg.feedback_interval_ticks,
+            flow_id="sprout-tunnel",
+        )
+        self._flow_handlers: Dict[str, Callable[[Packet, float], None]] = {}
+        #: (time, flow, packet) for every delivered client packet
+        self.delivered_log: List[Tuple[float, str, Packet]] = []
+
+    def register_flow(self, flow_id: str, handler: Callable[[Packet, float], None]) -> None:
+        """Register the local delivery callback for one client flow."""
+        self._flow_handlers[flow_id] = handler
+
+    def on_packet(self, packet: Packet, now: float) -> None:
+        super().on_packet(packet, now)
+        if parse_data_header(packet) is None:
+            return
+        flow = packet.headers.get(HEADER_TUNNEL_FLOW)
+        if flow is None:
+            return  # a bootstrap filler or heartbeat, nothing to unwrap
+        self.delivered_log.append((now, flow, packet))
+        handler = self._flow_handlers.get(flow)
+        if handler is not None:
+            handler(packet, now)
+
+
+@dataclass
+class SproutTunnel:
+    """The full tunnel: ingress (with its Sprout sender) and egress."""
+
+    ingress: TunnelIngress
+    egress: TunnelEgress
+    config: SproutConfig = field(default_factory=SproutConfig)
+
+    @property
+    def sender_protocol(self) -> SproutSender:
+        """The protocol to attach to the sending side of the emulated link."""
+        return self.ingress.sprout_sender
+
+    @property
+    def receiver_protocol(self) -> TunnelEgress:
+        """The protocol to attach to the receiving side of the emulated link."""
+        return self.egress
+
+    @property
+    def dropped_for_limit(self) -> int:
+        """Client packets dropped by the tunnel's dynamic queue management."""
+        return self.ingress.queues.dropped_for_limit
+
+
+def make_tunnel(config: Optional[SproutConfig] = None) -> SproutTunnel:
+    """Build a SproutTunnel with the given Sprout configuration."""
+    cfg = config if config is not None else SproutConfig()
+    return SproutTunnel(ingress=TunnelIngress(cfg), egress=TunnelEgress(cfg), config=cfg)

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+Full experiment runs are comparatively expensive (a Sprout run over a 60 s
+trace takes a few seconds), so integration-level fixtures use short traces
+and are session-scoped: the same measured results are reused by every test
+that inspects them.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.rate_model import RateModel, shared_rate_model
+from repro.experiments.runner import RunConfig, run_scheme_on_link
+from repro.traces.channel import ChannelConfig
+from repro.traces.networks import get_link, link_trace
+from repro.traces.synthetic import generate_trace
+
+
+@pytest.fixture(scope="session")
+def rate_model() -> RateModel:
+    """The paper-default rate model (shared; construction costs ~1 s)."""
+    return shared_rate_model()
+
+
+@pytest.fixture(scope="session")
+def short_run_config() -> RunConfig:
+    """A short but meaningful experiment window used by integration tests."""
+    return RunConfig(duration=20.0, warmup=5.0)
+
+
+@pytest.fixture(scope="session")
+def lte_downlink_trace():
+    """A 20-second Verizon-LTE-downlink delivery trace."""
+    return link_trace(get_link("Verizon LTE downlink"), 20.0)
+
+
+@pytest.fixture(scope="session")
+def steady_channel_config() -> ChannelConfig:
+    """A low-variability channel used when tests need predictable capacity."""
+    return ChannelConfig(
+        mean_rate=200.0,
+        volatility=5.0,
+        outage_rate=0.0,
+        fade_depth=0.0,
+    )
+
+
+@pytest.fixture(scope="session")
+def steady_trace(steady_channel_config):
+    """A 20-second trace of the steady channel (about 200 pkt/s)."""
+    return generate_trace(steady_channel_config, 20.0, seed=7)
+
+
+@pytest.fixture(scope="session")
+def sprout_lte_result(short_run_config):
+    """Sprout measured on the Verizon LTE downlink (shared across tests)."""
+    return run_scheme_on_link("Sprout", "Verizon LTE downlink", short_run_config)
+
+
+@pytest.fixture(scope="session")
+def cubic_lte_result(short_run_config):
+    """TCP Cubic measured on the Verizon LTE downlink (shared across tests)."""
+    return run_scheme_on_link("Cubic", "Verizon LTE downlink", short_run_config)
+
+
+@pytest.fixture(scope="session")
+def skype_lte_result(short_run_config):
+    """The Skype model measured on the Verizon LTE downlink (shared)."""
+    return run_scheme_on_link("Skype", "Verizon LTE downlink", short_run_config)

@@ -1,0 +1,80 @@
+"""Tests for trace analysis (interarrivals, capacity, tail fit)."""
+
+import numpy as np
+import pytest
+
+from repro.traces.analysis import (
+    capacity_timeseries,
+    fit_powerlaw_tail,
+    interarrival_stats,
+    interarrival_survival,
+    interarrival_times,
+)
+
+
+def test_interarrival_times_simple():
+    gaps = interarrival_times([0.0, 0.1, 0.3, 0.6])
+    assert np.allclose(gaps, [0.1, 0.2, 0.3])
+
+
+def test_interarrival_times_unsorted_input():
+    gaps = interarrival_times([0.6, 0.0, 0.3, 0.1])
+    assert np.allclose(gaps, [0.1, 0.2, 0.3])
+
+
+def test_interarrival_times_too_few_points():
+    assert interarrival_times([1.0]).size == 0
+    assert interarrival_times([]).size == 0
+
+
+def test_survival_fractions():
+    gaps = [0.001, 0.002, 0.010, 0.100]
+    survival = interarrival_survival(gaps, [0.0015, 0.005, 0.05, 1.0])
+    assert np.allclose(survival, [0.75, 0.5, 0.25, 0.0])
+
+
+def test_survival_of_empty_gaps_is_zero():
+    assert np.all(interarrival_survival([], [0.1, 0.2]) == 0.0)
+
+
+def test_powerlaw_fit_recovers_known_exponent():
+    rng = np.random.default_rng(0)
+    # Pareto tail with density exponent alpha = 3.0 above x_min = 0.02.
+    alpha = 3.0
+    samples = 0.02 * (1.0 + rng.pareto(alpha - 1.0, size=200_000))
+    exponent, fraction = fit_powerlaw_tail(samples, tail_start=0.02)
+    assert exponent == pytest.approx(alpha, rel=0.05)
+    assert fraction == pytest.approx(1.0)
+
+
+def test_powerlaw_fit_with_tiny_tail_returns_nan():
+    exponent, fraction = fit_powerlaw_tail([0.001] * 100, tail_start=0.02)
+    assert np.isnan(exponent)
+    assert fraction == 0.0
+
+
+def test_interarrival_stats_fields():
+    rng = np.random.default_rng(1)
+    times = np.cumsum(rng.exponential(0.002, size=20_000))
+    stats = interarrival_stats(times)
+    assert stats.count == 20_000 - 1
+    assert stats.mean == pytest.approx(0.002, rel=0.05)
+    assert stats.p99 > stats.median
+
+
+def test_capacity_timeseries_constant_rate():
+    # 100 opportunities per second for 10 seconds.
+    times = [i / 100 for i in range(1, 1001)]
+    centers, kbps = capacity_timeseries(times, bin_width=1.0)
+    assert len(centers) == len(kbps) == 10
+    assert np.allclose(kbps, 100 * 1500 * 8 / 1000, rtol=0.02)
+
+
+def test_capacity_timeseries_empty():
+    centers, kbps = capacity_timeseries([])
+    assert centers.size == 0 and kbps.size == 0
+
+
+def test_capacity_timeseries_rejects_bad_bin():
+    with pytest.raises(ValueError):
+        capacity_timeseries([1.0], bin_width=0.0)

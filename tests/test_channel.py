@@ -1,0 +1,102 @@
+"""Tests for the doubly-stochastic channel model."""
+
+import numpy as np
+import pytest
+
+from repro.traces.channel import CellularChannel, ChannelConfig
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        ChannelConfig(mean_rate=0.0, volatility=10.0)
+    with pytest.raises(ValueError):
+        ChannelConfig(mean_rate=100.0, volatility=-1.0)
+    with pytest.raises(ValueError):
+        ChannelConfig(mean_rate=100.0, volatility=10.0, fade_depth=1.5)
+    with pytest.raises(ValueError):
+        ChannelConfig(mean_rate=100.0, volatility=10.0, max_rate=50.0)
+
+
+def test_rate_process_length_and_bounds():
+    config = ChannelConfig(mean_rate=200.0, volatility=50.0)
+    channel = CellularChannel(config, seed=1)
+    rates = channel.rate_process(10.0)
+    assert len(rates) == int(np.ceil(10.0 / config.time_step))
+    assert np.all(rates >= 0.0)
+    assert np.all(rates <= config.max_rate)
+
+
+def test_mean_rate_roughly_matches_config():
+    config = ChannelConfig(
+        mean_rate=300.0, volatility=20.0, outage_rate=0.0, fade_depth=0.0
+    )
+    channel = CellularChannel(config, seed=2)
+    rates = channel.rate_process(120.0)
+    assert np.mean(rates) == pytest.approx(300.0, rel=0.15)
+
+
+def test_higher_volatility_gives_more_variable_rates():
+    calm = CellularChannel(
+        ChannelConfig(mean_rate=300.0, volatility=10.0, outage_rate=0.0, fade_depth=0.0),
+        seed=3,
+    ).rate_process(60.0)
+    wild = CellularChannel(
+        ChannelConfig(mean_rate=300.0, volatility=200.0, outage_rate=0.0, fade_depth=0.0),
+        seed=3,
+    ).rate_process(60.0)
+    assert np.std(wild) > np.std(calm)
+
+
+def test_outages_produce_zero_rate_periods():
+    config = ChannelConfig(
+        mean_rate=300.0, volatility=10.0, outage_rate=0.5, outage_escape_rate=1.0,
+        fade_depth=0.0,
+    )
+    rates = CellularChannel(config, seed=4).rate_process(60.0)
+    assert np.sum(rates == 0.0) > 0
+
+
+def test_no_outages_when_rate_is_zero():
+    config = ChannelConfig(
+        mean_rate=300.0, volatility=10.0, outage_rate=0.0, fade_depth=0.0
+    )
+    rates = CellularChannel(config, seed=5).rate_process(60.0)
+    # The mean-reverting walk essentially never reaches exactly zero.
+    assert np.sum(rates == 0.0) == 0
+
+
+def test_delivery_times_sorted_and_within_duration():
+    config = ChannelConfig(mean_rate=200.0, volatility=50.0)
+    channel = CellularChannel(config, seed=6)
+    times = channel.delivery_times(30.0)
+    assert times == sorted(times)
+    assert times[0] >= 0.0
+    assert times[-1] <= 30.0 + config.time_step
+
+
+def test_delivery_count_tracks_rate():
+    config = ChannelConfig(
+        mean_rate=100.0, volatility=5.0, outage_rate=0.0, fade_depth=0.0
+    )
+    times = CellularChannel(config, seed=7).delivery_times(60.0)
+    assert len(times) == pytest.approx(100.0 * 60.0, rel=0.15)
+
+
+def test_same_seed_reproducible():
+    config = ChannelConfig(mean_rate=150.0, volatility=60.0)
+    a = CellularChannel(config, seed=42).delivery_times(10.0)
+    b = CellularChannel(config, seed=42).delivery_times(10.0)
+    assert a == b
+
+
+def test_different_seeds_differ():
+    config = ChannelConfig(mean_rate=150.0, volatility=60.0)
+    a = CellularChannel(config, seed=1).delivery_times(10.0)
+    b = CellularChannel(config, seed=2).delivery_times(10.0)
+    assert a != b
+
+
+def test_rejects_non_positive_duration():
+    channel = CellularChannel(ChannelConfig(mean_rate=100.0, volatility=10.0))
+    with pytest.raises(ValueError):
+        channel.rate_process(0.0)

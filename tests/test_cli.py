@@ -1,0 +1,58 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.traces.format import read_trace
+
+
+def test_parser_knows_all_commands():
+    parser = build_parser()
+    for command in ("run", "figure", "table", "report", "trace", "list"):
+        args = parser.parse_args([command] + _minimal_args(command))
+        assert args.command == command
+
+
+def _minimal_args(command):
+    return {
+        "run": ["Sprout", "Verizon LTE downlink"],
+        "figure": ["1"],
+        "table": ["intro"],
+        "report": [],
+        "trace": ["Verizon LTE downlink", "/tmp/ignored.txt"],
+        "list": [],
+    }[command]
+
+
+def test_list_command(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "Sprout" in out
+    assert "Verizon LTE downlink" in out
+
+
+def test_run_command_prints_metrics(capsys):
+    code = main(["run", "Vegas", "AT&T LTE uplink", "--duration", "12", "--warmup", "3"])
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "throughput" in out
+    assert "self-inflicted delay" in out
+
+
+def test_trace_command_writes_file(tmp_path, capsys):
+    path = tmp_path / "trace.txt"
+    code = main(["trace", "AT&T LTE uplink", str(path), "--duration", "10"])
+    assert code == 0
+    trace = read_trace(path)
+    assert len(trace) > 50
+    assert trace == sorted(trace)
+
+
+def test_unknown_figure_number_fails(capsys):
+    code = main(["figure", "3", "--duration", "10", "--warmup", "2"])
+    assert code == 2
+
+
+def test_unknown_scheme_rejected_by_argparse():
+    with pytest.raises(SystemExit):
+        main(["run", "QUIC", "Verizon LTE downlink"])

@@ -1,0 +1,32 @@
+"""Tests for the virtual clock."""
+
+import pytest
+
+from repro.simulation.clock import Clock
+
+
+def test_clock_starts_at_zero_by_default():
+    assert Clock().now() == 0.0
+
+
+def test_clock_starts_at_given_time():
+    assert Clock(5.5).now() == 5.5
+
+
+def test_clock_rejects_negative_start():
+    with pytest.raises(ValueError):
+        Clock(-1.0)
+
+
+def test_clock_advances_forward():
+    clock = Clock()
+    clock.advance_to(1.25)
+    assert clock.now() == 1.25
+    clock.advance_to(1.25)  # advancing to the same instant is allowed
+    assert clock.now() == 1.25
+
+
+def test_clock_rejects_backward_motion():
+    clock = Clock(10.0)
+    with pytest.raises(ValueError):
+        clock.advance_to(9.999)

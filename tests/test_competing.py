@@ -1,0 +1,59 @@
+"""Tests for the competing-traffic (SproutTunnel) experiment of Section 5.7."""
+
+import pytest
+
+from repro.experiments.competing import (
+    render_competing,
+    run_competing_comparison,
+    run_direct,
+    run_tunnelled,
+)
+
+
+@pytest.fixture(scope="module")
+def comparison():
+    return run_competing_comparison(duration=30.0, warmup=8.0)
+
+
+def test_direct_run_reports_both_flows():
+    result = run_direct(duration=20.0, warmup=5.0)
+    assert set(result.flows) == {"cubic", "skype"}
+    assert result.flows["cubic"].throughput_bps > 0
+    assert result.flows["skype"].throughput_bps > 0
+
+
+def test_tunnelled_run_reports_both_flows():
+    result = run_tunnelled(duration=20.0, warmup=5.0)
+    assert set(result.flows) == {"cubic", "skype"}
+    assert result.flows["cubic"].throughput_bps > 0
+    assert result.flows["skype"].throughput_bps > 0
+    assert result.mode == "sprout-tunnel"
+
+
+def test_tunnel_isolates_skype_from_cubic(comparison):
+    """The paper's headline: Skype's delay collapses once tunnelled."""
+    direct_delay = comparison.direct.flows["skype"].delay_95_s
+    tunnel_delay = comparison.tunnelled.flows["skype"].delay_95_s
+    assert tunnel_delay < direct_delay
+    # The reduction is dramatic (-97% in the paper); require at least 2x.
+    assert tunnel_delay < 0.5 * direct_delay
+
+
+def test_tunnel_costs_cubic_some_throughput(comparison):
+    direct = comparison.direct.flows["cubic"].throughput_bps
+    tunnelled = comparison.tunnelled.flows["cubic"].throughput_bps
+    assert tunnelled < direct
+
+
+def test_tunnel_drop_policy_engaged(comparison):
+    # Cubic overruns the forecast-derived limit, so the tunnel's dynamic
+    # queue management must have dropped bulk packets.
+    assert comparison.tunnelled.tunnel_drops > 0
+
+
+def test_change_percent_and_render(comparison):
+    change = comparison.change_percent("skype", "delay_95_s")
+    assert change < 0
+    text = render_competing(comparison)
+    assert "Cubic throughput" in text
+    assert "Skype 95% delay" in text

@@ -1,0 +1,215 @@
+"""Tests for the congestion-control algorithms (Reno, Cubic, Vegas, Compound, LEDBAT)."""
+
+import pytest
+
+from repro.baselines.compound import CompoundSender
+from repro.baselines.cubic import CubicSender
+from repro.baselines.ledbat import LedbatSender
+from repro.baselines.reno import RenoSender
+from repro.baselines.vegas import VegasSender
+
+
+class FakeCtx:
+    def __init__(self):
+        self.sent = []
+        self.time = 0.0
+        self.name = "fake"
+
+    def now(self):
+        return self.time
+
+    def send(self, packet):
+        packet.sent_at = self.time
+        self.sent.append(packet)
+
+
+def _prime(sender, rtt=0.05):
+    """Start the sender and give it an initial RTT estimate."""
+    ctx = FakeCtx()
+    sender.start(ctx)
+    sender.rtt.update(rtt)
+    return ctx
+
+
+class TestReno:
+    def test_slow_start_doubles_per_window(self):
+        sender = RenoSender(initial_cwnd=2)
+        _prime(sender)
+        sender.on_ack(2, 0.05, 1.0)
+        assert sender.cwnd == pytest.approx(4.0)
+
+    def test_congestion_avoidance_linear(self):
+        sender = RenoSender(initial_cwnd=10)
+        _prime(sender)
+        sender.ssthresh = 5.0
+        before = sender.cwnd
+        sender.on_ack(1, 0.05, 1.0)
+        assert sender.cwnd == pytest.approx(before + 1.0 / before)
+
+    def test_loss_halves_window(self):
+        sender = RenoSender(initial_cwnd=20)
+        _prime(sender)
+        sender.on_loss(1.0)
+        assert sender.cwnd == pytest.approx(10.0)
+        assert sender.ssthresh == pytest.approx(10.0)
+
+    def test_timeout_resets_to_one(self):
+        sender = RenoSender(initial_cwnd=20)
+        _prime(sender)
+        sender.on_timeout(1.0)
+        assert sender.cwnd == 1.0
+
+
+class TestCubic:
+    def test_slow_start_growth(self):
+        sender = CubicSender(initial_cwnd=2)
+        _prime(sender)
+        sender.on_ack(2, 0.05, 1.0)
+        assert sender.cwnd == pytest.approx(4.0)
+
+    def test_multiplicative_decrease_uses_beta(self):
+        sender = CubicSender(initial_cwnd=100)
+        _prime(sender)
+        sender.on_loss(1.0)
+        assert sender.cwnd == pytest.approx(70.0)
+        assert sender.w_max == pytest.approx(100.0)
+
+    def test_fast_convergence_lowers_w_max_on_repeated_loss(self):
+        sender = CubicSender(initial_cwnd=100)
+        _prime(sender)
+        sender.on_loss(1.0)
+        first_w_max = sender.w_max
+        sender.on_loss(2.0)
+        assert sender.w_max < first_w_max
+
+    def test_window_grows_towards_cubic_target_after_loss(self):
+        sender = CubicSender(initial_cwnd=100)
+        _prime(sender)
+        sender.ssthresh = 1.0  # force congestion-avoidance mode
+        sender.on_loss(1.0)
+        window_after_loss = sender.cwnd
+        now = 1.0
+        for i in range(2000):
+            now += 0.01
+            sender.on_ack(1, 0.05, now)
+        # Well past K the cubic function exceeds the old maximum.
+        assert sender.cwnd > window_after_loss
+        assert sender.cwnd > sender.w_max * 0.9
+
+    def test_timeout_resets_window(self):
+        sender = CubicSender(initial_cwnd=50)
+        _prime(sender)
+        sender.on_timeout(1.0)
+        assert sender.cwnd == 1.0
+
+
+class TestVegas:
+    def test_holds_window_inside_alpha_beta_band(self):
+        sender = VegasSender(initial_cwnd=30)
+        _prime(sender, rtt=0.1)
+        sender.in_slow_start = False
+        # base RTT 0.1; actual RTT chosen so ~3 segments sit queued
+        # (between alpha=2 and beta=4): expected - actual backlog = 3.
+        rtt = 0.1 * 30 / (30 - 3)
+        before = sender.cwnd
+        sender.on_ack(1, rtt, 1.0)
+        assert sender.cwnd == pytest.approx(before)
+
+    def test_grows_when_backlog_below_alpha(self):
+        sender = VegasSender(initial_cwnd=30)
+        _prime(sender, rtt=0.1)
+        sender.in_slow_start = False
+        before = sender.cwnd
+        sender.on_ack(1, 0.1, 1.0)  # no queueing at all
+        assert sender.cwnd > before
+
+    def test_shrinks_when_backlog_above_beta(self):
+        sender = VegasSender(initial_cwnd=30)
+        _prime(sender, rtt=0.1)
+        sender.in_slow_start = False
+        before = sender.cwnd
+        rtt = 0.1 * 30 / (30 - 10)  # ~10 segments queued
+        sender.on_ack(1, rtt, 1.0)
+        assert sender.cwnd < before
+
+    def test_leaves_slow_start_when_queue_builds(self):
+        sender = VegasSender(initial_cwnd=10)
+        _prime(sender, rtt=0.1)
+        assert sender.in_slow_start
+        rtt = 0.1 * 10 / (10 - 5)
+        sender.on_ack(1, rtt, 1.0)
+        assert not sender.in_slow_start
+
+
+class TestCompound:
+    def test_effective_window_includes_delay_component(self):
+        sender = CompoundSender(initial_cwnd=10)
+        _prime(sender, rtt=0.1)
+        sender.ssthresh = 1.0
+        sender.dwnd = 5.0
+        assert sender.effective_window() == pytest.approx(sender.cwnd + 5.0)
+
+    def test_delay_window_grows_on_short_queues(self):
+        sender = CompoundSender(initial_cwnd=20)
+        _prime(sender, rtt=0.1)
+        sender.ssthresh = 1.0
+        sender.on_ack(1, 0.1, 1.0)  # no queueing
+        assert sender.dwnd > 0.0
+
+    def test_delay_window_retreats_when_queues_build(self):
+        sender = CompoundSender(initial_cwnd=100)
+        _prime(sender, rtt=0.1)
+        sender.ssthresh = 1.0
+        sender.dwnd = 50.0
+        rtt = 0.1 * 150 / (150 - 60)  # ~60 segments queued > gamma
+        sender.on_ack(1, rtt, 1.0)
+        assert sender.dwnd < 50.0
+
+    def test_loss_halves_loss_window(self):
+        sender = CompoundSender(initial_cwnd=40)
+        _prime(sender)
+        sender.on_loss(1.0)
+        assert sender.cwnd == pytest.approx(20.0)
+
+
+class TestLedbat:
+    def test_grows_when_queueing_delay_below_target(self):
+        sender = LedbatSender(initial_cwnd=10)
+        _prime(sender)
+        sender.on_delay_sample(0.02, 1.0)
+        sender.on_delay_sample(0.03, 1.1)  # 10 ms of queueing, target is 100 ms
+        before = sender.cwnd
+        sender.on_ack(1, 0.05, 1.2)
+        assert sender.cwnd > before
+
+    def test_shrinks_when_queueing_delay_exceeds_target(self):
+        sender = LedbatSender(initial_cwnd=10)
+        _prime(sender)
+        sender.on_delay_sample(0.02, 1.0)
+        sender.on_delay_sample(0.32, 1.1)  # 300 ms of queueing
+        before = sender.cwnd
+        sender.on_ack(1, 0.4, 1.2)
+        assert sender.cwnd < before
+
+    def test_base_delay_tracks_minimum(self):
+        sender = LedbatSender()
+        _prime(sender)
+        sender.on_delay_sample(0.05, 1.0)
+        sender.on_delay_sample(0.02, 2.0)
+        sender.on_delay_sample(0.09, 3.0)
+        assert sender._latest_queueing_delay == pytest.approx(0.07)
+
+    def test_loss_halves_window(self):
+        sender = LedbatSender(initial_cwnd=16)
+        _prime(sender)
+        sender.on_loss(1.0)
+        assert sender.cwnd == pytest.approx(8.0)
+
+    def test_window_never_below_two(self):
+        sender = LedbatSender(initial_cwnd=2)
+        _prime(sender)
+        sender.on_delay_sample(0.02, 1.0)
+        sender.on_delay_sample(0.52, 1.1)
+        for _ in range(50):
+            sender.on_ack(1, 0.6, 2.0)
+        assert sender.cwnd >= 2.0

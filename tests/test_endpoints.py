@@ -1,0 +1,116 @@
+"""Tests for protocol hosts and contexts."""
+
+import pytest
+
+from repro.simulation.endpoints import Host, Protocol
+from repro.simulation.event_loop import EventLoop
+from repro.simulation.packet import Packet
+
+
+class EchoProtocol(Protocol):
+    """Test protocol: records deliveries and echoes every third packet."""
+
+    tick_interval = 0.1
+
+    def __init__(self):
+        self.received = []
+        self.ticks = 0
+        self.stopped_at = None
+
+    def on_packet(self, packet, now):
+        self.received.append((now, packet))
+
+    def on_tick(self, now):
+        self.ticks += 1
+
+    def stop(self, now):
+        self.stopped_at = now
+
+
+def test_host_starts_protocol_and_ticks():
+    loop = EventLoop()
+    protocol = EchoProtocol()
+    host = Host(loop, protocol, transmit=lambda p: None)
+    host.start()
+    loop.run_until(1.05)
+    assert protocol.ticks == 10
+
+
+def test_host_stop_cancels_ticks_and_notifies():
+    loop = EventLoop()
+    protocol = EchoProtocol()
+    host = Host(loop, protocol, transmit=lambda p: None)
+    host.start()
+    loop.run_until(0.35)
+    host.stop()
+    loop.run_until(1.0)
+    assert protocol.ticks == 3
+    assert protocol.stopped_at == pytest.approx(0.35)
+
+
+def test_host_cannot_start_twice():
+    loop = EventLoop()
+    host = Host(loop, EchoProtocol(), transmit=lambda p: None)
+    host.start()
+    with pytest.raises(RuntimeError):
+        host.start()
+
+
+def test_deliver_records_and_forwards():
+    loop = EventLoop()
+    protocol = EchoProtocol()
+    host = Host(loop, protocol, transmit=lambda p: None)
+    host.start()
+    packet = Packet(size=500)
+    host.deliver(packet, 1.0)
+    assert host.bytes_received == 500
+    assert len(host.received_log) == 1
+    assert protocol.received[0][1] is packet
+    assert packet.delivered_at == 1.0
+
+
+def test_deliver_after_stop_is_logged_but_not_forwarded():
+    loop = EventLoop()
+    protocol = EchoProtocol()
+    host = Host(loop, protocol, transmit=lambda p: None)
+    host.start()
+    host.stop()
+    host.deliver(Packet(), 2.0)
+    assert len(host.received_log) == 1
+    assert protocol.received == []
+
+
+def test_context_send_stamps_time_and_counts():
+    loop = EventLoop()
+    sent = []
+    protocol = EchoProtocol()
+    host = Host(loop, protocol, transmit=sent.append)
+    host.start()
+    loop.run_until(0.5)
+    packet = Packet(size=100)
+    host.ctx.send(packet)
+    assert sent == [packet]
+    assert packet.sent_at == pytest.approx(0.5)
+    assert host.ctx.bytes_sent == 100
+    assert host.ctx.packets_sent == 1
+
+
+def test_protocol_without_tick_interval_never_ticks():
+    class Quiet(Protocol):
+        tick_interval = None
+
+        def __init__(self):
+            self.ticks = 0
+
+        def on_packet(self, packet, now):
+            pass
+
+        def on_tick(self, now):
+            self.ticks += 1
+
+    loop = EventLoop()
+    protocol = Quiet()
+    host = Host(loop, protocol, transmit=lambda p: None)
+    host.start()
+    loop.run_until(5.0)
+    assert protocol.ticks == 0

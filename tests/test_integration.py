@@ -1,0 +1,98 @@
+"""End-to-end integration tests reproducing the paper's qualitative claims.
+
+These are the assertions that make the reproduction meaningful: not exact
+numbers (our substrate is a simulator and the traces are synthetic), but the
+ordering relationships the paper reports — who wins on delay, who wins on
+throughput, and where the trade-offs lie.
+"""
+
+import pytest
+
+from repro.experiments.runner import run_scheme_on_link
+
+
+class TestSproutVersusSkype:
+    """Headline claim: Sprout has several-fold lower delay than Skype."""
+
+    def test_sprout_delay_far_below_skype(self, sprout_lte_result, skype_lte_result):
+        assert (
+            sprout_lte_result.self_inflicted_delay_s
+            < 0.5 * skype_lte_result.self_inflicted_delay_s
+        )
+
+    def test_sprout_throughput_at_least_comparable_to_skype(
+        self, sprout_lte_result, skype_lte_result
+    ):
+        assert sprout_lte_result.throughput_bps > 0.8 * skype_lte_result.throughput_bps
+
+    def test_skype_builds_standing_queues(self, skype_lte_result):
+        # Section 2.2: Skype's overshoot produces multi-hundred-ms (often
+        # multi-second) standing queues.
+        assert skype_lte_result.self_inflicted_delay_s > 0.5
+
+
+class TestSproutVersusCubic:
+    """Sprout trades some throughput for dramatically lower delay."""
+
+    def test_sprout_delay_far_below_cubic(self, sprout_lte_result, cubic_lte_result):
+        assert (
+            sprout_lte_result.self_inflicted_delay_s
+            < 0.5 * cubic_lte_result.self_inflicted_delay_s
+        )
+
+    def test_cubic_achieves_high_utilization(self, cubic_lte_result):
+        assert cubic_lte_result.utilization > 0.7
+
+    def test_sprout_keeps_delay_near_interactivity_target(self, sprout_lte_result):
+        # The design target is 95% of packets within 100 ms of queueing; the
+        # end-to-end self-inflicted delay should be of that order, far from
+        # the multi-second queues of the reactive schemes.
+        assert sprout_lte_result.self_inflicted_delay_s < 0.4
+
+
+class TestSproutEwmaTradeoff:
+    """Section 5.3: Sprout-EWMA gets more throughput but more delay."""
+
+    @pytest.fixture(scope="class")
+    def ewma_result(self, short_run_config):
+        return run_scheme_on_link("Sprout-EWMA", "Verizon LTE downlink", short_run_config)
+
+    def test_ewma_throughput_higher(self, ewma_result, sprout_lte_result):
+        assert ewma_result.throughput_bps > sprout_lte_result.throughput_bps
+
+    def test_sprout_delay_lower(self, ewma_result, sprout_lte_result):
+        assert sprout_lte_result.self_inflicted_delay_s <= ewma_result.self_inflicted_delay_s
+
+    def test_ewma_beats_cubic_on_delay(self, ewma_result, cubic_lte_result):
+        assert ewma_result.self_inflicted_delay_s < cubic_lte_result.self_inflicted_delay_s
+
+
+class TestCoDelComparison:
+    """Section 5.4: CoDel sharply reduces Cubic's delay at some throughput cost."""
+
+    @pytest.fixture(scope="class")
+    def codel_result(self, short_run_config):
+        return run_scheme_on_link("Cubic-CoDel", "Verizon LTE downlink", short_run_config)
+
+    def test_codel_cuts_cubic_delay(self, codel_result, cubic_lte_result):
+        assert codel_result.self_inflicted_delay_s < cubic_lte_result.self_inflicted_delay_s
+
+    def test_sprout_delay_competitive_with_codel(self, sprout_lte_result, codel_result):
+        # The paper's architectural claim: the end-to-end scheme matches or
+        # beats the in-network deployment on delay.
+        assert sprout_lte_result.self_inflicted_delay_s <= 1.2 * codel_result.self_inflicted_delay_s
+
+
+class TestAcrossLinks:
+    def test_sprout_keeps_low_delay_on_a_slow_3g_link(self, short_run_config):
+        result = run_scheme_on_link(
+            "Sprout", "Verizon 3G (1xEV-DO) downlink", short_run_config
+        )
+        assert result.self_inflicted_delay_s < 0.5
+        assert result.throughput_bps > 0
+
+    def test_vegas_sits_between_sprout_and_cubic_on_delay(
+        self, short_run_config, sprout_lte_result, cubic_lte_result
+    ):
+        vegas = run_scheme_on_link("Vegas", "Verizon LTE downlink", short_run_config)
+        assert vegas.self_inflicted_delay_s < cubic_lte_result.self_inflicted_delay_s

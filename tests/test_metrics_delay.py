@@ -1,0 +1,108 @@
+"""Tests for the delay metrics (Section 5.1 definitions)."""
+
+import math
+
+import pytest
+
+from repro.metrics.delay import (
+    arrivals_from_log,
+    delay_signal_segments,
+    end_to_end_delay_95,
+    percentile_of_delay_signal,
+    self_inflicted_delay,
+)
+from repro.simulation.packet import Packet
+
+
+def test_constant_delay_stream():
+    # A packet arrives every 100 ms, each having taken exactly 50 ms.
+    arrivals = [(0.1 * i, 0.1 * i - 0.05) for i in range(1, 101)]
+    p95 = percentile_of_delay_signal(arrivals, start_time=0.0, end_time=10.0)
+    # Between arrivals the delay ramps from 50 ms to 150 ms; the 95th
+    # percentile of that sawtooth is 145 ms.
+    assert p95 == pytest.approx(0.145, abs=0.01)
+
+
+def test_back_to_back_arrivals_give_delay_close_to_one_way_delay():
+    arrivals = [(0.001 * i, 0.001 * i - 0.02) for i in range(1, 10001)]
+    p95 = percentile_of_delay_signal(arrivals, start_time=0.0, end_time=10.0)
+    assert p95 == pytest.approx(0.021, abs=0.002)
+
+
+def test_outage_inflates_percentile():
+    arrivals = [(0.01 * i, 0.01 * i - 0.02) for i in range(1, 901)]
+    # ... then nothing for 5 seconds, then arrivals resume.
+    arrivals += [(9.0 + 5.0 + 0.01 * i, 14.0 + 0.01 * i - 0.02) for i in range(1, 101)]
+    p95 = percentile_of_delay_signal(arrivals, start_time=0.0, end_time=15.0)
+    # A 5 s gap in a 15 s window occupies a third of the time, so the 95th
+    # percentile lands well inside the gap's ramp.
+    assert p95 > 3.0
+
+
+def test_reordered_older_packet_does_not_reduce_delay():
+    arrivals = [
+        (1.0, 0.9),   # delay 100 ms
+        (1.5, 0.7),   # an *older* packet arriving late: must not help
+        (2.0, 1.9),
+    ]
+    segments = delay_signal_segments(arrivals, start_time=0.0, end_time=2.5)
+    # Only two segments: [1.0, 2.0) anchored at send 0.9 and [2.0, 2.5)
+    # anchored at send 1.9.
+    assert len(segments) == 2
+    assert segments[0][0] == pytest.approx(0.1)
+    assert segments[0][1] == pytest.approx(1.0)
+    assert segments[1][0] == pytest.approx(0.1)
+
+
+def test_percentile_requires_valid_range():
+    with pytest.raises(ValueError):
+        percentile_of_delay_signal([(1.0, 0.9)], start_time=0.0, end_time=2.0, percentile=0.0)
+    with pytest.raises(ValueError):
+        delay_signal_segments([], start_time=1.0, end_time=1.0)
+
+
+def test_no_arrivals_gives_nan():
+    assert math.isnan(percentile_of_delay_signal([], start_time=0.0, end_time=1.0))
+
+
+def test_arrivals_outside_window_ignored():
+    arrivals = [(20.0, 19.9)]
+    assert math.isnan(percentile_of_delay_signal(arrivals, start_time=0.0, end_time=10.0))
+
+
+def test_end_to_end_delay_95_is_95th_percentile():
+    arrivals = [(0.1 * i, 0.1 * i - 0.05) for i in range(1, 101)]
+    assert end_to_end_delay_95(arrivals, 0.0, 10.0) == pytest.approx(
+        percentile_of_delay_signal(arrivals, 0.0, 10.0, 95.0)
+    )
+
+
+def test_median_lower_than_95th():
+    arrivals = [(0.1 * i, 0.1 * i - 0.05) for i in range(1, 101)]
+    p50 = percentile_of_delay_signal(arrivals, 0.0, 10.0, percentile=50.0)
+    p95 = percentile_of_delay_signal(arrivals, 0.0, 10.0, percentile=95.0)
+    assert p50 < p95
+
+
+def test_self_inflicted_delay_subtracts_omniscient():
+    assert self_inflicted_delay(0.5, 0.1) == pytest.approx(0.4)
+    assert self_inflicted_delay(0.1, 0.5) == 0.0
+    assert math.isnan(self_inflicted_delay(float("nan"), 0.1))
+
+
+def test_arrivals_from_log_extracts_timestamps():
+    packet = Packet()
+    packet.sent_at = 1.0
+    log = [(1.5, packet), (2.0, Packet())]  # the second has no sent_at
+    arrivals = arrivals_from_log(log)
+    assert arrivals == [(1.5, 1.0)]
+
+
+def test_arrivals_from_log_can_exclude_control_packets():
+    small = Packet(size=60)
+    small.sent_at = 1.0
+    big = Packet(size=1500)
+    big.sent_at = 1.1
+    log = [(1.5, small), (1.6, big)]
+    assert len(arrivals_from_log(log, include_control=False)) == 1
+    assert len(arrivals_from_log(log, include_control=True)) == 2

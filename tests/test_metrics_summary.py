@@ -1,0 +1,81 @@
+"""Tests for result records and cross-link aggregation."""
+
+import pytest
+
+from repro.metrics.summary import (
+    SchemeResult,
+    average_by_scheme,
+    format_results_table,
+    relative_to_reference,
+)
+
+
+def _result(scheme, link, tput_kbps, delay_ms, util=0.5):
+    return SchemeResult(
+        scheme=scheme,
+        link=link,
+        throughput_bps=tput_kbps * 1000.0,
+        delay_95_s=delay_ms / 1000.0 + 0.05,
+        self_inflicted_delay_s=delay_ms / 1000.0,
+        utilization=util,
+    )
+
+
+def test_scheme_result_properties():
+    result = _result("Sprout", "link", 4700, 73)
+    assert result.throughput_kbps == pytest.approx(4700)
+    assert result.self_inflicted_delay_ms == pytest.approx(73)
+    data = result.as_dict()
+    assert data["scheme"] == "Sprout"
+    assert data["throughput_kbps"] == pytest.approx(4700)
+
+
+def test_relative_to_reference_matches_hand_computation():
+    results = [
+        _result("Sprout", "a", 1000, 100),
+        _result("Sprout", "b", 2000, 200),
+        _result("Skype", "a", 500, 800),
+        _result("Skype", "b", 500, 1800),
+    ]
+    comparisons = {c.scheme: c for c in relative_to_reference(results, "Sprout")}
+    skype = comparisons["Skype"]
+    # Speedup: mean of (1000/500, 2000/500) = 3.0
+    assert skype.speedup == pytest.approx(3.0)
+    # Delay ratio: mean of (0.8/0.1, 1.8/0.2) = 8.5
+    assert skype.delay_reduction == pytest.approx(8.5)
+    sprout = comparisons["Sprout"]
+    assert sprout.speedup == pytest.approx(1.0)
+    assert sprout.delay_reduction == pytest.approx(1.0)
+
+
+def test_relative_to_reference_skips_links_without_reference():
+    results = [
+        _result("Sprout", "a", 1000, 100),
+        _result("Cubic", "a", 900, 2500),
+        _result("Cubic", "b", 900, 2500),  # no Sprout run on link b
+    ]
+    cubic = {c.scheme: c for c in relative_to_reference(results, "Sprout")}["Cubic"]
+    assert cubic.speedup == pytest.approx(1000 / 900)
+
+
+def test_relative_to_reference_unknown_reference_raises():
+    with pytest.raises(KeyError):
+        relative_to_reference([_result("Cubic", "a", 1, 1)], "Sprout")
+
+
+def test_average_by_scheme():
+    results = [
+        _result("Sprout", "a", 1000, 100, util=0.6),
+        _result("Sprout", "b", 3000, 300, util=0.4),
+    ]
+    averages = average_by_scheme(results)["Sprout"]
+    assert averages["mean_utilization"] == pytest.approx(0.5)
+    assert averages["mean_self_inflicted_delay_s"] == pytest.approx(0.2)
+    assert averages["links"] == 2
+
+
+def test_format_results_table_contains_all_rows():
+    results = [_result("Sprout", "a", 1000, 100), _result("Cubic", "a", 2000, 5000)]
+    table = format_results_table(results)
+    assert "Sprout" in table and "Cubic" in table
+    assert "tput" in table

@@ -1,0 +1,49 @@
+"""Tests for throughput and utilization metrics."""
+
+import pytest
+
+from repro.metrics.throughput import (
+    average_throughput_bps,
+    link_capacity_bps,
+    received_bytes_in_window,
+    utilization,
+)
+from repro.simulation.packet import Packet
+
+
+def _log(entries):
+    return [(t, Packet(size=size)) for t, size in entries]
+
+
+def test_received_bytes_in_window():
+    log = _log([(1.0, 100), (2.0, 200), (3.0, 400), (10.0, 800)])
+    assert received_bytes_in_window(log, 1.5, 5.0) == 600
+    assert received_bytes_in_window(log, 0.0, 20.0) == 1500
+    assert received_bytes_in_window(log, 4.0, 9.0) == 0
+
+
+def test_average_throughput():
+    log = _log([(t, 1500) for t in range(1, 11)])
+    assert average_throughput_bps(log, 0.0, 10.0) == pytest.approx(1500 * 10 * 8 / 10.0)
+
+
+def test_average_throughput_rejects_empty_window():
+    with pytest.raises(ValueError):
+        average_throughput_bps([], 5.0, 5.0)
+
+
+def test_link_capacity_counts_opportunities_in_window():
+    trace = [0.5, 1.0, 1.5, 2.0, 9.0]
+    capacity = link_capacity_bps(trace, 0.0, 2.0)
+    assert capacity == pytest.approx(4 * 1500 * 8 / 2.0)
+
+
+def test_link_capacity_rejects_empty_window():
+    with pytest.raises(ValueError):
+        link_capacity_bps([1.0], 2.0, 2.0)
+
+
+def test_utilization_fraction_and_bounds():
+    assert utilization(500.0, 1000.0) == pytest.approx(0.5)
+    assert utilization(2000.0, 1000.0) == 1.0  # clamped
+    assert utilization(100.0, 0.0) == 0.0

@@ -1,0 +1,92 @@
+"""Tests for the multiplexing protocol wrapper."""
+
+import pytest
+
+from repro.simulation.endpoints import Host, Protocol
+from repro.simulation.event_loop import EventLoop
+from repro.simulation.mux import HEADER_MUX_FLOW, MultiplexProtocol
+from repro.simulation.packet import Packet
+
+
+class Recorder(Protocol):
+    tick_interval = 0.05
+
+    def __init__(self):
+        self.packets = []
+        self.ticks = 0
+        self.sent = []
+
+    def start(self, ctx):
+        super().start(ctx)
+
+    def on_packet(self, packet, now):
+        self.packets.append(packet)
+
+    def on_tick(self, now):
+        self.ticks += 1
+
+
+def _build(flows):
+    loop = EventLoop()
+    mux = MultiplexProtocol(flows)
+    sent = []
+    host = Host(loop, mux, transmit=sent.append)
+    host.start()
+    return loop, mux, host, sent
+
+
+def test_requires_at_least_one_flow():
+    with pytest.raises(ValueError):
+        MultiplexProtocol({})
+
+
+def test_dispatch_by_mux_flow_header():
+    a, b = Recorder(), Recorder()
+    loop, mux, host, _ = _build({"a": a, "b": b})
+    host.deliver(Packet(headers={HEADER_MUX_FLOW: "b"}), 0.0)
+    assert b.packets and not a.packets
+
+
+def test_dispatch_falls_back_to_flow_id_prefix():
+    a = Recorder()
+    loop, mux, host, _ = _build({"alpha": a})
+    host.deliver(Packet(flow_id="alpha-ack"), 0.0)
+    assert len(a.packets) == 1
+
+
+def test_unknown_flow_counted_not_raised():
+    a = Recorder()
+    loop, mux, host, _ = _build({"a": a})
+    host.deliver(Packet(flow_id="zzz"), 0.0)
+    assert mux.unclaimed_packets == 1
+    assert a.packets == []
+
+
+def test_sub_protocol_sends_are_tagged():
+    a = Recorder()
+    loop, mux, host, sent = _build({"a": a})
+    packet = Packet()
+    a.ctx.send(packet)
+    assert sent == [packet]
+    assert packet.headers[HEADER_MUX_FLOW] == "a"
+    assert packet.flow_id == "a"
+
+
+def test_sub_protocols_tick_at_their_own_rate():
+    fast, slow = Recorder(), Recorder()
+    fast.tick_interval = 0.05
+    slow.tick_interval = 0.2
+    loop, mux, host, _ = _build({"fast": fast, "slow": slow})
+    loop.run_until(1.0)
+    assert fast.ticks == pytest.approx(20, abs=2)
+    assert slow.ticks == pytest.approx(5, abs=1)
+
+
+def test_received_by_flow_log():
+    a, b = Recorder(), Recorder()
+    loop, mux, host, _ = _build({"a": a, "b": b})
+    host.deliver(Packet(flow_id="a"), 0.0)
+    host.deliver(Packet(flow_id="a"), 0.1)
+    host.deliver(Packet(flow_id="b"), 0.2)
+    assert len(mux.received_by_flow["a"]) == 2
+    assert len(mux.received_by_flow["b"]) == 1

@@ -1,0 +1,78 @@
+"""Tests for the per-network presets."""
+
+import pytest
+
+from repro.traces.format import trace_mean_rate
+from repro.traces.networks import (
+    NETWORKS,
+    get_link,
+    get_network,
+    link_names,
+    link_trace,
+    network_names,
+)
+
+
+def test_four_networks_eight_links():
+    assert len(network_names()) == 4
+    assert len(link_names()) == 8
+
+
+def test_paper_networks_present():
+    for name in ("Verizon LTE", "Verizon 3G (1xEV-DO)", "AT&T LTE", "T-Mobile 3G (UMTS)"):
+        assert name in NETWORKS
+
+
+def test_each_network_has_both_directions():
+    for spec in NETWORKS.values():
+        assert spec.downlink.direction == "downlink"
+        assert spec.uplink.direction == "uplink"
+        assert spec.downlink.name.endswith("downlink")
+
+
+def test_get_network_unknown_raises_with_choices():
+    with pytest.raises(KeyError, match="Verizon LTE"):
+        get_network("Sprint 4G")
+
+
+def test_get_link_by_name_and_key():
+    by_name = get_link("Verizon LTE downlink")
+    by_key = get_link("verizon-lte-downlink")
+    assert by_name == by_key
+
+
+def test_get_link_unknown_raises():
+    with pytest.raises(KeyError):
+        get_link("nonexistent link")
+
+
+def test_lte_faster_than_3g():
+    lte = link_trace(get_link("Verizon LTE downlink"), 60.0)
+    evdo = link_trace(get_link("Verizon 3G (1xEV-DO) downlink"), 60.0)
+    assert trace_mean_rate(lte) > 3 * trace_mean_rate(evdo)
+
+
+def test_downlink_not_slower_than_uplink_for_lte():
+    down = link_trace(get_link("Verizon LTE downlink"), 60.0)
+    up = link_trace(get_link("Verizon LTE uplink"), 60.0)
+    assert trace_mean_rate(down) > trace_mean_rate(up) * 0.8
+
+
+def test_link_trace_is_memoised():
+    first = link_trace(get_link("AT&T LTE uplink"), 20.0)
+    second = link_trace(get_link("AT&T LTE uplink"), 20.0)
+    assert first == second
+
+
+def test_seed_offset_gives_different_realisation():
+    link = get_link("AT&T LTE uplink")
+    base = link_trace(link, 20.0, seed_offset=0)
+    other = link_trace(link, 20.0, seed_offset=1)
+    assert base != other
+
+
+def test_link_keys_are_filesystem_friendly():
+    for name in link_names():
+        key = get_link(name).key
+        assert " " not in key
+        assert "(" not in key and ")" not in key

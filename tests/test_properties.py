@@ -1,0 +1,162 @@
+"""Property-based tests (hypothesis) on the core data structures and invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.rate_model import shared_rate_model
+from repro.metrics.delay import delay_signal_segments, percentile_of_delay_signal
+from repro.simulation.packet import Packet
+from repro.simulation.queues import DropTailQueue
+from repro.traces.analysis import interarrival_survival, interarrival_times
+from repro.tunnel.flow_queue import FlowQueueSet
+from repro.tunnel.scheduler import RoundRobinScheduler
+
+# A module-level model so hypothesis examples do not rebuild it.
+_MODEL = shared_rate_model()
+
+
+observations = st.lists(
+    st.one_of(st.none(), st.floats(min_value=0.0, max_value=30.0)),
+    min_size=1,
+    max_size=40,
+)
+
+
+@given(observations)
+@settings(max_examples=30, deadline=None)
+def test_belief_remains_a_probability_distribution(obs_sequence):
+    """Bayesian updates never break normalisation or produce negatives."""
+    belief = _MODEL.uniform_prior()
+    for obs in obs_sequence:
+        if obs is None:
+            belief = _MODEL.evolve(belief)
+        else:
+            belief = _MODEL.update(belief, obs)
+        assert np.all(belief >= 0)
+        assert belief.sum() == pytest.approx(1.0, abs=1e-6)
+
+
+@given(observations, st.floats(min_value=0.01, max_value=0.5))
+@settings(max_examples=30, deadline=None)
+def test_forecast_is_monotone_and_bounded(obs_sequence, percentile):
+    """The cumulative forecast never decreases across its horizon and never
+    exceeds the model's physical maximum."""
+    belief = _MODEL.uniform_prior()
+    for obs in obs_sequence:
+        belief = _MODEL.update(belief, obs) if obs is not None else _MODEL.evolve(belief)
+    forecast = _MODEL.cumulative_quantile(belief, percentile)
+    assert np.all(np.diff(forecast) >= 0)
+    max_packets = _MODEL.params.max_rate * _MODEL.params.tick * _MODEL.params.forecast_ticks
+    assert forecast[-1] <= max_packets + 50
+
+
+@given(
+    st.lists(st.floats(min_value=0.0, max_value=100.0), min_size=2, max_size=200),
+)
+@settings(max_examples=50, deadline=None)
+def test_interarrival_times_are_non_negative_and_consistent(times):
+    gaps = interarrival_times(times)
+    assert np.all(gaps >= 0)
+    assert len(gaps) == len(times) - 1
+    # Survival is a non-increasing function of the threshold.
+    thresholds = [0.001, 0.01, 0.1, 1.0, 10.0]
+    survival = interarrival_survival(gaps, thresholds)
+    assert np.all(np.diff(survival) <= 1e-12)
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=100.0),   # send time
+            st.floats(min_value=0.001, max_value=5.0),   # one-way delay
+        ),
+        min_size=1,
+        max_size=100,
+    ),
+    st.floats(min_value=1.0, max_value=99.0),
+)
+@settings(max_examples=50, deadline=None)
+def test_delay_percentile_monotone_in_percentile(sends, percentile):
+    arrivals = [(send + delay, send) for send, delay in sends]
+    end = max(a for a, _ in arrivals) + 1.0
+    low = percentile_of_delay_signal(arrivals, 0.0, end, percentile=min(percentile, 50.0))
+    high = percentile_of_delay_signal(arrivals, 0.0, end, percentile=max(percentile, 50.0))
+    assert low <= high + 1e-9
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.floats(min_value=0.0, max_value=50.0),
+            st.floats(min_value=0.001, max_value=2.0),
+        ),
+        min_size=1,
+        max_size=60,
+    )
+)
+@settings(max_examples=50, deadline=None)
+def test_delay_segments_cover_window_after_first_arrival(sends):
+    arrivals = [(send + delay, send) for send, delay in sends]
+    end = max(a for a, _ in arrivals) + 1.0
+    segments = delay_signal_segments(arrivals, 0.0, end)
+    first_arrival = min(a for a, _ in arrivals)
+    covered = sum(duration for _, duration in segments)
+    assert covered == pytest.approx(end - max(first_arrival, 0.0), rel=1e-6)
+    assert all(delay >= 0 and duration >= 0 for delay, duration in segments)
+
+
+@given(st.lists(st.integers(min_value=1, max_value=3000), min_size=1, max_size=100))
+@settings(max_examples=50, deadline=None)
+def test_droptail_queue_conserves_packets(sizes):
+    queue = DropTailQueue(byte_limit=10_000)
+    accepted = 0
+    for size in sizes:
+        if queue.enqueue(Packet(size=size), 0.0):
+            accepted += 1
+    drained = 0
+    while queue.dequeue(1.0) is not None:
+        drained += 1
+    assert drained == accepted
+    assert accepted + queue.drops == len(sizes)
+    assert queue.byte_length() == 0
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["a", "b", "c"]), st.integers(min_value=1, max_value=1500)),
+        min_size=1,
+        max_size=100,
+    ),
+    st.integers(min_value=0, max_value=20_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_round_robin_scheduler_respects_budget_and_conserves_packets(items, budget):
+    queues = FlowQueueSet()
+    for flow, size in items:
+        queues.enqueue(flow, Packet(size=size))
+    total_before = queues.total_packets
+    scheduler = RoundRobinScheduler(queues)
+    taken = scheduler.take(budget)
+    assert sum(p.size for p in taken) <= budget
+    assert len(taken) + queues.total_packets == total_before
+
+
+@given(
+    st.lists(
+        st.tuples(st.sampled_from(["bulk", "interactive"]), st.integers(min_value=50, max_value=1500)),
+        min_size=1,
+        max_size=200,
+    ),
+    st.integers(min_value=1500, max_value=30_000),
+)
+@settings(max_examples=50, deadline=None)
+def test_flow_queue_set_limit_is_enforced(items, limit):
+    queues = FlowQueueSet()
+    queues.set_limit(limit)
+    for flow, size in items:
+        queues.enqueue(flow, Packet(size=size))
+        # The invariant of Section 4.3: after every enqueue the total queued
+        # bytes stay within one packet of the forecast-derived limit.
+        assert queues.total_bytes <= limit + 1500

@@ -1,0 +1,138 @@
+"""Tests for the queue disciplines (drop-tail and CoDel)."""
+
+import pytest
+
+from repro.simulation.packet import Packet
+from repro.simulation.queues import CoDelQueue, DropTailQueue, drain
+
+
+class TestDropTail:
+    def test_fifo_order(self):
+        queue = DropTailQueue()
+        packets = [Packet(headers={"i": i}) for i in range(5)]
+        for i, packet in enumerate(packets):
+            assert queue.enqueue(packet, now=float(i))
+        out = drain(queue, now=10.0)
+        assert [p.headers["i"] for p in out] == [0, 1, 2, 3, 4]
+
+    def test_byte_accounting(self):
+        queue = DropTailQueue()
+        queue.enqueue(Packet(size=100), 0.0)
+        queue.enqueue(Packet(size=200), 0.0)
+        assert queue.byte_length() == 300
+        assert len(queue) == 2
+        queue.dequeue(1.0)
+        assert queue.byte_length() == 200
+
+    def test_unbounded_by_default(self):
+        queue = DropTailQueue()
+        for _ in range(1000):
+            assert queue.enqueue(Packet(), 0.0)
+        assert len(queue) == 1000
+        assert queue.drops == 0
+
+    def test_byte_limit_drops_arrivals(self):
+        queue = DropTailQueue(byte_limit=3000)
+        assert queue.enqueue(Packet(), 0.0)
+        assert queue.enqueue(Packet(), 0.0)
+        third = Packet()
+        assert not queue.enqueue(third, 0.0)
+        assert third.dropped
+        assert queue.drops == 1
+
+    def test_drop_callback_invoked(self):
+        dropped = []
+        queue = DropTailQueue(byte_limit=1500, on_drop=dropped.append)
+        queue.enqueue(Packet(), 0.0)
+        queue.enqueue(Packet(), 0.0)
+        assert len(dropped) == 1
+
+    def test_invalid_byte_limit_rejected(self):
+        with pytest.raises(ValueError):
+            DropTailQueue(byte_limit=0)
+
+    def test_timestamps_recorded(self):
+        queue = DropTailQueue()
+        packet = Packet()
+        queue.enqueue(packet, 1.0)
+        queue.dequeue(2.5)
+        assert packet.enqueued_at == 1.0
+        assert packet.dequeued_at == 2.5
+        assert packet.queueing_delay == pytest.approx(1.5)
+
+    def test_dequeue_empty_returns_none(self):
+        assert DropTailQueue().dequeue(0.0) is None
+
+    def test_peek_does_not_remove(self):
+        queue = DropTailQueue()
+        queue.enqueue(Packet(headers={"i": 1}), 0.0)
+        assert queue.peek().headers["i"] == 1
+        assert len(queue) == 1
+
+
+class TestCoDel:
+    def test_behaves_as_fifo_when_delay_is_low(self):
+        queue = CoDelQueue()
+        for i in range(10):
+            queue.enqueue(Packet(headers={"i": i}), now=i * 0.001)
+        out = []
+        now = 0.012
+        while True:
+            packet = queue.dequeue(now)
+            if packet is None:
+                break
+            out.append(packet.headers["i"])
+            now += 0.001
+        assert out == list(range(10))
+        assert queue.drops == 0
+
+    def test_drops_when_sojourn_time_stays_high(self):
+        queue = CoDelQueue()
+        # Build a standing queue: 200 packets enqueued at t=0, drained slowly
+        # starting 400 ms later, so every sojourn time far exceeds the target.
+        for _ in range(200):
+            queue.enqueue(Packet(), 0.0)
+        now = 0.4
+        delivered = 0
+        while len(queue) > 0:
+            packet = queue.dequeue(now)
+            if packet is None:
+                break
+            delivered += 1
+            now += 0.01
+        assert queue.drops > 0
+        assert delivered + queue.drops == 200
+
+    def test_no_drops_for_short_bursts(self):
+        queue = CoDelQueue()
+        # A burst that drains within one interval should never be dropped.
+        for _ in range(5):
+            queue.enqueue(Packet(), 0.0)
+        now = 0.002
+        while queue.dequeue(now) is not None:
+            now += 0.002
+        assert queue.drops == 0
+
+    def test_byte_limit_still_applies(self):
+        queue = CoDelQueue(byte_limit=1500)
+        assert queue.enqueue(Packet(), 0.0)
+        assert not queue.enqueue(Packet(), 0.0)
+
+    def test_invalid_parameters_rejected(self):
+        with pytest.raises(ValueError):
+            CoDelQueue(target=0.0)
+        with pytest.raises(ValueError):
+            CoDelQueue(interval=-1.0)
+
+    def test_recovers_after_queue_drains(self):
+        queue = CoDelQueue()
+        for _ in range(100):
+            queue.enqueue(Packet(), 0.0)
+        now = 0.5
+        while queue.dequeue(now) is not None:
+            now += 0.01
+        # After fully draining, fresh low-delay traffic passes untouched.
+        drops_before = queue.drops
+        queue.enqueue(Packet(), now)
+        assert queue.dequeue(now + 0.001) is not None
+        assert queue.drops == drops_before

@@ -1,0 +1,40 @@
+"""Tests for the seeded RNG helpers."""
+
+import numpy as np
+
+from repro.simulation.random import make_rng
+
+
+def test_same_seed_same_stream_is_reproducible():
+    a = make_rng(42, "channel")
+    b = make_rng(42, "channel")
+    assert np.array_equal(a.random(10), b.random(10))
+
+
+def test_different_streams_differ():
+    a = make_rng(42, "channel")
+    b = make_rng(42, "loss")
+    assert not np.array_equal(a.random(10), b.random(10))
+
+
+def test_different_seeds_differ():
+    a = make_rng(1, "channel")
+    b = make_rng(2, "channel")
+    assert not np.array_equal(a.random(10), b.random(10))
+
+
+def test_existing_generator_passthrough_without_stream():
+    rng = np.random.default_rng(0)
+    assert make_rng(rng) is rng
+
+
+def test_existing_generator_with_stream_derives_child():
+    rng = np.random.default_rng(0)
+    child = make_rng(rng, "sub")
+    assert child is not rng
+
+
+def test_seed_sequence_accepted():
+    seq = np.random.SeedSequence(123)
+    rng = make_rng(seq, "x")
+    assert isinstance(rng, np.random.Generator)

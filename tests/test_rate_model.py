@@ -1,0 +1,189 @@
+"""Tests for the discretized doubly-stochastic rate model."""
+
+import numpy as np
+import pytest
+
+from repro.core.rate_model import RateModel, RateModelParams, shared_rate_model
+
+
+def test_default_parameters_match_paper(rate_model):
+    params = rate_model.params
+    assert params.num_bins == 256
+    assert params.max_rate == 1000.0
+    assert params.tick == pytest.approx(0.020)
+    assert params.sigma == 200.0
+    assert params.outage_escape_rate == 1.0
+    assert params.forecast_ticks == 8
+
+
+def test_parameter_validation():
+    with pytest.raises(ValueError):
+        RateModelParams(num_bins=1)
+    with pytest.raises(ValueError):
+        RateModelParams(tick=0.0)
+    with pytest.raises(ValueError):
+        RateModelParams(sigma=-1.0)
+    with pytest.raises(ValueError):
+        RateModelParams(forecast_ticks=0)
+
+
+def test_rate_grid_spans_zero_to_max(rate_model):
+    assert rate_model.rates[0] == 0.0
+    assert rate_model.rates[-1] == 1000.0
+    assert len(rate_model.rates) == 256
+
+
+def test_transition_matrix_rows_sum_to_one(rate_model):
+    sums = rate_model.transition.sum(axis=1)
+    assert np.allclose(sums, 1.0)
+    assert np.all(rate_model.transition >= 0.0)
+
+
+def test_outage_state_is_sticky(rate_model):
+    # From the outage bin, staying put is far more likely than from any
+    # neighbouring bin (the lambda_z bias of Section 3.1).
+    stay_from_outage = rate_model.transition[0, 0]
+    stay_from_next = rate_model.transition[1, 1]
+    assert stay_from_outage > 0.9
+    assert stay_from_outage > 3 * stay_from_next
+
+
+def test_uniform_prior_sums_to_one(rate_model):
+    prior = rate_model.uniform_prior()
+    assert prior.sum() == pytest.approx(1.0)
+    assert np.all(prior == prior[0])
+
+
+def test_evolution_preserves_probability(rate_model):
+    belief = rate_model.uniform_prior()
+    for _ in range(10):
+        belief = rate_model.evolve(belief)
+        assert belief.sum() == pytest.approx(1.0)
+
+
+def test_evolution_spreads_a_point_mass(rate_model):
+    belief = np.zeros(256)
+    belief[128] = 1.0
+    evolved = rate_model.evolve(belief)
+    assert evolved[128] < 1.0
+    assert (evolved > 0).sum() > 5
+
+
+def test_observation_likelihood_peaks_near_observed_rate(rate_model):
+    # Observing 6 packets in a 20 ms tick suggests roughly 300 packets/s.
+    likelihood = rate_model.observation_likelihood(6.0)
+    best = rate_model.rates[int(np.argmax(likelihood))]
+    assert 250 <= best <= 350
+
+
+def test_observation_of_zero_favours_outage(rate_model):
+    likelihood = rate_model.observation_likelihood(0.0)
+    assert likelihood[0] == pytest.approx(1.0)
+    assert likelihood[-1] < likelihood[0]
+
+
+def test_zero_rate_cannot_produce_packets(rate_model):
+    likelihood = rate_model.observation_likelihood(3.0)
+    assert likelihood[0] == 0.0
+
+
+def test_negative_observation_rejected(rate_model):
+    with pytest.raises(ValueError):
+        rate_model.observation_likelihood(-1.0)
+
+
+def test_update_concentrates_belief_on_true_rate(rate_model):
+    rng = np.random.default_rng(0)
+    belief = rate_model.uniform_prior()
+    true_rate = 400.0
+    for _ in range(200):
+        observed = rng.poisson(true_rate * rate_model.params.tick)
+        belief = rate_model.update(belief, float(observed))
+    estimate = rate_model.expected_rate(belief)
+    assert estimate == pytest.approx(true_rate, rel=0.15)
+
+
+def test_censored_update_never_reduces_rate_estimate(rate_model):
+    belief = rate_model.uniform_prior()
+    for _ in range(50):
+        belief = rate_model.update(belief, 8.0)  # exact obs: ~400 pkt/s
+    before = rate_model.expected_rate(belief)
+    # A sender-limited tick showing only 1 packet must not drag the belief
+    # down the way an exact observation of 1 packet would.
+    censored = rate_model.update(belief, 1.0, censored=True)
+    exact = rate_model.update(belief, 1.0, censored=False)
+    assert rate_model.expected_rate(censored) > rate_model.expected_rate(exact)
+    assert rate_model.expected_rate(censored) == pytest.approx(before, rel=0.2)
+
+
+def test_censored_likelihood_rules_out_slower_rates(rate_model):
+    likelihood = rate_model.censored_likelihood(6.0)
+    # Rates far below the observed drain are (almost) ruled out; rates above
+    # remain fully plausible.
+    slow = likelihood[np.searchsorted(rate_model.rates, 50.0)]
+    fast = likelihood[np.searchsorted(rate_model.rates, 800.0)]
+    assert slow < 0.05
+    assert fast > 0.95
+
+
+def test_update_survives_enormous_observation(rate_model):
+    belief = rate_model.uniform_prior()
+    updated = rate_model.update(belief, 1e6)
+    assert np.isfinite(updated).all()
+    assert updated.sum() == pytest.approx(1.0)
+
+
+def test_forecast_monotone_and_scaled_with_rate(rate_model):
+    low = np.zeros(256)
+    low[np.searchsorted(rate_model.rates, 150.0)] = 1.0
+    high = np.zeros(256)
+    high[np.searchsorted(rate_model.rates, 800.0)] = 1.0
+
+    low_forecast = rate_model.cumulative_quantile(low, 0.05)
+    high_forecast = rate_model.cumulative_quantile(high, 0.05)
+
+    assert np.all(np.diff(low_forecast) >= 0)
+    assert np.all(np.diff(high_forecast) >= 0)
+    assert high_forecast[-1] > low_forecast[-1]
+
+
+def test_forecast_is_cautious_below_the_mean(rate_model):
+    belief = np.zeros(256)
+    rate = 500.0
+    belief[np.searchsorted(rate_model.rates, rate)] = 1.0
+    forecast = rate_model.cumulative_quantile(belief, 0.05)
+    expected_mean = rate * rate_model.params.tick * rate_model.params.forecast_ticks
+    assert forecast[-1] < expected_mean
+    assert forecast[-1] > 0.4 * expected_mean
+
+
+def test_lower_percentile_means_more_caution(rate_model):
+    belief = np.zeros(256)
+    belief[np.searchsorted(rate_model.rates, 400.0)] = 1.0
+    cautious = rate_model.cumulative_quantile(belief, 0.05)
+    median = rate_model.cumulative_quantile(belief, 0.50)
+    bold = rate_model.cumulative_quantile(belief, 0.95)
+    assert cautious[-1] <= median[-1] <= bold[-1]
+    assert cautious[-1] < bold[-1]
+
+
+def test_forecast_percentile_validation(rate_model):
+    belief = rate_model.uniform_prior()
+    with pytest.raises(ValueError):
+        rate_model.cumulative_quantile(belief, 0.0)
+    with pytest.raises(ValueError):
+        rate_model.cumulative_quantile(belief, 1.0)
+    with pytest.raises(ValueError):
+        rate_model.cumulative_quantile(belief, 0.05, num_ticks=9)
+
+
+def test_shared_model_is_memoised():
+    assert shared_rate_model() is shared_rate_model()
+
+
+def test_custom_model_small_grid_builds_quickly():
+    params = RateModelParams(num_bins=32, max_rate=500.0, forecast_ticks=4)
+    model = RateModel(params, forecast_paths=500)
+    assert model.transition.shape == (32, 32)
+    forecast = model.cumulative_quantile(model.uniform_prior(), 0.05)
+    assert len(forecast) == 4

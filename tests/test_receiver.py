@@ -1,0 +1,166 @@
+"""Tests for the Sprout receiver in isolation (no network)."""
+
+import pytest
+
+from repro.core.forecaster import EWMAForecaster
+from repro.core.packets import make_data_packet, parse_feedback
+from repro.core.receiver import SproutReceiver, make_sprout_ewma_receiver, make_sprout_receiver
+
+
+class FakeContext:
+    """Minimal HostContext stand-in recording outgoing packets."""
+
+    def __init__(self):
+        self.sent = []
+        self.time = 0.0
+        self.name = "fake"
+
+    def now(self):
+        return self.time
+
+    def send(self, packet):
+        packet.sent_at = self.time
+        self.sent.append(packet)
+
+    def schedule_after(self, delay, callback):  # pragma: no cover - unused
+        raise NotImplementedError
+
+
+def _data(size, seq, throwaway=0, ttn=0.0, heartbeat=False):
+    return make_data_packet(
+        size=size,
+        seq_bytes=seq,
+        throwaway_bytes=throwaway,
+        time_to_next=ttn,
+        is_heartbeat=heartbeat,
+    )
+
+
+def _drive(receiver, ctx, events, until_tick):
+    """Feed (tick_index, packet) events and tick the receiver regularly."""
+    by_tick = {}
+    for tick_index, packet in events:
+        by_tick.setdefault(tick_index, []).append(packet)
+    for tick in range(until_tick):
+        ctx.time = tick * 0.02
+        for packet in by_tick.get(tick, []):
+            receiver.on_packet(packet, ctx.time)
+        ctx.time = (tick + 1) * 0.02
+        receiver.on_tick(ctx.time)
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        SproutReceiver(feedback_interval_ticks=0)
+    with pytest.raises(ValueError):
+        SproutReceiver(observation_grace=-0.1)
+
+
+def test_feedback_sent_every_tick_by_default():
+    receiver = make_sprout_receiver()
+    ctx = FakeContext()
+    receiver.start(ctx)
+    _drive(receiver, ctx, [], until_tick=10)
+    assert receiver.feedback_packets_sent == 10
+    assert len(ctx.sent) == 10
+    assert all(parse_feedback(p) is not None for p in ctx.sent)
+
+
+def test_feedback_interval_respected():
+    receiver = SproutReceiver(forecaster=EWMAForecaster(), feedback_interval_ticks=5)
+    ctx = FakeContext()
+    receiver.start(ctx)
+    _drive(receiver, ctx, [], until_tick=20)
+    assert receiver.feedback_packets_sent == 4
+
+
+def test_received_or_lost_tracks_highest_sequence():
+    receiver = make_sprout_ewma_receiver()
+    ctx = FakeContext()
+    receiver.start(ctx)
+    events = [
+        (0, _data(1500, seq=1500)),
+        (1, _data(1500, seq=3000)),
+        (2, _data(1500, seq=4500, throwaway=3000)),
+    ]
+    _drive(receiver, ctx, events, until_tick=4)
+    assert receiver.received_or_lost_bytes == 4500
+    assert receiver.data_packets_received == 3
+
+
+def test_throwaway_writes_off_lost_bytes():
+    receiver = make_sprout_ewma_receiver()
+    ctx = FakeContext()
+    receiver.start(ctx)
+    # Only one packet arrives, but it declares that everything up to byte
+    # 30000 was sent long ago: the gap must be written off as lost.
+    _drive(receiver, ctx, [(0, _data(1500, seq=31500, throwaway=30000))], until_tick=2)
+    assert receiver.received_or_lost_bytes == 31500
+
+
+def test_feedback_carries_forecast_and_counter():
+    receiver = make_sprout_ewma_receiver()
+    ctx = FakeContext()
+    receiver.start(ctx)
+    events = [(i, _data(1500, seq=1500 * (i + 1))) for i in range(5)]
+    _drive(receiver, ctx, events, until_tick=6)
+    feedback = parse_feedback(ctx.sent[-1])
+    assert feedback.received_or_lost_bytes == 5 * 1500
+    assert len(feedback.forecast_bytes) == 8
+    assert feedback.forecast_time == pytest.approx(ctx.sent[-1].sent_at)
+
+
+def test_heartbeats_counted_separately_and_not_observed_as_rate():
+    receiver = make_sprout_ewma_receiver()
+    ctx = FakeContext()
+    receiver.start(ctx)
+    # Establish a high rate, then feed only heartbeats for a while.
+    events = [(i, _data(6000, seq=6000 * (i + 1))) for i in range(20)]
+    events += [
+        (20 + i, _data(60, seq=120000, ttn=0.1, heartbeat=True)) for i in range(10)
+    ]
+    _drive(receiver, ctx, events, until_tick=32)
+    assert receiver.heartbeats_received == 10
+    # The EWMA estimate must not have collapsed to the heartbeat rate.
+    assert receiver.forecaster.bytes_per_tick > 3000
+
+
+def test_sender_limited_ticks_use_censored_observation():
+    receiver = make_sprout_receiver()
+    ctx = FakeContext()
+    receiver.start(ctx)
+    # Big back-to-back flights (time-to-next zero) establish a high rate...
+    events = [(i, _data(9000, seq=9000 * (i + 1), ttn=0.0)) for i in range(40)]
+    # ... then small sender-limited flights (time-to-next positive).
+    events += [
+        (40 + i, _data(1500, seq=360000 + 1500 * (i + 1), ttn=0.1)) for i in range(30)
+    ]
+    _drive(receiver, ctx, events, until_tick=72)
+    rate_pps = receiver.forecaster.estimated_rate_bytes_per_sec() / 1500.0
+    # Exact observations of 1 packet/tick would pull the belief to ~50
+    # packets/s; the censored rule must keep it well above that.
+    assert rate_pps > 120.0
+
+
+def test_silence_with_expectation_is_not_an_outage():
+    receiver = make_sprout_receiver()
+    ctx = FakeContext()
+    receiver.start(ctx)
+    events = [(i, _data(9000, seq=9000 * (i + 1), ttn=0.0)) for i in range(40)]
+    # The final packet promises nothing for 100 ms; the following silent
+    # ticks must be skipped rather than observed as zeros.
+    events.append((40, _data(1500, seq=361500, ttn=0.1)))
+    _drive(receiver, ctx, events, until_tick=45)
+    observations_before = receiver.forecaster.observations
+    ticks_before = receiver.forecaster.ticks_processed
+    assert ticks_before - observations_before >= 3
+
+
+def test_rate_history_recorded():
+    receiver = make_sprout_ewma_receiver()
+    ctx = FakeContext()
+    receiver.start(ctx)
+    _drive(receiver, ctx, [(0, _data(1500, seq=1500))], until_tick=5)
+    assert len(receiver.rate_history) == 5
+    times = [t for t, _ in receiver.rate_history]
+    assert times == sorted(times)

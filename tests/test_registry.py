@@ -1,0 +1,67 @@
+"""Tests for the scheme registry."""
+
+import pytest
+
+from repro.baselines.base import AckingReceiver
+from repro.baselines.cubic import CubicSender
+from repro.core.receiver import SproutReceiver
+from repro.core.sender import SproutSender
+from repro.experiments.registry import (
+    FIGURE7_SCHEMES,
+    INTRO_TABLE_SCHEMES,
+    SCHEMES,
+    get_scheme,
+    scheme_names,
+    sprout_with_confidence,
+)
+
+
+def test_paper_schemes_all_registered():
+    for name in (
+        "Sprout", "Sprout-EWMA", "Cubic", "Cubic-CoDel", "Vegas",
+        "Compound TCP", "LEDBAT", "Skype", "Google Hangout", "Facetime",
+    ):
+        assert name in SCHEMES
+
+
+def test_figure7_schemes_subset_of_registry():
+    assert set(FIGURE7_SCHEMES) <= set(scheme_names())
+    assert set(INTRO_TABLE_SCHEMES) <= set(scheme_names())
+    assert "Cubic-CoDel" in INTRO_TABLE_SCHEMES
+
+
+def test_get_scheme_unknown_raises_with_choices():
+    with pytest.raises(KeyError, match="Sprout"):
+        get_scheme("QUIC")
+
+
+def test_sprout_factory_builds_fresh_endpoints():
+    spec = get_scheme("Sprout")
+    sender1, receiver1 = spec.factory()
+    sender2, receiver2 = spec.factory()
+    assert isinstance(sender1, SproutSender)
+    assert isinstance(receiver1, SproutReceiver)
+    assert sender1 is not sender2 and receiver1 is not receiver2
+
+
+def test_cubic_codel_differs_only_by_queue_discipline():
+    plain = get_scheme("Cubic")
+    codel = get_scheme("Cubic-CoDel")
+    assert not plain.use_codel
+    assert codel.use_codel
+    sender, receiver = codel.factory()
+    assert isinstance(sender, CubicSender)
+    assert isinstance(receiver, AckingReceiver)
+
+
+def test_videoconference_schemes_categorised():
+    assert get_scheme("Skype").category == "videoconference"
+    assert get_scheme("Sprout").category == "sprout"
+    assert get_scheme("Vegas").category == "tcp"
+
+
+def test_sprout_with_confidence_builds_named_spec():
+    spec = sprout_with_confidence(0.5)
+    assert spec.name == "Sprout (50%)"
+    sender, receiver = spec.factory()
+    assert receiver.forecaster.confidence == pytest.approx(0.5)

@@ -1,0 +1,96 @@
+"""Tests for the Saturator measurement tool."""
+
+import pytest
+
+from repro.traces.channel import ChannelConfig
+from repro.traces.format import trace_mean_rate
+from repro.traces.saturator import (
+    SaturatorConfig,
+    SaturatorSender,
+    SaturatorSink,
+    record_trace_with_saturator,
+)
+
+
+def test_saturator_measures_steady_channel_capacity(steady_channel_config):
+    duration = 20.0
+    measured = record_trace_with_saturator(steady_channel_config, duration, seed=7)
+    measured_rate = trace_mean_rate(measured)
+    expected = steady_channel_config.mean_rate * 1500 * 8
+    # The Saturator keeps the queue backlogged, so the measured trace should
+    # recover the channel's capacity closely.
+    assert measured_rate == pytest.approx(expected, rel=0.15)
+
+
+def test_saturator_keeps_rtt_in_target_band(steady_channel_config):
+    from repro.simulation.event_loop import EventLoop
+    from repro.simulation.endpoints import Host
+    from repro.simulation.path import DuplexLinkConfig, DuplexPath
+    from repro.traces.channel import CellularChannel
+
+    channel = CellularChannel(steady_channel_config, seed=3)
+    trace = channel.delivery_times(30.0)
+    feedback = [i * 0.002 for i in range(1, 15000)]
+    loop = EventLoop()
+    path = DuplexPath(loop, DuplexLinkConfig(forward_trace=trace, reverse_trace=feedback))
+    sender = SaturatorSender()
+    sink = SaturatorSink()
+    sender_host = Host(loop, sender, path.send_from_a)
+    sink_host = Host(loop, sink, path.send_from_b)
+    path.attach_a(sender_host.deliver)
+    path.attach_b(sink_host.deliver)
+    sender_host.start()
+    sink_host.start()
+    loop.run_until(30.0)
+
+    # After convergence the observed RTTs should mostly sit inside the
+    # 750 ms - 3000 ms operating band of Section 4.1.
+    late_samples = [r for r in sender.rtt_samples[len(sender.rtt_samples) // 2:]]
+    assert late_samples, "saturator collected no RTT samples"
+    in_band = [r for r in late_samples if 0.5 <= r <= 3.5]
+    assert len(in_band) / len(late_samples) > 0.8
+
+
+def test_saturator_config_defaults_match_paper():
+    config = SaturatorConfig()
+    assert config.rtt_floor == pytest.approx(0.750)
+    assert config.rtt_ceiling == pytest.approx(3.000)
+
+
+def test_saturator_window_adjusts_down_on_high_rtt():
+    sender = SaturatorSender(SaturatorConfig(initial_window=100))
+
+    class FakeCtx:
+        def __init__(self):
+            self.sent = []
+
+        def now(self):
+            return 10.0
+
+        def send(self, packet):
+            self.sent.append(packet)
+
+    sender.start(FakeCtx())
+    window_before = sender.window
+    from repro.simulation.packet import Packet
+
+    sender.on_packet(Packet(headers={"echo_sent_time": 5.0}), now=10.0)  # RTT 5 s
+    assert sender.window < window_before
+
+
+def test_saturator_window_adjusts_up_on_low_rtt():
+    sender = SaturatorSender(SaturatorConfig(initial_window=50))
+
+    class FakeCtx:
+        def now(self):
+            return 1.0
+
+        def send(self, packet):
+            pass
+
+    sender.start(FakeCtx())
+    window_before = sender.window
+    from repro.simulation.packet import Packet
+
+    sender.on_packet(Packet(headers={"echo_sent_time": 0.9}), now=1.0)  # RTT 100 ms
+    assert sender.window > window_before

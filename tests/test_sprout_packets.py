@@ -1,0 +1,84 @@
+"""Tests for the Sprout wire format helpers."""
+
+import pytest
+
+from repro.core.packets import (
+    CONTROL_PACKET_BYTES,
+    THROWAWAY_INTERVAL,
+    data_packet_sizes,
+    is_heartbeat,
+    make_data_packet,
+    make_feedback_packet,
+    parse_data_header,
+    parse_feedback,
+)
+from repro.simulation.packet import MTU_BYTES, Packet
+
+
+def test_data_packet_roundtrip():
+    packet = make_data_packet(
+        size=1500, seq_bytes=4500, throwaway_bytes=1500, time_to_next=0.02
+    )
+    header = parse_data_header(packet)
+    assert header is not None
+    assert header.seq_bytes == 4500
+    assert header.throwaway_bytes == 1500
+    assert header.time_to_next == pytest.approx(0.02)
+    assert not header.is_heartbeat
+
+
+def test_heartbeat_flag():
+    packet = make_data_packet(
+        size=60, seq_bytes=0, throwaway_bytes=0, time_to_next=0.1, is_heartbeat=True
+    )
+    assert is_heartbeat(packet)
+    assert parse_data_header(packet).is_heartbeat
+
+
+def test_data_packet_validation():
+    with pytest.raises(ValueError):
+        make_data_packet(size=0, seq_bytes=0, throwaway_bytes=0, time_to_next=0.0)
+    with pytest.raises(ValueError):
+        make_data_packet(size=100, seq_bytes=-1, throwaway_bytes=0, time_to_next=0.0)
+    with pytest.raises(ValueError):
+        make_data_packet(size=100, seq_bytes=0, throwaway_bytes=0, time_to_next=-0.1)
+
+
+def test_feedback_roundtrip():
+    packet = make_feedback_packet(
+        forecast_bytes=[1500, 3000, 4500], forecast_time=1.25, received_or_lost_bytes=9000
+    )
+    feedback = parse_feedback(packet)
+    assert feedback is not None
+    assert feedback.forecast_bytes == [1500.0, 3000.0, 4500.0]
+    assert feedback.forecast_time == pytest.approx(1.25)
+    assert feedback.received_or_lost_bytes == 9000
+    assert packet.size == CONTROL_PACKET_BYTES
+
+
+def test_feedback_validation():
+    with pytest.raises(ValueError):
+        make_feedback_packet([1500], 0.0, received_or_lost_bytes=-1)
+
+
+def test_parsers_reject_foreign_packets():
+    plain = Packet()
+    assert parse_data_header(plain) is None
+    assert parse_feedback(plain) is None
+    assert not is_heartbeat(plain)
+
+
+def test_data_packet_sizes_splits_window_into_mtus():
+    assert data_packet_sizes(0) == []
+    assert data_packet_sizes(1499) == []
+    assert data_packet_sizes(1500) == [MTU_BYTES]
+    assert data_packet_sizes(4600) == [MTU_BYTES, MTU_BYTES, MTU_BYTES]
+
+
+def test_data_packet_sizes_rejects_negative_window():
+    with pytest.raises(ValueError):
+        data_packet_sizes(-1)
+
+
+def test_throwaway_interval_matches_paper():
+    assert THROWAWAY_INTERVAL == pytest.approx(0.010)

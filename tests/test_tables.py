@@ -1,0 +1,77 @@
+"""Tests for the table generators (intro, EWMA, loss, tunnel)."""
+
+import pytest
+
+from repro.experiments.runner import RunConfig
+from repro.experiments.tables import (
+    ewma_table,
+    intro_table,
+    loss_table,
+    render_ewma_table,
+    render_intro_table,
+    render_loss_table,
+)
+from repro.metrics.summary import SchemeResult
+
+
+def _fake_results():
+    rows = []
+    for link in ("link-a", "link-b"):
+        rows += [
+            SchemeResult("Sprout", link, 2e6, 0.15, 0.10, 0.55),
+            SchemeResult("Sprout-EWMA", link, 4e6, 0.55, 0.50, 0.90),
+            SchemeResult("Skype", link, 1e6, 2.6, 2.5, 0.35),
+            SchemeResult("Cubic", link, 4.4e6, 25.1, 25.0, 0.95),
+            SchemeResult("Cubic-CoDel", link, 3e6, 0.55, 0.50, 0.75),
+        ]
+    return rows
+
+
+class TestIntroTable:
+    def test_relative_numbers_from_precomputed_results(self):
+        comparisons = {c.scheme: c for c in intro_table(results=_fake_results())}
+        assert comparisons["Sprout"].speedup == pytest.approx(1.0)
+        assert comparisons["Skype"].speedup == pytest.approx(2.0)
+        assert comparisons["Skype"].delay_reduction == pytest.approx(25.0)
+        assert comparisons["Cubic"].speedup == pytest.approx(2e6 / 4.4e6, rel=1e-3)
+
+    def test_render_mentions_each_scheme(self):
+        text = render_intro_table(intro_table(results=_fake_results()))
+        for name in ("Sprout", "Skype", "Cubic-CoDel"):
+            assert name in text
+
+
+class TestEwmaTable:
+    def test_reference_is_sprout_ewma(self):
+        comparisons = {c.scheme: c for c in ewma_table(results=_fake_results())}
+        assert comparisons["Sprout-EWMA"].speedup == pytest.approx(1.0)
+        assert comparisons["Sprout"].speedup == pytest.approx(2.0)
+        assert "Skype" not in comparisons  # not part of the second table
+
+    def test_render(self):
+        text = render_ewma_table(ewma_table(results=_fake_results()))
+        assert "Sprout-EWMA" in text
+
+
+class TestLossTable:
+    @pytest.fixture(scope="class")
+    def data(self):
+        return loss_table(
+            scheme="Sprout-EWMA",
+            links=("Verizon LTE downlink",),
+            loss_rates=(0.0, 0.10),
+            config=RunConfig(duration=15.0, warmup=5.0),
+        )
+
+    def test_rows_per_link_and_rate(self, data):
+        assert set(data.rows) == {"Verizon LTE downlink"}
+        assert set(data.rows["Verizon LTE downlink"]) == {0.0, 0.10}
+
+    def test_loss_lowers_throughput(self, data):
+        by_rate = data.rows["Verizon LTE downlink"]
+        assert by_rate[0.10].throughput_bps < by_rate[0.0].throughput_bps
+
+    def test_render(self, data):
+        text = render_loss_table(data)
+        assert "loss" in text.lower()
+        assert "Verizon LTE downlink" in text

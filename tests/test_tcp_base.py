@@ -1,0 +1,206 @@
+"""Tests for the shared TCP machinery (RTT estimation, ACKing, recovery)."""
+
+import pytest
+
+from repro.baselines.base import (
+    ACK_BYTES,
+    HEADER_ACK,
+    HEADER_ECHO_OWD,
+    HEADER_ECHO_TS,
+    HEADER_SEQ,
+    AckingReceiver,
+    RttEstimator,
+    WindowedSender,
+)
+from repro.simulation.packet import Packet
+
+
+class FixedWindowSender(WindowedSender):
+    """A minimal CC that never changes its window (for base-class tests)."""
+
+    def __init__(self, **kwargs):
+        super().__init__(**kwargs)
+        self.acks = 0
+        self.losses = 0
+        self.rto_fires = 0
+
+    def on_ack(self, newly_acked, rtt_sample, now):
+        self.acks += newly_acked
+
+    def on_loss(self, now):
+        self.losses += 1
+
+    def on_timeout(self, now):
+        self.rto_fires += 1
+
+
+class FakeCtx:
+    def __init__(self):
+        self.sent = []
+        self.time = 0.0
+        self.name = "fake"
+
+    def now(self):
+        return self.time
+
+    def send(self, packet):
+        packet.sent_at = self.time
+        self.sent.append(packet)
+
+
+def _ack(number, echo_ts=None, owd=None):
+    return Packet(
+        size=ACK_BYTES,
+        headers={HEADER_ACK: number, HEADER_ECHO_TS: echo_ts, HEADER_ECHO_OWD: owd},
+    )
+
+
+class TestRttEstimator:
+    def test_first_sample_initialises(self):
+        est = RttEstimator()
+        est.update(0.1)
+        assert est.srtt == pytest.approx(0.1)
+        assert est.min_rtt == pytest.approx(0.1)
+
+    def test_smoothing_follows_samples(self):
+        est = RttEstimator()
+        for _ in range(100):
+            est.update(0.2)
+        assert est.srtt == pytest.approx(0.2, rel=0.01)
+        assert est.rto >= RttEstimator.MIN_RTO
+
+    def test_min_rtt_tracks_smallest(self):
+        est = RttEstimator()
+        est.update(0.3)
+        est.update(0.05)
+        est.update(0.4)
+        assert est.min_rtt == pytest.approx(0.05)
+
+    def test_backoff_doubles_rto(self):
+        est = RttEstimator()
+        est.update(0.1)
+        before = est.rto
+        est.backoff()
+        assert est.rto == pytest.approx(min(2 * before, est.MAX_RTO))
+
+    def test_non_positive_samples_ignored(self):
+        est = RttEstimator()
+        est.update(0.0)
+        assert est.srtt is None
+
+
+class TestWindowedSender:
+    def test_initial_window_sent_at_start(self):
+        sender = FixedWindowSender(initial_cwnd=4)
+        ctx = FakeCtx()
+        sender.start(ctx)
+        assert len(ctx.sent) == 4
+        assert [p.headers[HEADER_SEQ] for p in ctx.sent] == [0, 1, 2, 3]
+
+    def test_ack_advances_window_and_sends_more(self):
+        sender = FixedWindowSender(initial_cwnd=4)
+        ctx = FakeCtx()
+        sender.start(ctx)
+        ctx.time = 0.1
+        sender.on_packet(_ack(0, echo_ts=0.0), ctx.time)
+        assert sender.highest_acked == 0
+        assert sender.acks == 1
+        assert len(ctx.sent) == 5  # one new segment replaces the acked one
+        assert sender.rtt.srtt == pytest.approx(0.1)
+
+    def test_triple_dupack_triggers_fast_retransmit(self):
+        sender = FixedWindowSender(initial_cwnd=10)
+        ctx = FakeCtx()
+        sender.start(ctx)
+        ctx.time = 0.1
+        sender.on_packet(_ack(0), ctx.time)
+        for _ in range(3):
+            sender.on_packet(_ack(0), ctx.time)
+        assert sender.losses == 1
+        retx = [p for p in ctx.sent if p.headers.get("tcp_retx")]
+        assert len(retx) == 1
+        assert retx[0].headers[HEADER_SEQ] == 1
+        # Further duplicate ACKs within the same recovery do not re-trigger.
+        sender.on_packet(_ack(0), ctx.time)
+        assert sender.losses == 1
+
+    def test_timeout_fires_after_rto(self):
+        sender = FixedWindowSender(initial_cwnd=2)
+        ctx = FakeCtx()
+        sender.start(ctx)
+        ctx.time = 5.0
+        sender.on_tick(ctx.time)
+        assert sender.rto_fires == 1
+        assert sender.retransmissions >= 1
+
+    def test_no_timeout_when_acks_flow(self):
+        sender = FixedWindowSender(initial_cwnd=2)
+        ctx = FakeCtx()
+        sender.start(ctx)
+        for i in range(5):
+            ctx.time = 0.05 * (i + 1)
+            sender.on_packet(_ack(i, echo_ts=ctx.time - 0.04), ctx.time)
+            sender.on_tick(ctx.time)
+        assert sender.rto_fires == 0
+
+    def test_invalid_window_rejected(self):
+        with pytest.raises(ValueError):
+            FixedWindowSender(initial_cwnd=0.5)
+
+    def test_delay_samples_forwarded(self):
+        samples = []
+
+        class DelaySender(FixedWindowSender):
+            def on_delay_sample(self, owd, now):
+                samples.append(owd)
+
+        sender = DelaySender(initial_cwnd=2)
+        ctx = FakeCtx()
+        sender.start(ctx)
+        sender.on_packet(_ack(0, owd=0.123), 0.1)
+        assert samples == [pytest.approx(0.123)]
+
+
+class TestAckingReceiver:
+    def test_acks_every_segment_cumulatively(self):
+        receiver = AckingReceiver()
+        ctx = FakeCtx()
+        receiver.start(ctx)
+        for seq in range(3):
+            packet = Packet(headers={HEADER_SEQ: seq, HEADER_ECHO_TS: 0.0})
+            packet.sent_at = 0.0
+            receiver.on_packet(packet, 0.1 * (seq + 1))
+        assert receiver.acks_sent == 3
+        assert [p.headers[HEADER_ACK] for p in ctx.sent] == [0, 1, 2]
+
+    def test_gap_produces_duplicate_acks(self):
+        receiver = AckingReceiver()
+        ctx = FakeCtx()
+        receiver.start(ctx)
+        for seq in (0, 2, 3):  # segment 1 is missing
+            receiver.on_packet(Packet(headers={HEADER_SEQ: seq}), 0.1)
+        assert [p.headers[HEADER_ACK] for p in ctx.sent] == [0, 0, 0]
+
+    def test_gap_filled_jumps_cumulative_ack(self):
+        receiver = AckingReceiver()
+        ctx = FakeCtx()
+        receiver.start(ctx)
+        for seq in (0, 2, 3, 1):
+            receiver.on_packet(Packet(headers={HEADER_SEQ: seq}), 0.1)
+        assert ctx.sent[-1].headers[HEADER_ACK] == 3
+
+    def test_one_way_delay_echoed(self):
+        receiver = AckingReceiver()
+        ctx = FakeCtx()
+        receiver.start(ctx)
+        packet = Packet(headers={HEADER_SEQ: 0})
+        packet.sent_at = 1.0
+        receiver.on_packet(packet, 1.25)
+        assert ctx.sent[0].headers[HEADER_ECHO_OWD] == pytest.approx(0.25)
+
+    def test_non_data_packets_ignored(self):
+        receiver = AckingReceiver()
+        ctx = FakeCtx()
+        receiver.start(ctx)
+        receiver.on_packet(Packet(), 0.0)
+        assert receiver.acks_sent == 0

@@ -1,0 +1,56 @@
+"""Tests for the on-disk trace format."""
+
+import pytest
+
+from repro.traces.format import read_trace, trace_duration, trace_mean_rate, write_trace
+
+
+def test_roundtrip(tmp_path):
+    path = tmp_path / "trace.txt"
+    times = [0.001, 0.0026, 0.010, 1.5]
+    write_trace(path, times)
+    back = read_trace(path)
+    assert back == [0.001, 0.003, 0.010, 1.5]  # rounded to whole milliseconds
+
+
+def test_write_sorts_unsorted_input(tmp_path):
+    path = tmp_path / "trace.txt"
+    write_trace(path, [0.5, 0.1, 0.3])
+    assert read_trace(path) == [0.1, 0.3, 0.5]
+
+
+def test_write_rejects_negative_times(tmp_path):
+    with pytest.raises(ValueError):
+        write_trace(tmp_path / "bad.txt", [-0.5])
+
+
+def test_read_ignores_comments_and_blank_lines(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("# header\n\n10\n20\n\n# trailing\n30\n")
+    assert read_trace(path) == [0.010, 0.020, 0.030]
+
+
+def test_read_rejects_garbage(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("10\nnot-a-number\n")
+    with pytest.raises(ValueError, match="not-a-number"):
+        read_trace(path)
+
+
+def test_read_rejects_negative_timestamps(tmp_path):
+    path = tmp_path / "trace.txt"
+    path.write_text("-5\n")
+    with pytest.raises(ValueError):
+        read_trace(path)
+
+
+def test_trace_duration():
+    assert trace_duration([0.1, 2.5, 1.0]) == 2.5
+    assert trace_duration([]) == 0.0
+
+
+def test_trace_mean_rate():
+    # 10 MTU opportunities over 1 second = 10 * 1500 * 8 bits/s.
+    times = [i / 10 for i in range(1, 11)]
+    assert trace_mean_rate(times) == pytest.approx(10 * 1500 * 8)
+    assert trace_mean_rate([]) == 0.0

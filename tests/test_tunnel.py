@@ -1,0 +1,160 @@
+"""Tests for SproutTunnel: flow queues, scheduler, ingress/egress."""
+
+import pytest
+
+from repro.core.connection import SproutConfig
+from repro.simulation.packet import Packet
+from repro.tunnel.flow_queue import FlowQueue, FlowQueueSet
+from repro.tunnel.scheduler import RoundRobinScheduler
+from repro.tunnel.tunnel import HEADER_TUNNEL_FLOW, TunnelEgress, make_tunnel
+
+
+class TestFlowQueue:
+    def test_fifo_and_byte_accounting(self):
+        queue = FlowQueue("a")
+        queue.push(Packet(size=100, headers={"i": 1}))
+        queue.push(Packet(size=200, headers={"i": 2}))
+        assert queue.byte_length == 300
+        assert queue.pop().headers["i"] == 1
+        assert queue.byte_length == 200
+
+    def test_drop_head_marks_packet(self):
+        queue = FlowQueue("a")
+        packet = Packet()
+        queue.push(packet)
+        dropped = queue.drop_head()
+        assert dropped is packet and packet.dropped
+        assert queue.dropped == 1
+
+    def test_pop_empty_returns_none(self):
+        assert FlowQueue("a").pop() is None
+
+
+class TestFlowQueueSet:
+    def test_queues_created_lazily(self):
+        queues = FlowQueueSet()
+        queues.enqueue("skype", Packet(size=100))
+        queues.enqueue("cubic", Packet(size=1500))
+        assert set(queues.flows()) == {"skype", "cubic"}
+        assert queues.total_bytes == 1600
+
+    def test_limit_drops_from_head_of_longest_queue(self):
+        queues = FlowQueueSet()
+        queues.set_limit(5000)
+        for i in range(10):
+            queues.enqueue("cubic", Packet(size=1500, headers={"i": i}))
+        queues.enqueue("skype", Packet(size=300))
+        assert queues.total_bytes <= 5000 + 1500
+        assert queues.dropped_for_limit > 0
+        # The interactive flow's packet survived; the bulk flow was trimmed.
+        assert len(queues.queue_for("skype")) == 1
+        assert queues.queue_for("cubic").dropped > 0
+
+    def test_no_limit_means_no_drops(self):
+        queues = FlowQueueSet()
+        for _ in range(100):
+            queues.enqueue("cubic", Packet())
+        assert queues.dropped_for_limit == 0
+
+    def test_negative_limit_rejected(self):
+        with pytest.raises(ValueError):
+            FlowQueueSet().set_limit(-1)
+
+
+class TestRoundRobinScheduler:
+    def test_alternates_between_flows(self):
+        queues = FlowQueueSet()
+        for i in range(3):
+            queues.enqueue("a", Packet(size=100, headers={"f": "a", "i": i}))
+            queues.enqueue("b", Packet(size=100, headers={"f": "b", "i": i}))
+        scheduler = RoundRobinScheduler(queues)
+        taken = scheduler.take(400)
+        flows = [p.headers["f"] for p in taken]
+        assert len(taken) == 4
+        assert flows.count("a") == 2 and flows.count("b") == 2
+
+    def test_respects_budget(self):
+        queues = FlowQueueSet()
+        for _ in range(10):
+            queues.enqueue("a", Packet(size=1500))
+        scheduler = RoundRobinScheduler(queues)
+        taken = scheduler.take(4000)
+        assert sum(p.size for p in taken) <= 4000
+        assert len(taken) == 2
+
+    def test_zero_budget_takes_nothing(self):
+        queues = FlowQueueSet()
+        queues.enqueue("a", Packet())
+        assert RoundRobinScheduler(queues).take(0) == []
+
+    def test_oversized_head_is_skipped_not_lost(self):
+        queues = FlowQueueSet()
+        queues.enqueue("big", Packet(size=1500))
+        queues.enqueue("small", Packet(size=100))
+        scheduler = RoundRobinScheduler(queues)
+        taken = scheduler.take(200)
+        assert [p.size for p in taken] == [100]
+        assert len(queues.queue_for("big")) == 1
+
+
+class TestTunnel:
+    def test_make_tunnel_wires_sender_source(self):
+        tunnel = make_tunnel()
+        assert tunnel.sender_protocol.packet_source is not None
+        assert isinstance(tunnel.receiver_protocol, TunnelEgress)
+
+    def test_accepted_packets_tagged_with_flow(self):
+        tunnel = make_tunnel()
+        packet = Packet(size=400)
+        tunnel.ingress.accept("skype", packet)
+        assert packet.headers[HEADER_TUNNEL_FLOW] == "skype"
+        assert tunnel.ingress.queues.total_bytes == 400
+
+    def test_window_fill_pulls_from_queues(self):
+        tunnel = make_tunnel()
+        for _ in range(5):
+            tunnel.ingress.accept("cubic", Packet(size=1000))
+        taken = tunnel.ingress._fill_window(now=1.0, budget_bytes=2500)
+        assert sum(p.size for p in taken) <= 2500
+        assert len(taken) == 2
+
+    def test_egress_delivers_to_registered_handler(self):
+        tunnel = make_tunnel(SproutConfig(use_ewma=True))
+        delivered = []
+        tunnel.egress.register_flow("skype", lambda p, t: delivered.append((t, p)))
+
+        class Ctx:
+            def now(self):
+                return 0.0
+
+            def send(self, packet):
+                pass
+
+        tunnel.egress.start(Ctx())
+        packet = Packet(size=400, headers={HEADER_TUNNEL_FLOW: "skype"})
+        # Stamp Sprout data headers the way the tunnel's sender would.
+        packet.headers["sprout_seq_bytes"] = 400
+        packet.headers["sprout_throwaway_bytes"] = 0
+        packet.headers["sprout_time_to_next"] = 0.0
+        tunnel.egress.on_packet(packet, 0.5)
+        assert delivered and delivered[0][1] is packet
+        assert tunnel.egress.delivered_log[0][1] == "skype"
+
+    def test_egress_ignores_untunnelled_sprout_filler(self):
+        tunnel = make_tunnel(SproutConfig(use_ewma=True))
+        hits = []
+        tunnel.egress.register_flow("skype", lambda p, t: hits.append(p))
+
+        class Ctx:
+            def now(self):
+                return 0.0
+
+            def send(self, packet):
+                pass
+
+        tunnel.egress.start(Ctx())
+        filler = Packet(size=1500, headers={"sprout_seq_bytes": 1500,
+                                            "sprout_throwaway_bytes": 0,
+                                            "sprout_time_to_next": 0.0})
+        tunnel.egress.on_packet(filler, 0.5)
+        assert hits == []

@@ -1,0 +1,146 @@
+"""Tests for the videoconference application models."""
+
+import pytest
+
+from repro.baselines.videoconference import (
+    FACETIME_PROFILE,
+    HANGOUT_PROFILE,
+    SKYPE_PROFILE,
+    VideoconferenceReceiver,
+    VideoconferenceSender,
+    make_facetime,
+    make_hangout,
+    make_skype,
+)
+from repro.simulation.packet import MTU_BYTES, Packet
+
+
+class FakeCtx:
+    def __init__(self):
+        self.sent = []
+        self.time = 0.0
+        self.name = "fake"
+
+    def now(self):
+        return self.time
+
+    def send(self, packet):
+        packet.sent_at = self.time
+        self.sent.append(packet)
+
+
+def _report(delay):
+    return Packet(headers={"vc_report": True, "vc_report_delay": delay})
+
+
+def test_profiles_match_qualitative_ordering():
+    assert SKYPE_PROFILE.max_rate_bps > FACETIME_PROFILE.max_rate_bps > HANGOUT_PROFILE.max_rate_bps
+    assert HANGOUT_PROFILE.down_react_time >= SKYPE_PROFILE.down_react_time
+
+
+def test_rate_ladder_is_monotone_within_bounds():
+    ladder = SKYPE_PROFILE.rate_ladder()
+    assert ladder == sorted(ladder)
+    assert ladder[0] == pytest.approx(SKYPE_PROFILE.min_rate_bps)
+    assert ladder[-1] == pytest.approx(SKYPE_PROFILE.max_rate_bps)
+
+
+def test_sender_emits_frames_at_current_rate():
+    sender = VideoconferenceSender(SKYPE_PROFILE)
+    ctx = FakeCtx()
+    sender.start(ctx)
+    sender.on_tick(0.033)
+    frame_bytes = sum(p.size for p in ctx.sent)
+    expected = sender.current_rate_bps * SKYPE_PROFILE.frame_interval / 8.0
+    assert frame_bytes == pytest.approx(expected, abs=MTU_BYTES)
+    assert all(p.size <= MTU_BYTES for p in ctx.sent)
+
+
+def test_sender_steps_down_only_after_sustained_congestion():
+    sender = VideoconferenceSender(SKYPE_PROFILE)
+    ctx = FakeCtx()
+    sender.start(ctx)
+    start_index = sender.rate_index
+    # One congested report is not enough: reaction takes down_react_time.
+    sender.on_packet(_report(1.0), now=0.0)
+    assert sender.rate_index == start_index
+    sender.on_packet(_report(1.0), now=SKYPE_PROFILE.down_react_time / 2)
+    assert sender.rate_index == start_index
+    sender.on_packet(_report(1.0), now=SKYPE_PROFILE.down_react_time + 0.1)
+    assert sender.rate_index == start_index - 1
+
+
+def test_sender_steps_up_after_sustained_comfort():
+    sender = VideoconferenceSender(SKYPE_PROFILE)
+    ctx = FakeCtx()
+    sender.start(ctx)
+    start_index = sender.rate_index
+    sender.on_packet(_report(0.01), now=0.0)
+    sender.on_packet(_report(0.01), now=SKYPE_PROFILE.up_react_time + 0.1)
+    assert sender.rate_index == start_index + 1
+
+
+def test_mixed_reports_reset_reaction_timers():
+    sender = VideoconferenceSender(SKYPE_PROFILE)
+    ctx = FakeCtx()
+    sender.start(ctx)
+    start_index = sender.rate_index
+    sender.on_packet(_report(1.0), now=0.0)
+    sender.on_packet(_report(0.2), now=1.0)   # neither congested nor comfortable
+    sender.on_packet(_report(1.0), now=SKYPE_PROFILE.down_react_time + 0.5)
+    # The congestion timer restarted at the last congested report, so no
+    # downgrade has happened yet.
+    assert sender.rate_index == start_index
+
+
+def test_rate_never_leaves_ladder():
+    sender = VideoconferenceSender(HANGOUT_PROFILE)
+    ctx = FakeCtx()
+    sender.start(ctx)
+    for i in range(100):
+        sender.on_packet(_report(2.0), now=i * 10.0)
+    assert sender.rate_index == 0
+    for i in range(100):
+        sender.on_packet(_report(0.0), now=1000.0 + i * 10.0)
+    assert sender.rate_index == len(sender.ladder) - 1
+
+
+def test_receiver_reports_delay_above_baseline():
+    receiver = VideoconferenceReceiver(report_interval=0.1)
+    ctx = FakeCtx()
+    receiver.start(ctx)
+    first = Packet(headers={"vc_frame_seq": 1})
+    first.sent_at = 0.0
+    receiver.on_packet(first, 0.05)          # baseline one-way delay 50 ms
+    second = Packet(headers={"vc_frame_seq": 2})
+    second.sent_at = 0.1
+    receiver.on_packet(second, 0.45)         # 350 ms => 300 ms of queueing
+    receiver.on_tick(0.5)
+    report = ctx.sent[-1]
+    assert report.headers["vc_report"] is True
+    assert report.headers["vc_report_delay"] == pytest.approx(0.30, abs=0.01)
+
+
+def test_receiver_goodput_resets_each_report():
+    receiver = VideoconferenceReceiver(report_interval=1.0)
+    ctx = FakeCtx()
+    receiver.start(ctx)
+    packet = Packet(size=1000, headers={"vc_frame_seq": 1})
+    packet.sent_at = 0.0
+    receiver.on_packet(packet, 0.5)
+    receiver.on_tick(1.0)
+    assert ctx.sent[-1].headers["vc_report_goodput"] == pytest.approx(8000.0)
+    receiver.on_tick(2.0)
+    assert ctx.sent[-1].headers["vc_report_goodput"] == 0.0
+
+
+def test_receiver_validates_interval():
+    with pytest.raises(ValueError):
+        VideoconferenceReceiver(report_interval=0.0)
+
+
+def test_factories_build_matched_pairs():
+    for factory in (make_skype, make_facetime, make_hangout):
+        sender, receiver = factory()
+        assert isinstance(sender, VideoconferenceSender)
+        assert isinstance(receiver, VideoconferenceReceiver)
