@@ -25,6 +25,16 @@ from repro.experiments.runner import RunConfig
 BENCH_DURATION = float(os.environ.get("REPRO_BENCH_DURATION", "60"))
 #: warm-up excluded from metrics
 BENCH_WARMUP = min(10.0, BENCH_DURATION / 4.0)
+#: worker processes for the shared measurement matrix (1 = serial; the
+#: results are identical either way, so parallelism is purely a time saver)
+BENCH_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", str(os.cpu_count() or 1)))
+
+
+def pytest_collection_modifyitems(items) -> None:
+    """Mark every benchmark as ``perf`` so ``-m "not perf"`` skips them."""
+    for item in items:
+        if "benchmarks" in str(item.fspath):
+            item.add_marker(pytest.mark.perf)
 
 
 @pytest.fixture(scope="session")
@@ -36,4 +46,4 @@ def bench_config() -> RunConfig:
 @pytest.fixture(scope="session")
 def measurement_matrix(bench_config) -> Figure7Data:
     """Every intro-table scheme over every modelled link, measured once."""
-    return run_figure7(schemes=INTRO_TABLE_SCHEMES, config=bench_config)
+    return run_figure7(schemes=INTRO_TABLE_SCHEMES, config=bench_config, jobs=BENCH_JOBS)

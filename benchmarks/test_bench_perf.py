@@ -1,0 +1,130 @@
+"""Performance benchmark: inference fast path and parallel matrix runner.
+
+Two measurements, both recorded to ``BENCH_PERF.json`` at the repository
+root so the performance trajectory is trackable across PRs:
+
+* ``forecaster``: sustained ticks/second of the paper-parameter Bayesian
+  forecaster running the receiver's per-20 ms loop (one belief update plus
+  one cautious forecast per tick, saturator-like observations);
+* ``matrix``: wall-clock of a small scheme x link measurement matrix run
+  serially and through the process-pool runner, with a bit-identity check
+  between the two result sets.
+
+The matrix speedup is hardware dependent (worker warm-up dominates on a
+single core); the JSON record carries ``cpu_count`` so readers can judge
+the numbers in context.  See docs/performance.md for methodology.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.forecaster import BayesianForecaster
+from repro.core.rate_model import shared_rate_model
+from repro.experiments.parallel import run_matrix
+from repro.experiments.runner import RunConfig
+from repro.experiments.runner import run_matrix as run_matrix_serial
+
+pytestmark = pytest.mark.perf
+
+#: where the perf record lands (repository root)
+PERF_RECORD_PATH = Path(__file__).resolve().parent.parent / "BENCH_PERF.json"
+
+#: ticks measured by the forecaster microbenchmark
+FORECASTER_TICKS = int(os.environ.get("REPRO_BENCH_FORECASTER_TICKS", "4000"))
+
+#: the small matrix measured by the wall-clock benchmark
+MATRIX_SCHEMES = ("Vegas", "Skype")
+MATRIX_LINKS = ("AT&T LTE uplink", "Verizon LTE uplink")
+MATRIX_CONFIG = RunConfig(duration=15.0, warmup=3.0)
+MATRIX_JOBS = int(os.environ.get("REPRO_BENCH_JOBS", str(os.cpu_count() or 1)))
+
+
+def _record(section: str, payload: dict) -> None:
+    """Merge ``payload`` into the ``section`` key of BENCH_PERF.json."""
+    record = {}
+    if PERF_RECORD_PATH.exists():
+        try:
+            record = json.loads(PERF_RECORD_PATH.read_text())
+        except (ValueError, OSError):
+            record = {}
+    record.setdefault("environment", {}).update(
+        {
+            "python": platform.python_version(),
+            "numpy": np.__version__,
+            "cpu_count": os.cpu_count(),
+            "platform": platform.platform(),
+        }
+    )
+    record[section] = payload
+    PERF_RECORD_PATH.write_text(json.dumps(record, indent=2, sort_keys=True) + "\n")
+
+
+def test_bench_forecaster_ticks_per_sec():
+    model = shared_rate_model()
+    forecaster = BayesianForecaster(model=model)
+    rng = np.random.default_rng(20130419)
+    # Saturator-like traffic: an integer number of MTU-sized packets per
+    # tick around 400 packets/s, the regime of the paper's cellular traces.
+    observations = (rng.poisson(8.0, size=FORECASTER_TICKS + 200) * 1500.0).astype(float)
+    for observed in observations[:200]:  # warm caches and converge the belief
+        forecaster.tick(observed)
+        forecaster.forecast()
+    start = time.perf_counter()
+    for observed in observations[200:]:
+        forecaster.tick(observed)
+        forecaster.forecast()
+    elapsed = time.perf_counter() - start
+    ticks_per_sec = FORECASTER_TICKS / elapsed
+
+    _record(
+        "forecaster",
+        {
+            "ticks": FORECASTER_TICKS,
+            "elapsed_s": round(elapsed, 4),
+            "ticks_per_sec": round(ticks_per_sec, 1),
+            "realtime_factor": round(ticks_per_sec * model.params.tick, 1),
+        },
+    )
+    print(f"\nforecaster: {ticks_per_sec:,.0f} ticks/s "
+          f"({ticks_per_sec * model.params.tick:,.0f}x realtime)")
+    # Loose floor to catch catastrophic regressions without being flaky:
+    # the seed implementation already managed ~3k ticks/s on one core.
+    assert ticks_per_sec > 1500
+
+
+def test_bench_matrix_wallclock():
+    start = time.perf_counter()
+    serial = run_matrix_serial(MATRIX_SCHEMES, MATRIX_LINKS, config=MATRIX_CONFIG)
+    serial_s = time.perf_counter() - start
+
+    start = time.perf_counter()
+    parallel = run_matrix(
+        MATRIX_SCHEMES, MATRIX_LINKS, config=MATRIX_CONFIG, jobs=MATRIX_JOBS
+    )
+    parallel_s = time.perf_counter() - start
+
+    # The whole point of the parallel runner: identical output.
+    assert [r.as_dict() for r in parallel] == [r.as_dict() for r in serial]
+
+    _record(
+        "matrix",
+        {
+            "schemes": list(MATRIX_SCHEMES),
+            "links": list(MATRIX_LINKS),
+            "duration_s": MATRIX_CONFIG.duration,
+            "jobs": MATRIX_JOBS,
+            "serial_wallclock_s": round(serial_s, 3),
+            "parallel_wallclock_s": round(parallel_s, 3),
+            "speedup": round(serial_s / parallel_s, 3) if parallel_s > 0 else None,
+        },
+    )
+    print(f"\nmatrix: serial {serial_s:.2f}s, parallel (jobs={MATRIX_JOBS}) "
+          f"{parallel_s:.2f}s")

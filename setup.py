@@ -3,6 +3,9 @@
 The canonical project metadata lives in pyproject.toml; this file exists so
 that ``pip install -e .`` works in offline environments that lack the
 ``wheel`` package required by PEP 517 editable builds.
+
+Pytest configuration (including the ``perf`` marker used by the benchmark
+harness) is registered in pytest.ini.
 """
 
 from setuptools import setup

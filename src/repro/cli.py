@@ -13,6 +13,7 @@ Commands:
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -41,6 +42,14 @@ from repro.traces.networks import get_link, link_names, link_trace
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=60.0, help="trace seconds to emulate")
     parser.add_argument("--warmup", type=float, default=10.0, help="seconds excluded from metrics")
+    parser.add_argument(
+        "--jobs",
+        "-j",
+        type=int,
+        default=os.cpu_count(),
+        help="worker processes for matrix experiments (1 = serial; "
+        "results are identical regardless)",
+    )
 
 
 def _run_config(args: argparse.Namespace) -> RunConfig:
@@ -64,9 +73,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
     elif args.number == 2:
         print(render_figure2(run_figure2(duration=max(args.duration, 120.0))))
     elif args.number == 7:
-        print(render_figure7(run_figure7(config=config)))
+        print(render_figure7(run_figure7(config=config, jobs=args.jobs)))
     elif args.number == 8:
-        print(render_figure8(run_figure8(config=config)))
+        print(render_figure8(run_figure8(config=config, jobs=args.jobs)))
     elif args.number == 9:
         print(render_figure9(run_figure9(config=config)))
     else:
@@ -78,9 +87,9 @@ def _cmd_figure(args: argparse.Namespace) -> int:
 def _cmd_table(args: argparse.Namespace) -> int:
     config = _run_config(args)
     if args.name == "intro":
-        print(render_intro_table(intro_table(config=config)))
+        print(render_intro_table(intro_table(config=config, jobs=args.jobs)))
     elif args.name == "ewma":
-        print(render_ewma_table(ewma_table(config=config)))
+        print(render_ewma_table(ewma_table(config=config, jobs=args.jobs)))
     elif args.name == "loss":
         print(render_loss_table(loss_table(config=config)))
     elif args.name == "tunnel":
@@ -92,7 +101,7 @@ def _cmd_table(args: argparse.Namespace) -> int:
 
 
 def _cmd_report(args: argparse.Namespace) -> int:
-    config = ReportConfig(duration=args.duration, warmup=args.warmup)
+    config = ReportConfig(duration=args.duration, warmup=args.warmup, jobs=args.jobs)
     report = generate_report(config)
     if args.output:
         with open(args.output, "w", encoding="utf-8") as f:

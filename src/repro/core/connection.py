@@ -35,6 +35,8 @@ class SproutConfig:
     use_ewma: bool = False
     ewma_alpha: float = 0.125
     model_params: Optional[RateModelParams] = None
+    #: record the receiver's per-tick rate estimate (costs memory on long runs)
+    record_history: bool = False
 
     def __post_init__(self) -> None:
         if not 0.0 < self.confidence < 1.0:
@@ -78,6 +80,7 @@ def make_connection(
         forecaster=forecaster,
         feedback_interval_ticks=cfg.feedback_interval_ticks,
         flow_id=flow_id,
+        record_history=cfg.record_history,
     )
     sender = SproutSender(
         lookahead_ticks=cfg.lookahead_ticks,

@@ -68,6 +68,10 @@ class BayesianForecaster(Forecaster):
             Figure 9).
         params: model parameters; defaults to the paper's frozen values.
         model: optionally, a pre-built (shared) :class:`RateModel`.
+
+    The forecast is cached between ticks (the belief only changes in
+    :meth:`tick`); code that mutates :attr:`belief` directly must set
+    ``_belief_dirty`` to invalidate the cache.
     """
 
     def __init__(
@@ -87,6 +91,11 @@ class BayesianForecaster(Forecaster):
         self.mtu_bytes = self.model.params.mtu_bytes
         self.ticks_processed = 0
         self.observations = 0
+        # Lazy-forecast bookkeeping: `tick()` marks the belief dirty and
+        # `forecast()` recomputes only then, so several forecasts between
+        # ticks (e.g. feedback retransmits) cost one quantile extraction.
+        self._belief_dirty = True
+        self._cached_forecast_bytes: Optional[np.ndarray] = None
 
     def tick(self, observed_bytes: Optional[float], at_least: bool = False) -> None:
         if observed_bytes is None:
@@ -98,10 +107,14 @@ class BayesianForecaster(Forecaster):
             self.belief = self.model.update(self.belief, packets, censored=at_least)
             self.observations += 1
         self.ticks_processed += 1
+        self._belief_dirty = True
 
     def forecast(self) -> np.ndarray:
-        packets = self.model.cumulative_quantile(self.belief, self.percentile)
-        return packets * self.mtu_bytes
+        if self._belief_dirty or self._cached_forecast_bytes is None:
+            packets = self.model.cumulative_quantile(self.belief, self.percentile)
+            self._cached_forecast_bytes = packets * self.mtu_bytes
+            self._belief_dirty = False
+        return self._cached_forecast_bytes.copy()
 
     def estimated_rate_bytes_per_sec(self) -> float:
         return self.model.expected_rate(self.belief) * self.mtu_bytes

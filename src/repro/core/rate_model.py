@@ -30,6 +30,11 @@ from typing import Optional
 import numpy as np
 from scipy.special import gammainc, gammaln
 
+#: entries kept in each per-model likelihood cache.  Saturator-style traffic
+#: produces byte counts from a small alphabet of packet sizes, so in practice
+#: the hit rate is near 100% with far fewer distinct keys than this.
+LIKELIHOOD_CACHE_SIZE = 4096
+
 from repro.simulation.packet import MTU_BYTES
 
 #: number of discrete rate values (paper: 256)
@@ -109,6 +114,33 @@ class RateModel:
         # with headroom so the CDF always reaches ~1 inside the grid.
         self._max_count = int(math.ceil(p.max_rate * p.tick * p.forecast_ticks)) + 40
         self.cumulative_cdfs = self._build_cumulative_cdfs()
+        # Flattened (bins, ticks * counts) view of the CDF tensor, contiguous
+        # so the forecast mixture for all horizons is one sgemv.
+        self._cdf_matrix = np.ascontiguousarray(
+            self.cumulative_cdfs.transpose(1, 0, 2).reshape(p.num_bins, -1)
+        )
+        # Column-major companion tensor (ticks, counts, bins): each count
+        # column is a contiguous vector, so the quantile refinement can mix
+        # a handful of columns without touching the rest of the tensor.
+        self._cdf_cols = np.ascontiguousarray(self.cumulative_cdfs.transpose(0, 2, 1))
+        # Coarse subsample of every `stride`-th count column, used to bracket
+        # the quantile before the fine window is mixed.  Keeping the working
+        # set this small is what makes the per-tick forecast cache-resident.
+        self._quantile_stride = 16
+        grid = self._max_count + 1
+        self._coarse_cols = int(math.ceil(grid / self._quantile_stride))
+        self._cdf_coarse = np.ascontiguousarray(
+            self._cdf_matrix.reshape(p.num_bins, p.forecast_ticks, grid)[
+                :, :, :: self._quantile_stride
+            ].reshape(p.num_bins, -1)
+        )
+        positive = self.packets_per_tick > 0
+        self._positive_bins = positive
+        self._mu_positive = self.packets_per_tick[positive]
+        self._log_mu_positive = np.log(self._mu_positive)
+        self._likelihood_cache = lru_cache(maxsize=LIKELIHOOD_CACHE_SIZE)(
+            self._likelihood_for_key
+        )
 
     # -------------------------------------------------------------- builders
 
@@ -178,8 +210,13 @@ class RateModel:
         # One row of sample paths per starting rate bin.
         rates = np.repeat(self.rates[:, None], paths, axis=1)
         counts = np.zeros((p.num_bins, paths), dtype=np.int64)
-        cdfs = np.empty((p.forecast_ticks, p.num_bins, self._max_count + 1))
-        count_grid = np.arange(self._max_count + 1)
+        grid_size = self._max_count + 1
+        # The tensor is stored float32 and C-contiguous: the forecast only
+        # ever compares mixtures of these Monte-Carlo CDFs (resolution
+        # 1/paths) against a quantile, so single precision is ample, and the
+        # halved footprint keeps the fused mixture kernel in cache.
+        cdfs = np.empty((p.forecast_ticks, p.num_bins, grid_size), dtype=np.float32)
+        row_offsets = np.arange(p.num_bins, dtype=np.int64)[:, None] * grid_size
 
         def brownian_step(current: np.ndarray) -> np.ndarray:
             """One conditional Brownian step, staying on the [0, max] grid.
@@ -211,12 +248,13 @@ class RateModel:
             # Deliveries during this tick given the (new) instantaneous rate.
             counts += rng.poisson(rates * p.tick)
             clipped = np.minimum(counts, self._max_count)
-            # Empirical CDF over the ensemble, per starting bin.
-            sorted_counts = np.sort(clipped, axis=1)
-            positions = np.apply_along_axis(
-                np.searchsorted, 1, sorted_counts, count_grid, side="right"
-            )
-            cdfs[j] = positions / float(paths)
+            # Empirical CDF over the ensemble, per starting bin: histogram
+            # every row in one flat bincount (rows are offset into disjoint
+            # ranges), then a cumulative sum along the count axis.
+            flat = (clipped + row_offsets).ravel()
+            histogram = np.bincount(flat, minlength=p.num_bins * grid_size)
+            histogram = histogram.reshape(p.num_bins, grid_size)
+            cdfs[j] = histogram.cumsum(axis=1) / float(paths)
         return cdfs
 
     # ------------------------------------------------------------- inference
@@ -235,21 +273,12 @@ class RateModel:
         ``packets_observed`` may be fractional because Sprout counts bytes
         (a 750-byte arrival is half an MTU-sized packet); the Poisson pmf is
         extended continuously through the gamma function.
+
+        Observations that fall exactly on the 1-byte grid (every real tick
+        does: byte counters are integers) are served from a per-model LRU
+        cache; the returned array is then shared and marked read-only.
         """
-        if packets_observed < 0:
-            raise ValueError("cannot observe a negative packet count")
-        mu = self.packets_per_tick
-        likelihood = np.zeros_like(mu)
-        positive = mu > 0
-        log_pmf = (
-            packets_observed * np.log(mu[positive])
-            - mu[positive]
-            - gammaln(packets_observed + 1.0)
-        )
-        likelihood[positive] = np.exp(log_pmf)
-        # The outage bin can only produce zero packets.
-        likelihood[~positive] = 1.0 if packets_observed == 0 else 0.0
-        return likelihood
+        return self._likelihood(packets_observed, censored=False)
 
     def censored_likelihood(self, packets_observed: float) -> np.ndarray:
         """Likelihood that *at least* ``packets_observed`` packets were deliverable.
@@ -260,18 +289,50 @@ class RateModel:
         each rate by :math:`P(N \\ge k \\mid \\lambda)` instead of the exact
         Poisson probability.  (This is the natural generalisation of the
         paper's time-to-next rule, which handles the ``k = 0`` case.)
+
+        Cached the same way as :meth:`observation_likelihood`.
         """
+        return self._likelihood(packets_observed, censored=True)
+
+    def _likelihood(self, packets_observed: float, censored: bool) -> np.ndarray:
         if packets_observed < 0:
             raise ValueError("cannot observe a negative packet count")
-        if packets_observed == 0:
-            return np.ones_like(self.packets_per_tick)
-        mu = self.packets_per_tick
-        likelihood = np.zeros_like(mu)
-        positive = mu > 0
-        # P(N >= k) for Poisson(mu) equals the regularised lower incomplete
-        # gamma function gammainc(k, mu) (continuous in k).
-        likelihood[positive] = gammainc(packets_observed, mu[positive])
-        likelihood[~positive] = 0.0
+        mtu = self.params.mtu_bytes
+        # int(x + 0.5) is a fast floor-round; the exactness guard below makes
+        # the tie-breaking direction irrelevant (a miss just skips the cache).
+        key = int(packets_observed * mtu + 0.5)
+        if key / mtu == packets_observed:
+            # Exactly representable at byte resolution: the cached vector is
+            # computed at this very value, so sharing it is lossless.
+            return self._likelihood_cache(key, censored)
+        return self._compute_likelihood(packets_observed, censored)
+
+    def _likelihood_for_key(self, key_bytes: int, censored: bool) -> np.ndarray:
+        likelihood = self._compute_likelihood(
+            key_bytes / self.params.mtu_bytes, censored
+        )
+        likelihood.flags.writeable = False
+        return likelihood
+
+    def _compute_likelihood(self, packets_observed: float, censored: bool) -> np.ndarray:
+        positive = self._positive_bins
+        if censored:
+            if packets_observed == 0:
+                return np.ones_like(self.packets_per_tick)
+            likelihood = np.zeros_like(self.packets_per_tick)
+            # P(N >= k) for Poisson(mu) equals the regularised lower
+            # incomplete gamma function gammainc(k, mu) (continuous in k).
+            likelihood[positive] = gammainc(packets_observed, self._mu_positive)
+            return likelihood
+        likelihood = np.zeros_like(self.packets_per_tick)
+        log_pmf = (
+            packets_observed * self._log_mu_positive
+            - self._mu_positive
+            - gammaln(packets_observed + 1.0)
+        )
+        likelihood[positive] = np.exp(log_pmf)
+        # The outage bin can only produce zero packets.
+        likelihood[~positive] = 1.0 if packets_observed == 0 else 0.0
         return likelihood
 
     def update(
@@ -296,9 +357,23 @@ class RateModel:
             # All mass annihilated (e.g. an enormous observation): fall back
             # to the evolved prior rather than dividing by zero.
             return evolved
-        return posterior / total
+        posterior /= total
+        return posterior
 
     # -------------------------------------------------------------- forecast
+
+    def _validate_quantile_args(
+        self, percentile: float, num_ticks: Optional[int]
+    ) -> int:
+        """Shared argument validation of the quantile implementations."""
+        if not 0.0 < percentile < 1.0:
+            raise ValueError(f"percentile must be in (0, 1), got {percentile}")
+        ticks = self.params.forecast_ticks if num_ticks is None else num_ticks
+        if not 1 <= ticks <= self.params.forecast_ticks:
+            raise ValueError(
+                f"num_ticks must be between 1 and {self.params.forecast_ticks}"
+            )
+        return ticks
 
     def cumulative_quantile(
         self, belief: np.ndarray, percentile: float, num_ticks: Optional[int] = None
@@ -322,20 +397,76 @@ class RateModel:
             delivered by the end of each tick.  The array is monotonically
             non-decreasing (cumulative deliveries cannot shrink).
         """
-        if not 0.0 < percentile < 1.0:
-            raise ValueError(f"percentile must be in (0, 1), got {percentile}")
-        ticks = self.params.forecast_ticks if num_ticks is None else num_ticks
-        if not 1 <= ticks <= self.params.forecast_ticks:
-            raise ValueError(
-                f"num_ticks must be between 1 and {self.params.forecast_ticks}"
-            )
+        ticks = self._validate_quantile_args(percentile, num_ticks)
+        # Two-stage quantile extraction.  Stage 1 mixes every `stride`-th
+        # count column of all horizons in one small sgemv and brackets the
+        # crossing; stage 2 mixes only the bracketed window of columns per
+        # horizon.  Exact-arithmetic equivalent to mixing the full tensor
+        # (:meth:`_cumulative_quantile_fused`; the test suite holds the two
+        # to equal outputs — a disagreement would need a mixture value
+        # within one float32 rounding step of the percentile), but streams
+        # ~250 KB instead of ~1.6 MB per call, which keeps the per-tick
+        # forecast resident in cache alongside the belief update.
+        b32 = belief.astype(np.float32, copy=False)
+        key = np.float32(percentile)
+        stride = self._quantile_stride
+        coarse = (b32 @ self._cdf_coarse).reshape(
+            self.params.forecast_ticks, self._coarse_cols
+        )
+        forecast = np.empty(ticks)
+        for j in range(ticks):
+            k = int(np.searchsorted(coarse[j], key, side="left"))
+            lo = max(0, (k - 1) * stride + 1)
+            hi = min(k * stride, self._max_count) if k > 0 else 0
+            window = self._cdf_cols[j, lo : hi + 1] @ b32
+            forecast[j] = lo + np.searchsorted(window, key, side="left")
+        np.minimum(forecast, self._max_count, out=forecast)
+        # Enforce monotonicity against Monte-Carlo quantile jitter.
+        np.maximum.accumulate(forecast, out=forecast)
+        return forecast
+
+    def _cumulative_quantile_fused(
+        self, belief: np.ndarray, percentile: float, num_ticks: Optional[int] = None
+    ) -> np.ndarray:
+        """Single-tensordot form of :meth:`cumulative_quantile`.
+
+        Mixes the whole CDF tensor for every horizon in one matvec
+        (``tensordot(belief, cumulative_cdfs)`` over the bin axis) and reads
+        one quantile per horizon.  :meth:`cumulative_quantile` is this plus
+        column windowing; the test suite holds the two (and the per-horizon
+        loop) to identical outputs.
+        """
+        ticks = self._validate_quantile_args(percentile, num_ticks)
+        mixture = (
+            belief.astype(np.float32, copy=False) @ self._cdf_matrix
+        ).reshape(self.params.forecast_ticks, -1)
+        key = np.float32(percentile)
+        forecast = np.empty(ticks)
+        for j in range(ticks):
+            forecast[j] = np.searchsorted(mixture[j], key, side="left")
+        np.minimum(forecast, self._max_count, out=forecast)
+        np.maximum.accumulate(forecast, out=forecast)
+        return forecast
+
+    def _cumulative_quantile_loop(
+        self, belief: np.ndarray, percentile: float, num_ticks: Optional[int] = None
+    ) -> np.ndarray:
+        """Reference per-horizon implementation of :meth:`cumulative_quantile`.
+
+        Kept (and exercised by the test suite) as the readable specification
+        of the fused kernel: one ``belief @ cumulative_cdfs[j]`` mixture and
+        one ``searchsorted`` per horizon.
+        """
+        ticks = self._validate_quantile_args(percentile, num_ticks)
+        belief32 = belief.astype(np.float32, copy=False)
         forecast = np.empty(ticks)
         previous = 0.0
         for j in range(ticks):
-            mixture_cdf = belief @ self.cumulative_cdfs[j]
-            index = int(np.searchsorted(mixture_cdf, percentile, side="left"))
+            mixture_cdf = belief32 @ self.cumulative_cdfs[j]
+            index = int(
+                np.searchsorted(mixture_cdf, np.float32(percentile), side="left")
+            )
             value = float(min(index, self._max_count))
-            # Enforce monotonicity against Monte-Carlo quantile jitter.
             previous = max(previous, value)
             forecast[j] = previous
         return forecast

@@ -36,6 +36,10 @@ class SproutReceiver(Protocol):
             queue rather than an outage; covers queueing jitter of the last
             flight.
         flow_id: label attached to feedback packets.
+        record_history: when True, append ``(time, estimated rate)`` to
+            :attr:`rate_history` every tick, for plotting.  Off by default:
+            a long run otherwise accumulates one tuple per 20 ms forever,
+            which skews memory in big experiment matrices.
     """
 
     def __init__(
@@ -44,6 +48,7 @@ class SproutReceiver(Protocol):
         feedback_interval_ticks: int = 1,
         observation_grace: float = 0.020,
         flow_id: str = "sprout",
+        record_history: bool = False,
     ) -> None:
         if feedback_interval_ticks < 1:
             raise ValueError("feedback_interval_ticks must be at least 1")
@@ -76,7 +81,9 @@ class SproutReceiver(Protocol):
         self._last_time_to_next = 0.0
         self._ticks_since_feedback = 0
         self.feedback_packets_sent = 0
-        #: history of (time, estimated_rate_bytes_per_sec), for plotting
+        self.record_history = record_history
+        #: history of (time, estimated_rate_bytes_per_sec); only populated
+        #: when ``record_history`` is True
         self.rate_history: List[Tuple[float, float]] = []
 
     # ------------------------------------------------------------- lifecycle
@@ -133,7 +140,10 @@ class SproutReceiver(Protocol):
         else:
             self.forecaster.tick(0.0)
 
-        self.rate_history.append((now, self.forecaster.estimated_rate_bytes_per_sec()))
+        if self.record_history:
+            self.rate_history.append(
+                (now, self.forecaster.estimated_rate_bytes_per_sec())
+            )
 
         self._ticks_since_feedback += 1
         if self._ticks_since_feedback >= self.feedback_interval_ticks:

@@ -12,10 +12,13 @@ from repro.experiments.registry import (
 from repro.experiments.runner import (
     RunConfig,
     collect_metrics,
-    run_matrix,
     run_scheme_on_link,
     run_with_loss_rates,
 )
+
+# The package-level run_matrix is the jobs-aware runner; it short-circuits
+# to the serial implementation for jobs in (None, 1) with identical results.
+from repro.experiments.parallel import default_jobs, run_matrix
 from repro.experiments.figure1 import Figure1Data, render_figure1, run_figure1
 from repro.experiments.figure2 import Figure2Data, render_figure2, run_figure2
 from repro.experiments.figure7 import Figure7Data, render_figure7, run_figure7
@@ -52,6 +55,7 @@ __all__ = [
     "sprout_with_confidence",
     "RunConfig",
     "collect_metrics",
+    "default_jobs",
     "run_matrix",
     "run_scheme_on_link",
     "run_with_loss_rates",

@@ -12,8 +12,9 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence
 
+from repro.experiments.parallel import run_matrix
 from repro.experiments.registry import FIGURE7_SCHEMES
-from repro.experiments.runner import RunConfig, run_matrix
+from repro.experiments.runner import ProgressCallback, RunConfig
 from repro.metrics.summary import SchemeResult
 from repro.traces.networks import link_names
 
@@ -45,7 +46,8 @@ def run_figure7(
     schemes: Optional[Sequence[str]] = None,
     links: Optional[Sequence[str]] = None,
     config: Optional[RunConfig] = None,
-    progress: Optional[callable] = None,
+    progress: Optional[ProgressCallback] = None,
+    jobs: Optional[int] = None,
 ) -> Figure7Data:
     """Run the Figure 7 measurement matrix.
 
@@ -54,10 +56,14 @@ def run_figure7(
         links: links to measure; all eight modelled links by default.
         config: run parameters (trace duration, warm-up, ...).
         progress: optional callback invoked with each finished result.
+        jobs: worker processes for the matrix (``None``/1 = serial, 0 = one
+            per CPU); results are identical regardless.
     """
     scheme_list = list(schemes) if schemes is not None else list(FIGURE7_SCHEMES)
     link_list = list(links) if links is not None else link_names()
-    results = run_matrix(scheme_list, link_list, config=config, progress=progress)
+    results = run_matrix(
+        scheme_list, link_list, config=config, progress=progress, jobs=jobs
+    )
     return Figure7Data(results=results)
 
 

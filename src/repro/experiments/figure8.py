@@ -13,7 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
-from repro.experiments.runner import RunConfig, run_matrix
+from repro.experiments.parallel import run_matrix
+from repro.experiments.runner import RunConfig
 from repro.metrics.summary import SchemeResult, average_by_scheme
 from repro.traces.networks import link_names
 
@@ -39,6 +40,7 @@ def run_figure8(
     links: Optional[Sequence[str]] = None,
     config: Optional[RunConfig] = None,
     results: Optional[List[SchemeResult]] = None,
+    jobs: Optional[int] = None,
 ) -> Figure8Data:
     """Regenerate Figure 8.
 
@@ -47,7 +49,7 @@ def run_figure8(
     """
     if results is None:
         link_list = list(links) if links is not None else link_names()
-        results = run_matrix(FIGURE8_SCHEMES, link_list, config=config)
+        results = run_matrix(FIGURE8_SCHEMES, link_list, config=config, jobs=jobs)
     wanted = [r for r in results if r.scheme in FIGURE8_SCHEMES]
     return Figure8Data(results=wanted, averages=average_by_scheme(wanted))
 

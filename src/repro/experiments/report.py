@@ -39,6 +39,8 @@ class ReportConfig:
     figure2_duration: float = 300.0
     tunnel_duration: float = 60.0
     include_sections: Optional[List[str]] = None
+    #: worker processes for matrix experiments (None/1 = serial, 0 = per CPU)
+    jobs: Optional[int] = None
 
     def run_config(self) -> RunConfig:
         return RunConfig(duration=self.duration, warmup=self.warmup)
@@ -64,6 +66,7 @@ def generate_report(config: Optional[ReportConfig] = None, progress=print) -> st
             schemes=INTRO_TABLE_SCHEMES,
             config=run_cfg,
             progress=lambda r: note(f"  {r.link}: {r.scheme} done"),
+            jobs=cfg.jobs,
         )
 
     if cfg.wants("figure1"):

@@ -3,7 +3,7 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, replace
-from typing import Dict, Iterable, List, Optional, Sequence, Union
+from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.baselines.omniscient import omniscient_delay
 from repro.cellsim.cellsim import Cellsim, build_cellsim, cellsim_for_link, traces_for_link
@@ -106,13 +106,21 @@ def collect_metrics(
     )
 
 
+#: callback invoked with each finished result of a matrix run
+ProgressCallback = Callable[[SchemeResult], None]
+
+
 def run_matrix(
     schemes: Iterable[Union[str, SchemeSpec]],
     links: Iterable[Union[str, LinkSpec]],
     config: Optional[RunConfig] = None,
-    progress: Optional[callable] = None,
+    progress: Optional[ProgressCallback] = None,
 ) -> List[SchemeResult]:
-    """Run every scheme over every link (the Figure 7 measurement matrix)."""
+    """Run every scheme over every link (the Figure 7 measurement matrix).
+
+    This is the serial reference path; :func:`repro.experiments.parallel.run_matrix`
+    produces identical results fanned out over worker processes.
+    """
     results: List[SchemeResult] = []
     links = list(links)
     for scheme in schemes:

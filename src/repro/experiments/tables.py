@@ -12,8 +12,9 @@ from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence
 
 from repro.experiments.competing import CompetingComparison, run_competing_comparison
+from repro.experiments.parallel import run_matrix
 from repro.experiments.registry import INTRO_TABLE_SCHEMES
-from repro.experiments.runner import RunConfig, run_matrix, run_with_loss_rates
+from repro.experiments.runner import RunConfig, run_with_loss_rates
 from repro.metrics.summary import (
     RelativeComparison,
     SchemeResult,
@@ -30,6 +31,7 @@ def intro_table(
     results: Optional[List[SchemeResult]] = None,
     links: Optional[Sequence[str]] = None,
     config: Optional[RunConfig] = None,
+    jobs: Optional[int] = None,
 ) -> List[RelativeComparison]:
     """Average speedup and delay reduction of Sprout vs every other scheme.
 
@@ -39,7 +41,7 @@ def intro_table(
     """
     if results is None:
         link_list = list(links) if links is not None else link_names()
-        results = run_matrix(INTRO_TABLE_SCHEMES, link_list, config=config)
+        results = run_matrix(INTRO_TABLE_SCHEMES, link_list, config=config, jobs=jobs)
     return relative_to_reference(results, reference="Sprout")
 
 
@@ -69,11 +71,12 @@ def ewma_table(
     results: Optional[List[SchemeResult]] = None,
     links: Optional[Sequence[str]] = None,
     config: Optional[RunConfig] = None,
+    jobs: Optional[int] = None,
 ) -> List[RelativeComparison]:
     """The introduction's second table, relative to Sprout-EWMA."""
     if results is None:
         link_list = list(links) if links is not None else link_names()
-        results = run_matrix(EWMA_TABLE_SCHEMES, link_list, config=config)
+        results = run_matrix(EWMA_TABLE_SCHEMES, link_list, config=config, jobs=jobs)
     wanted = [r for r in results if r.scheme in EWMA_TABLE_SCHEMES]
     return relative_to_reference(wanted, reference="Sprout-EWMA")
 

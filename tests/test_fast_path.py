@@ -1,0 +1,186 @@
+"""Tests for the inference fast path.
+
+Covers the three equivalences the optimisation relies on:
+
+* the fused (single-matvec) and windowed forecast quantiles match the
+  per-horizon reference loop exactly;
+* cached likelihood vectors are bit-identical to uncached computation,
+  including the outage bin's special cases;
+* the lazy forecast cache only recomputes when the belief changed.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core.forecaster import BayesianForecaster
+from repro.core.rate_model import RateModel, RateModelParams
+
+
+def _random_beliefs(num_bins: int, count: int, seed: int = 20130419):
+    rng = np.random.default_rng(seed)
+    for _ in range(count):
+        belief = rng.random(num_bins)
+        yield belief / belief.sum()
+
+
+def _concentrated_beliefs(num_bins: int, count: int, seed: int = 7):
+    """Gaussian-bump posteriors, some with extra outage-bin mass."""
+    rng = np.random.default_rng(seed)
+    grid = np.arange(num_bins)
+    for i in range(count):
+        center = rng.integers(0, num_bins)
+        width = rng.uniform(1.0, num_bins / 8.0)
+        belief = np.exp(-0.5 * ((grid - center) / width) ** 2)
+        if i % 3 == 0:
+            belief[0] += belief.sum() * rng.uniform(0.0, 1.0)
+        yield belief / belief.sum()
+
+
+class TestForecastEquivalence:
+    @pytest.mark.parametrize("percentile", [0.05, 0.25, 0.5, 0.95])
+    def test_fused_matches_loop_on_random_beliefs(self, rate_model, percentile):
+        for belief in _random_beliefs(rate_model.params.num_bins, 50):
+            loop = rate_model._cumulative_quantile_loop(belief, percentile)
+            fused = rate_model._cumulative_quantile_fused(belief, percentile)
+            np.testing.assert_allclose(fused, loop, atol=1e-12)
+
+    @pytest.mark.parametrize("percentile", [0.05, 0.5, 0.95])
+    def test_default_path_matches_loop(self, rate_model, percentile):
+        beliefs = list(_random_beliefs(rate_model.params.num_bins, 50))
+        beliefs += list(_concentrated_beliefs(rate_model.params.num_bins, 50))
+        for belief in beliefs:
+            loop = rate_model._cumulative_quantile_loop(belief, percentile)
+            fast = rate_model.cumulative_quantile(belief, percentile)
+            np.testing.assert_allclose(fast, loop, atol=1e-12)
+
+    def test_equivalence_holds_for_partial_horizons(self, rate_model):
+        belief = next(_random_beliefs(rate_model.params.num_bins, 1))
+        for ticks in range(1, rate_model.params.forecast_ticks + 1):
+            loop = rate_model._cumulative_quantile_loop(belief, 0.05, num_ticks=ticks)
+            fast = rate_model.cumulative_quantile(belief, 0.05, num_ticks=ticks)
+            assert len(fast) == ticks
+            np.testing.assert_allclose(fast, loop, atol=1e-12)
+
+    def test_equivalence_on_small_nondefault_model(self):
+        params = RateModelParams(num_bins=32, max_rate=500.0, forecast_ticks=4)
+        model = RateModel(params, forecast_paths=500)
+        for belief in _random_beliefs(32, 25):
+            loop = model._cumulative_quantile_loop(belief, 0.05)
+            fast = model.cumulative_quantile(belief, 0.05)
+            np.testing.assert_allclose(fast, loop, atol=1e-12)
+
+
+class TestLikelihoodCache:
+    @pytest.mark.parametrize("packets", [0.0, 1.0, 3.0, 8.0, 20.0])
+    def test_observation_cache_exact_for_integer_counts(self, rate_model, packets):
+        cached = rate_model.observation_likelihood(packets)
+        uncached = rate_model._compute_likelihood(packets, censored=False)
+        assert np.array_equal(cached, uncached)
+        # Repeated lookups serve the identical (shared, read-only) vector.
+        assert rate_model.observation_likelihood(packets) is cached
+
+    @pytest.mark.parametrize("packets", [0.5, 0.1, 7.25, 751.0 / 1500.0])
+    def test_observation_cache_exact_for_fractional_counts(self, rate_model, packets):
+        cached_or_direct = rate_model.observation_likelihood(packets)
+        uncached = rate_model._compute_likelihood(packets, censored=False)
+        assert np.array_equal(cached_or_direct, uncached)
+
+    @pytest.mark.parametrize("packets", [0.0, 1.0, 0.5, 6.0, 2.0 / 3.0])
+    def test_censored_cache_exact(self, rate_model, packets):
+        cached_or_direct = rate_model.censored_likelihood(packets)
+        uncached = rate_model._compute_likelihood(packets, censored=True)
+        assert np.array_equal(cached_or_direct, uncached)
+
+    def test_outage_bin_special_cases(self, rate_model):
+        # Exact observation: the outage bin can only ever produce zero.
+        assert rate_model.observation_likelihood(0.0)[0] == 1.0
+        assert rate_model.observation_likelihood(1.0)[0] == 0.0
+        assert rate_model.observation_likelihood(0.5)[0] == 0.0
+        # Censored: zero is a vacuous bound (all ones); any positive bound
+        # rules the outage bin out entirely.
+        assert np.all(rate_model.censored_likelihood(0.0) == 1.0)
+        assert rate_model.censored_likelihood(1.0)[0] == 0.0
+        assert rate_model.censored_likelihood(0.5)[0] == 0.0
+
+    def test_cached_vectors_are_read_only(self, rate_model):
+        cached = rate_model.observation_likelihood(4.0)
+        with pytest.raises(ValueError):
+            cached[0] = 123.0
+
+    def test_off_grid_observations_bypass_the_cache(self, rate_model):
+        # An observation not representable at 1-byte resolution must be
+        # computed directly (and therefore stay writable).
+        off_grid = 1e-5
+        likelihood = rate_model.observation_likelihood(off_grid)
+        assert likelihood.flags.writeable
+        assert np.array_equal(
+            likelihood, rate_model._compute_likelihood(off_grid, censored=False)
+        )
+
+    def test_negative_observations_still_rejected(self, rate_model):
+        with pytest.raises(ValueError):
+            rate_model.observation_likelihood(-1.0)
+        with pytest.raises(ValueError):
+            rate_model.censored_likelihood(-0.5)
+
+
+class TestLazyForecast:
+    def test_forecast_reused_until_next_tick(self, rate_model):
+        forecaster = BayesianForecaster(model=rate_model)
+        forecaster.tick(3000.0)
+        calls = 0
+        original = rate_model.cumulative_quantile
+
+        def counting(*args, **kwargs):
+            nonlocal calls
+            calls += 1
+            return original(*args, **kwargs)
+
+        try:
+            rate_model.cumulative_quantile = counting  # type: ignore[method-assign]
+            first = forecaster.forecast()
+            second = forecaster.forecast()
+            assert calls == 1
+            np.testing.assert_array_equal(first, second)
+            forecaster.tick(3000.0)
+            third = forecaster.forecast()
+            assert calls == 2
+            assert third.shape == first.shape
+        finally:
+            del rate_model.cumulative_quantile
+
+    def test_forecast_returns_independent_copies(self, rate_model):
+        forecaster = BayesianForecaster(model=rate_model)
+        forecaster.tick(3000.0)
+        first = forecaster.forecast()
+        first[:] = -1.0
+        second = forecaster.forecast()
+        assert np.all(second >= 0.0)
+
+    def test_observation_free_tick_invalidates_the_cache(self, rate_model):
+        forecaster = BayesianForecaster(model=rate_model)
+        forecaster.tick(6000.0)
+        before = forecaster.forecast()
+        for _ in range(20):
+            forecaster.tick(None)
+        after = forecaster.forecast()
+        # Twenty unobserved ticks spread the belief; the cached forecast
+        # must not be served stale.
+        assert not np.array_equal(before, after)
+
+
+def test_empirical_cdf_technique_matches_sort_searchsorted():
+    """bincount+cumsum per row == the sort+searchsorted formulation."""
+    rng = np.random.default_rng(3)
+    rows, paths, grid = 17, 400, 31
+    clipped = rng.integers(0, grid, size=(rows, paths))
+    offsets = np.arange(rows)[:, None] * grid
+    histogram = np.bincount((clipped + offsets).ravel(), minlength=rows * grid)
+    fast = histogram.reshape(rows, grid).cumsum(axis=1) / paths
+    count_grid = np.arange(grid)
+    slow = np.apply_along_axis(
+        np.searchsorted, 1, np.sort(clipped, axis=1), count_grid, side="right"
+    ) / paths
+    np.testing.assert_array_equal(fast, slow)

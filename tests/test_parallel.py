@@ -1,0 +1,89 @@
+"""Tests for the parallel experiment matrix runner.
+
+The key property is bit-identical equivalence with the serial runner: the
+parallel path must return the same ``SchemeResult`` rows, in the same
+(scheme-major, link-minor) order, with exactly equal metrics.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.baselines.base import AckingReceiver
+from repro.baselines.vegas import VegasSender
+from repro.experiments.parallel import _poolable, default_jobs, run_matrix
+from repro.experiments.registry import SchemeSpec, get_scheme
+from repro.experiments.runner import RunConfig
+from repro.experiments.runner import run_matrix as run_matrix_serial
+
+SCHEMES_2 = ["Vegas", "Skype"]
+LINKS_2 = ["AT&T LTE uplink", "Verizon LTE uplink"]
+
+
+@pytest.fixture(scope="module")
+def tiny_config() -> RunConfig:
+    return RunConfig(duration=10.0, warmup=2.0)
+
+
+@pytest.fixture(scope="module")
+def serial_results(tiny_config):
+    return run_matrix_serial(SCHEMES_2, LINKS_2, config=tiny_config)
+
+
+def test_parallel_matches_serial_bit_identically(tiny_config, serial_results):
+    parallel_results = run_matrix(SCHEMES_2, LINKS_2, config=tiny_config, jobs=4)
+    assert len(parallel_results) == len(serial_results)
+    for serial, parallel in zip(serial_results, parallel_results):
+        # Same cell in the same position, and exactly equal metrics.
+        assert (parallel.scheme, parallel.link) == (serial.scheme, serial.link)
+        assert parallel.as_dict() == serial.as_dict()
+
+
+def test_parallel_forwards_progress_per_result(tiny_config):
+    seen = []
+    results = run_matrix(
+        SCHEMES_2, LINKS_2, config=tiny_config, progress=seen.append, jobs=2
+    )
+    assert len(seen) == len(results) == 4
+    # Completion order may differ from matrix order, but the same cells
+    # must be reported.
+    assert sorted((r.scheme, r.link) for r in seen) == sorted(
+        (r.scheme, r.link) for r in results
+    )
+
+
+def test_jobs_one_is_the_serial_path(tiny_config, serial_results):
+    results = run_matrix(SCHEMES_2, LINKS_2, config=tiny_config, jobs=1)
+    assert [r.as_dict() for r in results] == [r.as_dict() for r in serial_results]
+
+
+def test_unpicklable_scheme_runs_locally(tiny_config):
+    ad_hoc = SchemeSpec(
+        name="Vegas (ad hoc)",
+        factory=lambda: (VegasSender(), AckingReceiver()),
+    )
+    with pytest.raises(Exception):
+        pickle.dumps(ad_hoc)
+    results = run_matrix([ad_hoc, "Vegas"], LINKS_2[:1], config=tiny_config, jobs=2)
+    assert [r.scheme for r in results] == ["Vegas (ad hoc)", "Vegas"]
+    reference = run_matrix_serial(["Vegas"], LINKS_2[:1], config=tiny_config)
+    assert results[0].throughput_bps == reference[0].throughput_bps
+    assert results[1].as_dict() == reference[0].as_dict()
+
+
+def test_poolable_sends_registry_specs_by_name():
+    spec = get_scheme("Vegas")
+    assert _poolable(spec) == "Vegas"
+    assert _poolable("anything") == "anything"
+    assert _poolable(SchemeSpec(name="x", factory=lambda: None)) is None
+
+
+def test_jobs_validation(tiny_config):
+    with pytest.raises(ValueError):
+        run_matrix(SCHEMES_2, LINKS_2, config=tiny_config, jobs=-1)
+
+
+def test_default_jobs_positive():
+    assert default_jobs() >= 1

@@ -156,11 +156,19 @@ def test_silence_with_expectation_is_not_an_outage():
     assert ticks_before - observations_before >= 3
 
 
-def test_rate_history_recorded():
-    receiver = make_sprout_ewma_receiver()
+def test_rate_history_recorded_when_opted_in():
+    receiver = make_sprout_ewma_receiver(record_history=True)
     ctx = FakeContext()
     receiver.start(ctx)
     _drive(receiver, ctx, [(0, _data(1500, seq=1500))], until_tick=5)
     assert len(receiver.rate_history) == 5
     times = [t for t, _ in receiver.rate_history]
     assert times == sorted(times)
+
+
+def test_rate_history_off_by_default():
+    receiver = make_sprout_ewma_receiver()
+    ctx = FakeContext()
+    receiver.start(ctx)
+    _drive(receiver, ctx, [(0, _data(1500, seq=1500))], until_tick=5)
+    assert receiver.rate_history == []
