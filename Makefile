@@ -1,0 +1,23 @@
+# Developer entry points.  PYTHONPATH is prepended so the src/ layout works
+# without an editable install.
+
+PYTHON ?= python
+export PYTHONPATH := src:$(PYTHONPATH)
+
+.PHONY: test smoke cov bench
+
+## full suite, including perf benchmarks (the tier-1 gate)
+test:
+	$(PYTHON) -m pytest -x -q
+
+## fast smoke job: correctness tests only, no perf benchmarks
+smoke:
+	$(PYTHON) -m pytest -q -m "not perf"
+
+## coverage gate (requires the [cov] extra; skips cleanly without it)
+cov:
+	$(PYTHON) scripts/coverage_gate.py
+
+## performance benchmarks, refreshing BENCH_PERF.json
+bench:
+	$(PYTHON) -m pytest benchmarks/test_bench_perf.py -q -s

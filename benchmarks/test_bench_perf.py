@@ -8,7 +8,10 @@ root so the performance trajectory is trackable across PRs:
   one cautious forecast per tick, saturator-like observations);
 * ``matrix``: wall-clock of a small scheme x link measurement matrix run
   serially and through the process-pool runner, with a bit-identity check
-  between the two result sets.
+  between the two result sets;
+* ``sweep``: wall-clock of a small parameter sweep through the full fast
+  path (flattened batch, shared pool, shared trace cache) against the same
+  cells run one by one with the trace cache disabled, again bit-identical.
 
 The matrix speedup is hardware dependent (worker warm-up dominates on a
 single core); the JSON record carries ``cpu_count`` so readers can judge
@@ -29,8 +32,10 @@ import pytest
 from repro.core.forecaster import BayesianForecaster
 from repro.core.rate_model import shared_rate_model
 from repro.experiments.parallel import run_matrix
-from repro.experiments.runner import RunConfig
+from repro.experiments.runner import RunConfig, run_scheme_on_link
 from repro.experiments.runner import run_matrix as run_matrix_serial
+from repro.experiments.sweeps import SweepSpec, expand_sweep, run_sweep
+from repro.traces.cache import global_cache
 
 pytestmark = pytest.mark.perf
 
@@ -128,3 +133,59 @@ def test_bench_matrix_wallclock():
     )
     print(f"\nmatrix: serial {serial_s:.2f}s, parallel (jobs={MATRIX_JOBS}) "
           f"{parallel_s:.2f}s")
+
+
+#: the small sweep measured by the sweep wall-clock benchmark
+SWEEP_SPEC = SweepSpec(
+    parameter="loss",
+    values=(0.0, 0.01, 0.02),
+    schemes=("Vegas",),
+    links=("AT&T LTE uplink",),
+)
+
+
+def test_bench_sweep_wallclock():
+    cache = global_cache()
+    cache.clear()
+    hits_before = cache.stats.memory_hits + cache.stats.disk_hits
+
+    start = time.perf_counter()
+    fast = run_sweep(SWEEP_SPEC, config=MATRIX_CONFIG, jobs=MATRIX_JOBS)
+    fast_s = time.perf_counter() - start
+    hits = (cache.stats.memory_hits + cache.stats.disk_hits) - hits_before
+
+    # Reference: the same expanded cells, one by one, trace cache off.
+    cells = expand_sweep(SWEEP_SPEC, MATRIX_CONFIG)
+    was_enabled = cache.enabled
+    cache.enabled = False
+    try:
+        start = time.perf_counter()
+        reference = [run_scheme_on_link(s, l, c) for s, l, c in cells]
+        reference_s = time.perf_counter() - start
+    finally:
+        cache.enabled = was_enabled
+
+    # The whole point of the sweep engine: identical physics, faster.
+    fast_rows = [r.as_dict() for p in fast.points for r in p.results]
+    assert fast_rows == [r.as_dict() for r in reference]
+
+    _record(
+        "sweep",
+        {
+            "parameter": SWEEP_SPEC.parameter,
+            "values": list(SWEEP_SPEC.values),
+            "schemes": list(SWEEP_SPEC.schemes),
+            "links": list(SWEEP_SPEC.links),
+            "cells": len(cells),
+            "duration_s": MATRIX_CONFIG.duration,
+            "jobs": MATRIX_JOBS,
+            "sweep_wallclock_s": round(fast_s, 3),
+            "uncached_serial_wallclock_s": round(reference_s, 3),
+            "speedup": round(reference_s / fast_s, 3) if fast_s > 0 else None,
+            # With jobs > 1 the hits land in the worker processes' caches,
+            # which the parent cannot observe — record null, not a lie.
+            "trace_cache_hits": hits if MATRIX_JOBS == 1 else None,
+        },
+    )
+    print(f"\nsweep: fast path {fast_s:.2f}s, uncached serial {reference_s:.2f}s "
+          f"({len(cells)} cells, jobs={MATRIX_JOBS})")

@@ -1,0 +1,54 @@
+#!/usr/bin/env python
+"""Coverage gate: run the fast test suite under ``pytest --cov=repro``.
+
+Fails (non-zero exit) if line coverage drops below the floor, so a PR
+cannot silently shed tests.  The floor defaults to 85% and can be
+recalibrated with ``REPRO_COV_FLOOR`` once measured on your environment —
+pin it to whatever ``python scripts/coverage_gate.py`` last reported green.
+
+``pytest-cov`` is an optional extra (``pip install -e '.[cov]'``); in
+environments without it the gate reports a skip and exits zero rather than
+failing the build on a missing tool.  The perf-marked benchmarks are
+excluded — this is the fast "smoke + coverage" job, not the benchmark run.
+"""
+
+from __future__ import annotations
+
+import importlib.util
+import os
+import subprocess
+import sys
+
+REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
+DEFAULT_FLOOR = 85.0
+
+
+def main() -> int:
+    floor = float(os.environ.get("REPRO_COV_FLOOR", str(DEFAULT_FLOOR)))
+    if importlib.util.find_spec("pytest_cov") is None:
+        print(
+            "coverage gate skipped: pytest-cov is not installed "
+            "(pip install -e '.[cov]' to enable the gate)"
+        )
+        return 0
+    env = dict(os.environ)
+    src = os.path.join(REPO_ROOT, "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    command = [
+        sys.executable,
+        "-m",
+        "pytest",
+        "-q",
+        "-m",
+        "not perf",
+        "--cov=repro",
+        f"--cov-fail-under={floor:g}",
+        "tests",
+    ]
+    print("coverage gate:", " ".join(command[1:]), f"(floor {floor:g}%)")
+    return subprocess.call(command, cwd=REPO_ROOT, env=env)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

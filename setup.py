@@ -1,13 +1,21 @@
 """Setup shim.
 
-The canonical project metadata lives in pyproject.toml; this file exists so
-that ``pip install -e .`` works in offline environments that lack the
-``wheel`` package required by PEP 517 editable builds.
+This file exists so that ``pip install -e .`` works in offline environments
+that lack the ``wheel`` package required by PEP 517 editable builds.
 
 Pytest configuration (including the ``perf`` marker used by the benchmark
-harness) is registered in pytest.ini.
+harness and the fast ``-m "not perf"`` smoke job) is registered in
+pytest.ini; the coverage gate lives in scripts/coverage_gate.py and needs
+the ``cov`` extra below.
 """
 
 from setuptools import setup
 
-setup()
+setup(
+    extras_require={
+        # the fast suite and the property-based event-loop tests
+        "test": ["pytest", "hypothesis"],
+        # scripts/coverage_gate.py: pytest --cov=repro with a floor
+        "cov": ["pytest", "pytest-cov", "coverage"],
+    },
+)

@@ -6,8 +6,9 @@ Commands:
 * ``figure``     — regenerate one of the paper's figures (1, 2, 7, 8, 9)
 * ``table``      — regenerate one of the paper's tables (intro, ewma, loss, tunnel)
 * ``report``     — run the full reproduction and print/write the report
+* ``sweep``      — sweep parameters (sigma, tick, loss, outage, scale) over the matrix
 * ``trace``      — generate a synthetic delivery trace file for a modelled link
-* ``list``       — list the available schemes and links
+* ``list``       — list the available schemes, links, and sweep parameters
 """
 
 from __future__ import annotations
@@ -26,6 +27,15 @@ from repro.experiments.figure9 import render_figure9, run_figure9
 from repro.experiments.registry import scheme_names
 from repro.experiments.report import ReportConfig, generate_report
 from repro.experiments.runner import RunConfig, run_scheme_on_link
+from repro.experiments.parallel import shared_pool
+from repro.experiments.sweeps import (
+    SweepSpec,
+    expand_sweep,
+    get_sweep_parameter,
+    render_sweep,
+    run_sweep,
+    sweep_parameter_names,
+)
 from repro.experiments.tables import (
     ewma_table,
     intro_table,
@@ -112,6 +122,47 @@ def _cmd_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_sweep(args: argparse.Namespace) -> int:
+    params: List[str] = args.param or []
+    values: List[List[float]] = args.values or []
+    if not params:
+        print("sweep requires at least one --param", file=sys.stderr)
+        return 2
+    if len(params) != len(values):
+        print(
+            f"got {len(params)} --param but {len(values)} --values; "
+            "each --param needs its own --values list",
+            file=sys.stderr,
+        )
+        return 2
+    links = tuple(args.links) if args.links else ()
+    config = _run_config(args)
+    try:
+        specs = [
+            SweepSpec(
+                parameter=param,
+                values=tuple(value_list),
+                schemes=tuple(args.schemes),
+                links=links,
+            )
+            for param, value_list in zip(params, values)
+        ]
+        # Validate every expansion up front (it is cheap) so a bad value in
+        # a later sweep cannot waste the minutes of emulation before it.
+        for spec in specs:
+            expand_sweep(spec, config)
+    except ValueError as error:
+        # Expander rejections (loss outside [0,1), sigma on a non-Sprout
+        # scheme, ...) are user errors, not tracebacks.
+        print(f"sweep error: {error}", file=sys.stderr)
+        return 2
+    with shared_pool(args.jobs):
+        for spec in specs:
+            # Print each sweep as it finishes rather than after the suite.
+            print(render_sweep(run_sweep(spec, config=config, jobs=args.jobs)))
+    return 0
+
+
 def _cmd_trace(args: argparse.Namespace) -> int:
     link = get_link(args.link)
     trace = link_trace(link, args.duration)
@@ -129,6 +180,9 @@ def _cmd_list(args: argparse.Namespace) -> int:
     print("links:")
     for name in link_names():
         print(f"  {name}")
+    print("sweep parameters:")
+    for name in sweep_parameter_names():
+        print(f"  {name} — {get_sweep_parameter(name).description}")
     return 0
 
 
@@ -160,6 +214,42 @@ def build_parser() -> argparse.ArgumentParser:
     _add_run_options(report_parser)
     report_parser.add_argument("--output", "-o", help="write the report to this file")
     report_parser.set_defaults(func=_cmd_report)
+
+    sweep_parser = sub.add_parser(
+        "sweep", help="sweep parameters over the scheme x link matrix"
+    )
+    sweep_parser.add_argument(
+        "--param",
+        action="append",
+        choices=sweep_parameter_names(),
+        help="parameter to sweep; repeat for several sweeps in one run "
+        "(each sharing one warmed worker pool)",
+    )
+    sweep_parser.add_argument(
+        "--values",
+        action="append",
+        nargs="+",
+        type=float,
+        metavar="VALUE",
+        help="values for the preceding --param",
+    )
+    sweep_parser.add_argument(
+        "--schemes",
+        nargs="+",
+        default=["Sprout"],
+        choices=scheme_names(),
+        metavar="SCHEME",
+        help="schemes to measure at every swept value (default: Sprout)",
+    )
+    sweep_parser.add_argument(
+        "--links",
+        nargs="+",
+        choices=link_names(),
+        metavar="LINK",
+        help="links to measure on (default: all eight)",
+    )
+    _add_run_options(sweep_parser)
+    sweep_parser.set_defaults(func=_cmd_sweep)
 
     trace_parser = sub.add_parser("trace", help="write a synthetic trace file")
     trace_parser.add_argument("link", choices=link_names())

@@ -18,7 +18,19 @@ from repro.experiments.runner import (
 
 # The package-level run_matrix is the jobs-aware runner; it short-circuits
 # to the serial implementation for jobs in (None, 1) with identical results.
-from repro.experiments.parallel import default_jobs, run_matrix
+from repro.experiments.parallel import default_jobs, run_cells, run_matrix, shared_pool
+from repro.experiments.sweeps import (
+    SWEEP_PARAMETERS,
+    SweepData,
+    SweepPoint,
+    SweepSpec,
+    expand_sweep,
+    get_sweep_parameter,
+    render_sweep,
+    run_sweep,
+    run_sweep_suite,
+    sweep_parameter_names,
+)
 from repro.experiments.figure1 import Figure1Data, render_figure1, run_figure1
 from repro.experiments.figure2 import Figure2Data, render_figure2, run_figure2
 from repro.experiments.figure7 import Figure7Data, render_figure7, run_figure7
@@ -56,7 +68,19 @@ __all__ = [
     "RunConfig",
     "collect_metrics",
     "default_jobs",
+    "run_cells",
     "run_matrix",
+    "shared_pool",
+    "SWEEP_PARAMETERS",
+    "SweepData",
+    "SweepPoint",
+    "SweepSpec",
+    "expand_sweep",
+    "get_sweep_parameter",
+    "render_sweep",
+    "run_sweep",
+    "run_sweep_suite",
+    "sweep_parameter_names",
     "run_scheme_on_link",
     "run_with_loss_rates",
     "Figure1Data",

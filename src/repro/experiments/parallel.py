@@ -10,12 +10,17 @@ bit-identical output regardless of ``jobs``.
 
 Each worker process warms the shared :class:`~repro.core.rate_model.RateModel`
 once at start-up (its Monte-Carlo CDF precomputation costs ~2 s), so the
-per-cell cost is pure emulation.
+per-cell cost is pure emulation.  Because that warm-up is expensive,
+:func:`shared_pool` lets a multi-matrix run (the full report, a parameter
+sweep) open **one** warmed pool and reuse it for every matrix instead of
+paying the warm-up once per matrix; :func:`run_cells` / :func:`run_matrix`
+transparently pick the shared pool up when one is active.
 
 Cells whose scheme cannot be pickled (ad-hoc :class:`SchemeSpec` instances
-built around closures, e.g. the Figure 9 confidence sweep) are detected up
-front and run in the parent process while the pool chews on the rest; the
-result ordering is unaffected.
+built around closures) are detected up front and run in the parent process
+while the pool chews on the rest; the result ordering is unaffected.
+Registry-built sweep variants (:func:`~repro.experiments.registry.sprout_variant`)
+pickle fine and parallelise normally.
 """
 
 from __future__ import annotations
@@ -23,7 +28,8 @@ from __future__ import annotations
 import os
 import pickle
 from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
-from typing import Iterable, List, Optional, Sequence, Tuple, Union
+from contextlib import contextmanager
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
 
 from repro.experiments.registry import SCHEMES, SchemeSpec
 from repro.experiments.runner import (
@@ -31,9 +37,11 @@ from repro.experiments.runner import (
     RunConfig,
     run_scheme_on_link,
 )
-from repro.experiments.runner import run_matrix as run_matrix_serial
 from repro.metrics.summary import SchemeResult
 from repro.traces.networks import LinkSpec
+
+#: one matrix cell: (scheme, link, run parameters)
+Cell = Tuple[Union[str, SchemeSpec], Union[str, LinkSpec], Optional[RunConfig]]
 
 
 def default_jobs() -> int:
@@ -71,6 +79,142 @@ def _poolable(value: object) -> object:
     return value
 
 
+# ----------------------------------------------------------- shared pool
+
+#: the pool opened by the innermost active :func:`shared_pool`, if any
+_SHARED_POOL: Optional[ProcessPoolExecutor] = None
+
+
+def active_pool() -> Optional[ProcessPoolExecutor]:
+    """The currently shared worker pool, or ``None`` outside shared_pool()."""
+    return _SHARED_POOL
+
+
+@contextmanager
+def shared_pool(jobs: Optional[int] = None) -> Iterator[Optional[ProcessPoolExecutor]]:
+    """Open one warmed worker pool and share it across every matrix inside.
+
+    All :func:`run_matrix` / :func:`run_cells` calls made while the context
+    is active reuse this pool instead of opening (and re-warming) their own.
+    ``jobs`` of ``None`` or ``1`` yields no pool at all — everything inside
+    runs serially, which keeps ``shared_pool(cfg.jobs)`` a safe no-op on the
+    serial path.  ``0`` means one worker per CPU.  Nested calls reuse the
+    outer pool.
+    """
+    global _SHARED_POOL
+    if jobs is not None and jobs < 0:
+        raise ValueError(f"jobs must be non-negative, got {jobs}")
+    if _SHARED_POOL is not None:
+        yield _SHARED_POOL
+        return
+    if jobs is None or jobs == 1:
+        yield None
+        return
+    workers = default_jobs() if jobs == 0 else jobs
+    pool = ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker)
+    _SHARED_POOL = pool
+    try:
+        yield pool
+    finally:
+        _SHARED_POOL = None
+        pool.shutdown(wait=True)
+
+
+# ------------------------------------------------------------- execution
+
+
+def _run_cells_serial(
+    cells: Sequence[Cell], progress: Optional[ProgressCallback]
+) -> List[SchemeResult]:
+    results: List[SchemeResult] = []
+    for scheme, link, config in cells:
+        result = run_scheme_on_link(scheme, link, config)
+        results.append(result)
+        if progress is not None:
+            progress(result)
+    return results
+
+
+def _run_cells_on_pool(
+    pool: ProcessPoolExecutor,
+    cells: Sequence[Cell],
+    progress: Optional[ProgressCallback],
+) -> List[SchemeResult]:
+    results: List[Optional[SchemeResult]] = [None] * len(cells)
+    local_indices: List[int] = []
+    future_index = {}
+    try:
+        for index, (scheme, link, config) in enumerate(cells):
+            sendable_scheme = _poolable(scheme)
+            sendable_link = _poolable(link)
+            sendable_config = _poolable(config) if config is not None else None
+            if sendable_scheme is None or sendable_link is None or (
+                config is not None and sendable_config is None
+            ):
+                local_indices.append(index)
+                continue
+            future = pool.submit(_run_cell, sendable_scheme, sendable_link, sendable_config)
+            future_index[future] = index
+
+        # Run the unpicklable cells here while the pool works on the rest.
+        for index in local_indices:
+            scheme, link, config = cells[index]
+            results[index] = run_scheme_on_link(scheme, link, config)
+            if progress is not None:
+                progress(results[index])
+
+        pending = set(future_index)
+        while pending:
+            done, pending = wait(pending, return_when=FIRST_COMPLETED)
+            for future in done:
+                result = future.result()
+                results[future_index[future]] = result
+                if progress is not None:
+                    progress(result)
+    except BaseException:
+        # Don't let a shared pool (or this pool's shutdown) run the rest of
+        # the work to completion behind a propagating error.
+        for future in future_index:
+            future.cancel()
+        raise
+    return [result for result in results if result is not None]
+
+
+def run_cells(
+    cells: Sequence[Cell],
+    progress: Optional[ProgressCallback] = None,
+    jobs: Optional[int] = None,
+) -> List[SchemeResult]:
+    """Run explicit ``(scheme, link, config)`` cells, preserving their order.
+
+    This is the workhorse under :func:`run_matrix` and the sweep engine
+    (:mod:`repro.experiments.sweeps`): unlike ``run_matrix`` every cell may
+    carry its own :class:`RunConfig`.  Results are bit-identical to calling
+    :func:`~repro.experiments.runner.run_scheme_on_link` cell by cell.
+
+    ``jobs``: worker processes.  ``1`` always runs serially in-process;
+    ``None`` reuses an active :func:`shared_pool` if one is open and runs
+    serially otherwise; ``0`` means one worker per CPU.
+    """
+    if jobs is not None and jobs < 0:
+        raise ValueError(f"jobs must be non-negative, got {jobs}")
+    if jobs == 0:
+        jobs = default_jobs()
+    cell_list = list(cells)
+    if not cell_list:
+        return []
+    if jobs == 1:
+        return _run_cells_serial(cell_list, progress)
+    shared = active_pool()
+    if shared is not None:
+        return _run_cells_on_pool(shared, cell_list, progress)
+    workers = min(jobs or 1, len(cell_list))
+    if workers <= 1:
+        return _run_cells_serial(cell_list, progress)
+    with ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker) as pool:
+        return _run_cells_on_pool(pool, cell_list, progress)
+
+
 def run_matrix(
     schemes: Iterable[Union[str, SchemeSpec]],
     links: Iterable[Union[str, LinkSpec]],
@@ -86,59 +230,16 @@ def run_matrix(
         config: run parameters shared by every cell.
         progress: invoked with each finished :class:`SchemeResult` as it
             completes (completion order, not matrix order).
-        jobs: worker processes; ``None`` or ``1`` runs serially in-process,
-            0 means :func:`default_jobs`.
+        jobs: worker processes.  ``1`` always runs serially in-process;
+            ``None`` reuses an active :func:`shared_pool` if one is open
+            and runs serially otherwise; ``0`` means :func:`default_jobs`.
 
     Returns:
         Results in the serial runner's order (scheme-major, link-minor),
         bit-identical to ``repro.experiments.runner.run_matrix``.
     """
-    scheme_list = list(schemes)
     link_list = list(links)
-    if jobs is not None and jobs < 0:
-        raise ValueError(f"jobs must be non-negative, got {jobs}")
-    if jobs == 0:
-        jobs = default_jobs()
-    cells: List[Tuple[Union[str, SchemeSpec], Union[str, LinkSpec]]] = [
-        (scheme, link) for scheme in scheme_list for link in link_list
+    cells: List[Cell] = [
+        (scheme, link, config) for scheme in schemes for link in link_list
     ]
-    workers = min(jobs or 1, len(cells))
-    if workers <= 1:
-        return run_matrix_serial(scheme_list, link_list, config=config, progress=progress)
-
-    results: List[Optional[SchemeResult]] = [None] * len(cells)
-    local_indices: List[int] = []
-    with ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker) as pool:
-        future_index = {}
-        try:
-            for index, (scheme, link) in enumerate(cells):
-                sendable_scheme = _poolable(scheme)
-                sendable_link = _poolable(link)
-                if sendable_scheme is None or sendable_link is None:
-                    local_indices.append(index)
-                    continue
-                future = pool.submit(_run_cell, sendable_scheme, sendable_link, config)
-                future_index[future] = index
-
-            # Run the unpicklable cells here while the pool works on the rest.
-            for index in local_indices:
-                scheme, link = cells[index]
-                results[index] = run_scheme_on_link(scheme, link, config)
-                if progress is not None:
-                    progress(results[index])
-
-            pending = set(future_index)
-            while pending:
-                done, pending = wait(pending, return_when=FIRST_COMPLETED)
-                for future in done:
-                    result = future.result()
-                    results[future_index[future]] = result
-                    if progress is not None:
-                        progress(result)
-        except BaseException:
-            # Don't let the pool's shutdown(wait=True) run the rest of the
-            # matrix to completion behind a propagating error.
-            for future in future_index:
-                future.cancel()
-            raise
-    return [result for result in results if result is not None]
+    return run_cells(cells, progress=progress, jobs=jobs)

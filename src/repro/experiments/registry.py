@@ -8,6 +8,7 @@ Cubic run over a CoDel-managed queue — an in-network change, Section 5.4).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from functools import partial
 from typing import Callable, Dict, List, Tuple
 
 from repro.baselines.base import AckingReceiver
@@ -50,12 +51,30 @@ def _tcp_pair(sender_cls) -> SchemeFactory:
     return factory
 
 
+def _sprout_pair_from_config(config: SproutConfig) -> Tuple[Protocol, Protocol]:
+    connection = make_connection(config)
+    return connection.sender, connection.receiver
+
+
+def sprout_variant(name: str, config: SproutConfig) -> SchemeSpec:
+    """An ad-hoc Sprout scheme built from an explicit :class:`SproutConfig`.
+
+    The factory is a :func:`functools.partial` over a module-level function,
+    so — unlike a closure — the spec pickles and can be shipped to matrix
+    worker processes.  The sweep engine builds its sigma/tick variants here.
+    """
+    return SchemeSpec(
+        name=name,
+        factory=partial(_sprout_pair_from_config, config),
+        category="sprout",
+    )
+
+
 def sprout_with_confidence(confidence: float) -> SchemeSpec:
     """Sprout with a non-default forecast confidence (Figure 9's sweep)."""
-    return SchemeSpec(
-        name=f"Sprout ({int(round(confidence * 100))}%)",
-        factory=lambda: _sprout_pair(confidence),
-        category="sprout",
+    return sprout_variant(
+        f"Sprout ({int(round(confidence * 100))}%)",
+        SproutConfig(confidence=confidence),
     )
 
 

@@ -16,8 +16,10 @@ from repro.experiments.figure2 import render_figure2, run_figure2
 from repro.experiments.figure7 import Figure7Data, render_figure7, run_figure7
 from repro.experiments.figure8 import render_figure8, run_figure8
 from repro.experiments.figure9 import render_figure9, run_figure9
+from repro.experiments.parallel import shared_pool
 from repro.experiments.registry import INTRO_TABLE_SCHEMES
 from repro.experiments.runner import RunConfig
+from repro.experiments.sweeps import SweepSpec, render_sweep, run_sweep
 from repro.experiments.tables import (
     intro_table,
     loss_table,
@@ -41,6 +43,8 @@ class ReportConfig:
     include_sections: Optional[List[str]] = None
     #: worker processes for matrix experiments (None/1 = serial, 0 = per CPU)
     jobs: Optional[int] = None
+    #: optional parameter sweeps appended to the report (docs/sweeps.md)
+    sweeps: Optional[List[SweepSpec]] = None
 
     def run_config(self) -> RunConfig:
         return RunConfig(duration=self.duration, warmup=self.warmup)
@@ -50,8 +54,18 @@ class ReportConfig:
 
 
 def generate_report(config: Optional[ReportConfig] = None, progress=print) -> str:
-    """Run every experiment and return the combined textual report."""
+    """Run every experiment and return the combined textual report.
+
+    The whole run shares **one** warmed worker pool (when ``jobs`` asks for
+    parallelism): every matrix section and sweep reuses it instead of paying
+    the per-pool rate-model warm-up again.
+    """
     cfg = config if config is not None else ReportConfig()
+    with shared_pool(cfg.jobs):
+        return _generate_report_sections(cfg, progress)
+
+
+def _generate_report_sections(cfg: ReportConfig, progress) -> str:
     run_cfg = cfg.run_config()
     sections: List[str] = []
 
@@ -91,5 +105,11 @@ def generate_report(config: Optional[ReportConfig] = None, progress=print) -> st
     if cfg.wants("tunnel"):
         note("running the Section 5.7 competing-traffic comparison...")
         sections.append(render_competing(tunnel_table(duration=cfg.tunnel_duration)))
+    if cfg.sweeps and cfg.wants("sweeps"):
+        for spec in cfg.sweeps:
+            note(f"running the {spec.parameter} sweep ({len(spec.values)} values)...")
+            sections.append(
+                render_sweep(run_sweep(spec, config=run_cfg, jobs=cfg.jobs))
+            )
 
     return "\n\n" + "\n\n".join(sections) + "\n"

@@ -1,0 +1,314 @@
+"""Parameterized scenario sweeps over the scheme × link matrix.
+
+The paper's headline figures come from one scheme × link matrix at the
+paper's frozen parameters.  This module generalises that into *sweeps*: a
+:class:`SweepSpec` names one swept parameter (from :data:`SWEEP_PARAMETERS`)
+and the values to try; the engine expands every ``value × scheme × link``
+combination into an explicit matrix cell and runs the whole flattened batch
+through :func:`repro.experiments.parallel.run_cells` — one warmed worker
+pool for the entire sweep, with the shared trace cache
+(:mod:`repro.traces.cache`) deduplicating trace generation across cells.
+
+Swept parameters:
+
+``loss``
+    Bernoulli packet-loss probability of the emulated link (the §5.6 axis);
+    values are absolute loss rates in ``[0, 1)``.
+``sigma``
+    The forecaster's Brownian noise power σ (paper §3.1, frozen at 200);
+    values are absolute σ in packets/s/√s.  Applies to the Sprout scheme.
+``tick``
+    Sprout's inference tick length (paper: 20 ms); values are absolute
+    seconds.  Applies to the Sprout scheme.
+``outage``
+    Multiplier on the link's outage arrival rate (1.0 = the calibrated
+    channel); the feedback direction keeps the calibrated channel, as in
+    the paper's testbed where only the direction under test is degraded.
+``scale``
+    Multiplier on the link's mean rate, volatility, and rate cap — a whole
+    -link capacity scaling.
+
+Every expansion is deterministic and picklable, so sweep cells parallelise
+exactly like ordinary matrix cells, and results are bit-identical to
+running each expanded cell serially by hand (``tests/test_sweeps.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from functools import partial
+from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
+
+from repro.core.connection import SproutConfig
+from repro.core.rate_model import RateModelParams
+from repro.experiments.parallel import Cell, run_cells, shared_pool
+from repro.experiments.registry import SchemeSpec, get_scheme, sprout_variant
+from repro.experiments.runner import ProgressCallback, RunConfig
+from repro.metrics.summary import SchemeResult
+from repro.traces.networks import LinkSpec, get_link, link_names
+
+SchemeLike = Union[str, SchemeSpec]
+LinkLike = Union[str, LinkSpec]
+
+#: expander signature: (scheme, link, config, value) -> one matrix cell
+CellExpander = Callable[[SchemeLike, LinkLike, RunConfig, float], Cell]
+
+
+def _resolve_link(link: LinkLike) -> LinkSpec:
+    return get_link(link) if isinstance(link, str) else link
+
+
+def _sprout_base(scheme: SchemeLike, parameter: str) -> Tuple[str, SproutConfig]:
+    """The base scheme's name and its full :class:`SproutConfig`.
+
+    Starting the variant from the base's *own* config (not defaults) keeps
+    a sweep over, say, ``sprout_with_confidence(0.25)`` honestly labelled:
+    the measured cell really carries the 25% confidence plus the swept
+    parameter.  Specs whose config cannot be recovered are rejected rather
+    than silently re-run at paper defaults under the base's name.
+    """
+    spec = get_scheme(scheme) if isinstance(scheme, str) else scheme
+    if spec.category != "sprout" or spec.name == "Sprout-EWMA":
+        raise ValueError(
+            f"the {parameter!r} sweep tunes Sprout's stochastic model and does "
+            f"not apply to scheme {spec.name!r}; sweep Sprout instead"
+        )
+    factory = spec.factory
+    if (
+        isinstance(factory, partial)
+        and len(factory.args) == 1
+        and isinstance(factory.args[0], SproutConfig)
+        and not factory.keywords
+    ):
+        return spec.name, factory.args[0]  # a registry sprout_variant
+    if spec.name == "Sprout":
+        return spec.name, SproutConfig()  # the registry default scheme
+    raise ValueError(
+        f"cannot recover the SproutConfig behind scheme {spec.name!r} for the "
+        f"{parameter!r} sweep; build it with repro.experiments.registry.sprout_variant"
+    )
+
+
+def _expand_loss(scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float) -> Cell:
+    if not 0.0 <= value < 1.0:
+        raise ValueError(f"loss rate must be in [0, 1), got {value}")
+    return (scheme, link, replace(config, loss_rate=value))
+
+
+def _expand_sigma(scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float) -> Cell:
+    if value < 0:
+        raise ValueError(f"sigma must be non-negative, got {value}")
+    base_name, base_config = _sprout_base(scheme, "sigma")
+    params = base_config.model_params or RateModelParams()
+    variant = sprout_variant(
+        f"{base_name} [sigma={value:g}]",
+        replace(base_config, model_params=replace(params, sigma=value)),
+    )
+    return (variant, link, config)
+
+
+def _expand_tick(scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float) -> Cell:
+    if value <= 0:
+        raise ValueError(f"tick length must be positive, got {value}")
+    base_name, base_config = _sprout_base(scheme, "tick")
+    params = base_config.model_params or RateModelParams()
+    variant = sprout_variant(
+        f"{base_name} [tick={value:g}s]",
+        replace(
+            base_config,
+            tick_interval=value,
+            model_params=replace(params, tick=value),
+        ),
+    )
+    return (variant, link, config)
+
+
+def _expand_outage(scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float) -> Cell:
+    if value < 0:
+        raise ValueError(f"outage multiplier must be non-negative, got {value}")
+    spec = _resolve_link(link)
+    channel = replace(spec.config, outage_rate=spec.config.outage_rate * value)
+    return (scheme, replace(spec, config=channel), config)
+
+
+def _expand_scale(scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float) -> Cell:
+    if value <= 0:
+        raise ValueError(f"link scale must be positive, got {value}")
+    spec = _resolve_link(link)
+    channel = replace(
+        spec.config,
+        mean_rate=spec.config.mean_rate * value,
+        volatility=spec.config.volatility * value,
+        max_rate=spec.config.max_rate * value,
+    )
+    return (scheme, replace(spec, config=channel), config)
+
+
+@dataclass(frozen=True)
+class SweepParameter:
+    """One sweepable knob: its name, axis label, and cell expander."""
+
+    name: str
+    description: str
+    expand: CellExpander = field(compare=False)
+
+
+#: the registry of sweepable parameters, keyed by CLI/spec name
+SWEEP_PARAMETERS: Dict[str, SweepParameter] = {
+    parameter.name: parameter
+    for parameter in (
+        SweepParameter("loss", "Bernoulli packet-loss rate", _expand_loss),
+        SweepParameter("sigma", "forecaster noise power sigma (pkt/s/sqrt(s))", _expand_sigma),
+        SweepParameter("tick", "Sprout inference tick length (s)", _expand_tick),
+        SweepParameter("outage", "link outage-rate multiplier", _expand_outage),
+        SweepParameter("scale", "link capacity scale multiplier", _expand_scale),
+    )
+}
+
+
+def sweep_parameter_names() -> List[str]:
+    """All sweepable parameter names."""
+    return list(SWEEP_PARAMETERS)
+
+
+def get_sweep_parameter(name: str) -> SweepParameter:
+    """Look up a sweepable parameter by name.
+
+    Raises:
+        KeyError: listing the valid names, if the parameter is unknown.
+    """
+    try:
+        return SWEEP_PARAMETERS[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown sweep parameter {name!r}; valid parameters: "
+            f"{', '.join(SWEEP_PARAMETERS)}"
+        ) from None
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One sweep: a parameter, its values, and the base matrix to expand."""
+
+    parameter: str
+    values: Tuple[float, ...]
+    schemes: Tuple[str, ...] = ("Sprout",)
+    links: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        get_sweep_parameter(self.parameter)
+        object.__setattr__(self, "values", tuple(self.values))
+        object.__setattr__(self, "schemes", tuple(self.schemes))
+        object.__setattr__(self, "links", tuple(self.links))
+        if not self.values:
+            raise ValueError("a sweep needs at least one value")
+        if not self.schemes:
+            raise ValueError("a sweep needs at least one scheme")
+        if not self.links:
+            object.__setattr__(self, "links", tuple(link_names()))
+
+    @property
+    def cells_per_value(self) -> int:
+        return len(self.schemes) * len(self.links)
+
+
+@dataclass
+class SweepPoint:
+    """All matrix results measured at one value of the swept parameter."""
+
+    parameter: str
+    value: float
+    results: List[SchemeResult]
+
+
+@dataclass
+class SweepData:
+    """A finished sweep: one :class:`SweepPoint` per requested value."""
+
+    spec: SweepSpec
+    points: List[SweepPoint]
+
+    def for_value(self, value: float) -> SweepPoint:
+        for point in self.points:
+            if point.value == value:
+                return point
+        raise KeyError(f"no sweep point for value {value!r}")
+
+
+def expand_sweep(spec: SweepSpec, config: Optional[RunConfig] = None) -> List[Cell]:
+    """Flatten a sweep spec into explicit matrix cells, value-major.
+
+    Cell order is ``value -> scheme -> link``, mirroring the serial runner's
+    scheme-major/link-minor order inside each value, so results slice back
+    into :class:`SweepPoint` chunks deterministically.
+    """
+    cfg = config if config is not None else RunConfig()
+    parameter = get_sweep_parameter(spec.parameter)
+    cells: List[Cell] = []
+    for value in spec.values:
+        for scheme in spec.schemes:
+            for link in spec.links:
+                cells.append(parameter.expand(scheme, link, cfg, value))
+    return cells
+
+
+def run_sweep(
+    spec: SweepSpec,
+    config: Optional[RunConfig] = None,
+    progress: Optional[ProgressCallback] = None,
+    jobs: Optional[int] = None,
+) -> SweepData:
+    """Run one parameter sweep through the (shared-pool-aware) cell runner.
+
+    The entire flattened batch is submitted at once, so a multi-value sweep
+    saturates the worker pool instead of draining between values, and every
+    cell that shares a link pulls its trace from the shared cache.
+    """
+    cells = expand_sweep(spec, config)
+    results = run_cells(cells, progress=progress, jobs=jobs)
+    chunk = spec.cells_per_value
+    points = [
+        SweepPoint(
+            parameter=spec.parameter,
+            value=value,
+            results=results[i * chunk : (i + 1) * chunk],
+        )
+        for i, value in enumerate(spec.values)
+    ]
+    return SweepData(spec=spec, points=points)
+
+
+def run_sweep_suite(
+    specs: Sequence[SweepSpec],
+    config: Optional[RunConfig] = None,
+    progress: Optional[ProgressCallback] = None,
+    jobs: Optional[int] = None,
+) -> List[SweepData]:
+    """Run several sweeps over **one** shared warmed worker pool."""
+    with shared_pool(jobs):
+        return [
+            run_sweep(spec, config=config, progress=progress, jobs=jobs)
+            for spec in specs
+        ]
+
+
+def render_sweep(data: SweepData) -> str:
+    """Plain-text rendering: one block per swept value."""
+    parameter = get_sweep_parameter(data.spec.parameter)
+    lines: List[str] = [
+        f"Sweep — {parameter.name} ({parameter.description})",
+        "",
+    ]
+    for point in data.points:
+        lines.append(f"{parameter.name} = {point.value:g}")
+        lines.append(
+            f"  {'scheme':22s} {'link':30s} {'tput (kbps)':>12s} "
+            f"{'delay (ms)':>12s} {'util %':>8s}"
+        )
+        for row in point.results:
+            lines.append(
+                f"  {row.scheme:22s} {row.link:30s} {row.throughput_kbps:12.0f} "
+                f"{row.self_inflicted_delay_ms:12.0f} {100 * row.utilization:8.1f}"
+            )
+        lines.append("")
+    return "\n".join(lines)

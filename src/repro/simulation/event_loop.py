@@ -1,12 +1,43 @@
-"""The discrete-event loop that drives every experiment."""
+"""The discrete-event loop that drives every experiment.
+
+Scheduling is *batched*: events that land on the same instant are coalesced
+into one heap entry (a FIFO bucket), so a dense delivery trace that releases
+many packets per tick — each scheduling its propagation-delayed arrival at
+the identical time — costs O(ticks) heap operations instead of O(packets).
+The observable semantics are unchanged from a plain per-event heap: events
+fire in time order, ties break by scheduling order, and
+``events_processed`` / ``pending_events`` count individual events, never
+buckets.  ``tests/test_event_loop_batching.py`` holds this loop to
+bit-identical behaviour against an unbatched reference implementation.
+"""
 
 from __future__ import annotations
 
 import heapq
-from typing import Any, Callable, Optional
+from typing import Any, Callable, Dict, List, Optional
 
 from repro.simulation.clock import Clock
 from repro.simulation.events import Event
+
+
+class _Batch:
+    """All events scheduled for one instant, in FIFO order.
+
+    Ordered by ``(time, order)`` where ``order`` is the creation index of the
+    batch; a batch created later (e.g. by an event rescheduling at its own
+    fire time) sorts after an earlier batch at the same instant, which is
+    exactly the unbatched heap's sequence-number tiebreak.
+    """
+
+    __slots__ = ("time", "order", "events")
+
+    def __init__(self, time: float, order: int, events: List[Event]) -> None:
+        self.time = time
+        self.order = order
+        self.events = events
+
+    def __lt__(self, other: "_Batch") -> bool:
+        return (self.time, self.order) < (other.time, other.order)
 
 
 class EventLoop:
@@ -20,8 +51,12 @@ class EventLoop:
 
     def __init__(self, start: float = 0.0) -> None:
         self.clock = Clock(start)
-        self._heap: list[Event] = []
+        self._heap: List[_Batch] = []
+        #: batches still accepting same-time appends, keyed by exact time
+        self._open: Dict[float, _Batch] = {}
         self._sequence = 0
+        self._batch_order = 0
+        self._pending = 0
         self._processed = 0
 
     # ------------------------------------------------------------------ time
@@ -37,8 +72,12 @@ class EventLoop:
 
     @property
     def pending_events(self) -> int:
-        """Number of events still queued (including cancelled ones)."""
-        return len(self._heap)
+        """Number of events still queued (including cancelled ones).
+
+        Counts individual events, not coalesced batches: five events
+        scheduled for the same instant report as five pending events.
+        """
+        return self._pending
 
     # ------------------------------------------------------------ scheduling
 
@@ -53,9 +92,18 @@ class EventLoop:
                 f"cannot schedule event in the past: now={self.clock.now():.9f}, "
                 f"requested={time:.9f}"
             )
-        event = Event(time=float(time), sequence=self._sequence, callback=callback, args=args)
+        time = float(time)
+        event = Event(time=time, sequence=self._sequence, callback=callback, args=args)
         self._sequence += 1
-        heapq.heappush(self._heap, event)
+        batch = self._open.get(time)
+        if batch is None:
+            batch = _Batch(time, self._batch_order, [event])
+            self._batch_order += 1
+            self._open[time] = batch
+            heapq.heappush(self._heap, batch)
+        else:
+            batch.events.append(event)
+        self._pending += 1
         return event
 
     def schedule_after(self, delay: float, callback: Callable[..., Any], *args: Any) -> Event:
@@ -65,6 +113,57 @@ class EventLoop:
         return self.schedule_at(self.clock.now() + delay, callback, *args)
 
     # --------------------------------------------------------------- running
+
+    def _close(self, batch: _Batch) -> None:
+        """Stop routing same-time appends to a popped batch.
+
+        Events scheduled at this instant from inside the batch's own
+        callbacks open a fresh batch, which sorts after this one — the same
+        ordering the unbatched heap gives later sequence numbers.
+        """
+        if self._open.get(batch.time) is batch:
+            del self._open[batch.time]
+
+    def _requeue_tail(self, batch: _Batch, index: int) -> None:
+        """Put ``batch.events[index:]`` back at the front of its time slot.
+
+        Keeps the batch's original order so the tail still precedes any
+        batch opened at the same instant meanwhile; the unbatched loop gets
+        this for free because unfired events simply stay in its heap.
+        """
+        if index >= len(batch.events):
+            return
+        rest = _Batch(batch.time, batch.order, batch.events[index:])
+        heapq.heappush(self._heap, rest)
+        if batch.time not in self._open:
+            self._open[batch.time] = rest
+
+    def _fire_batch(self, batch: _Batch, limit: Optional[int] = None) -> int:
+        """Fire a popped batch's events in FIFO order; return the count fired.
+
+        Stops after ``limit`` fired events, re-queueing the rest.  A callback
+        that raises also leaves the unfired tail queued (and ``pending_events``
+        exact), matching the unbatched loop where those events were never
+        popped — the caller may catch the error and keep running.
+        """
+        fired = 0
+        index = 0
+        try:
+            while index < len(batch.events):
+                if limit is not None and fired >= limit:
+                    break
+                event = batch.events[index]
+                index += 1
+                self._pending -= 1
+                if event.cancelled:
+                    continue
+                self.clock.advance_to(batch.time)
+                event.fire()
+                self._processed += 1
+                fired += 1
+        finally:
+            self._requeue_tail(batch, index)
+        return fired
 
     def run_until(self, end_time: float) -> None:
         """Run all events with ``time <= end_time`` and advance the clock.
@@ -77,12 +176,9 @@ class EventLoop:
                 f"end_time {end_time:.9f} is before current time {self.clock.now():.9f}"
             )
         while self._heap and self._heap[0].time <= end_time:
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.clock.advance_to(event.time)
-            event.fire()
-            self._processed += 1
+            batch = heapq.heappop(self._heap)
+            self._close(batch)
+            self._fire_batch(batch)
         self.clock.advance_to(end_time)
 
     def run_all(self, max_events: Optional[int] = None) -> None:
@@ -91,10 +187,7 @@ class EventLoop:
         while self._heap:
             if max_events is not None and fired >= max_events:
                 return
-            event = heapq.heappop(self._heap)
-            if event.cancelled:
-                continue
-            self.clock.advance_to(event.time)
-            event.fire()
-            self._processed += 1
-            fired += 1
+            batch = heapq.heappop(self._heap)
+            self._close(batch)
+            remaining = None if max_events is None else max_events - fired
+            fired += self._fire_batch(batch, limit=remaining)

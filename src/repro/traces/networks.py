@@ -25,11 +25,10 @@ link, Section 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from functools import lru_cache
 from typing import Dict, List, Tuple
 
+from repro.traces.cache import global_cache
 from repro.traces.channel import ChannelConfig
-from repro.traces.synthetic import generate_trace
 
 #: trace length used by default throughout the experiment harness (seconds).
 #: The paper uses ~17 minute traces; 120 s keeps the full evaluation matrix
@@ -204,20 +203,22 @@ def get_link(name: str) -> LinkSpec:
     raise KeyError(f"unknown link {name!r}; valid links: {', '.join(link_names())}")
 
 
-@lru_cache(maxsize=64)
-def _cached_trace(link_key: str, duration: float, seed_offset: int) -> Tuple[float, ...]:
-    link = get_link(link_key)
-    trace = generate_trace(link.config, duration, seed=link.seed + seed_offset)
-    return tuple(trace)
-
-
 def link_trace(
     link: LinkSpec, duration: float = DEFAULT_TRACE_DURATION, seed_offset: int = 0
 ) -> List[float]:
     """Delivery-opportunity trace for ``link``, memoised for reuse.
 
+    Memoisation goes through :mod:`repro.traces.cache`, keyed by the link's
+    full channel configuration (not its name), so sweep-modified variants of
+    a registry link get their own traces.  The returned list is a defensive
+    copy — mutating it cannot corrupt the cache.
+
     ``seed_offset`` selects an alternative realisation of the same channel
     (used, e.g., to give the feedback direction of an experiment a trace that
     is statistically identical to but independent from the data direction).
     """
-    return list(_cached_trace(link.key, float(duration), int(seed_offset)))
+    return list(
+        global_cache().trace(
+            link.config, float(duration), int(link.seed) + int(seed_offset)
+        )
+    )

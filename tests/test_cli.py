@@ -8,7 +8,7 @@ from repro.traces.format import read_trace
 
 def test_parser_knows_all_commands():
     parser = build_parser()
-    for command in ("run", "figure", "table", "report", "trace", "list"):
+    for command in ("run", "figure", "table", "report", "sweep", "trace", "list"):
         args = parser.parse_args([command] + _minimal_args(command))
         assert args.command == command
 
@@ -19,6 +19,7 @@ def _minimal_args(command):
         "figure": ["1"],
         "table": ["intro"],
         "report": [],
+        "sweep": ["--param", "loss", "--values", "0", "0.01"],
         "trace": ["Verizon LTE downlink", "/tmp/ignored.txt"],
         "list": [],
     }[command]
@@ -56,3 +57,78 @@ def test_unknown_figure_number_fails(capsys):
 def test_unknown_scheme_rejected_by_argparse():
     with pytest.raises(SystemExit):
         main(["run", "QUIC", "Verizon LTE downlink"])
+
+
+def test_list_command_names_sweep_parameters(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "sweep parameters:" in out
+    for name in ("loss", "sigma", "tick", "outage", "scale"):
+        assert name in out
+
+
+def test_sweep_command_three_parameters_end_to_end(capsys):
+    """A ≥3-parameter sweep through the real CLI entry point."""
+    code = main(
+        [
+            "sweep",
+            "--param", "loss", "--values", "0", "0.05",
+            "--param", "outage", "--values", "1", "4",
+            "--param", "scale", "--values", "1", "0.5",
+            "--schemes", "Vegas",
+            "--links", "AT&T LTE uplink",
+            "--duration", "6", "--warmup", "1", "--jobs", "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Sweep — loss" in out
+    assert "Sweep — outage" in out
+    assert "Sweep — scale" in out
+    assert out.count("Vegas") == 6  # two values per parameter
+
+
+def test_sweep_command_requires_param(capsys):
+    assert main(["sweep", "--duration", "6"]) == 2
+    assert "at least one --param" in capsys.readouterr().err
+
+
+def test_sweep_command_rejects_mismatched_values(capsys):
+    code = main(
+        ["sweep", "--param", "loss", "--param", "scale", "--values", "0", "0.1"]
+    )
+    assert code == 2
+    assert "--values" in capsys.readouterr().err
+
+
+def test_sweep_command_rejects_unknown_parameter():
+    with pytest.raises(SystemExit):
+        main(["sweep", "--param", "bandwidth", "--values", "1"])
+
+
+def test_sweep_command_validates_every_sweep_before_running_any(capsys):
+    # The second sweep's bad value must fail fast — before the first
+    # sweep's emulation burns minutes of wall-clock.
+    code = main(
+        [
+            "sweep",
+            "--param", "loss", "--values", "0",
+            "--param", "loss", "--values", "1.5",
+            "--schemes", "Vegas", "--links", "AT&T LTE uplink",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 2
+    assert "loss rate" in captured.err
+    assert "Sweep —" not in captured.out  # nothing was run or printed
+
+
+def test_sweep_command_reports_expander_errors_without_traceback(capsys):
+    # sigma does not apply to Vegas; loss 1.5 is out of range — both are
+    # user errors and must exit 2 with a message, not a traceback.
+    code = main(["sweep", "--param", "sigma", "--values", "100", "--schemes", "Vegas"])
+    assert code == 2
+    assert "sweep error:" in capsys.readouterr().err
+    code = main(["sweep", "--param", "loss", "--values", "1.5"])
+    assert code == 2
+    assert "loss rate" in capsys.readouterr().err

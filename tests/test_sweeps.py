@@ -1,0 +1,272 @@
+"""Tests for the scenario sweep engine (repro.experiments.sweeps).
+
+The headline property (the PR's acceptance bar): a sweep executed through
+the full fast path — flattened batch, shared worker pool, shared trace
+cache, batched event loop — is bit-identical to running every expanded cell
+one by one, serially, with the trace cache disabled.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+
+from repro.experiments.parallel import active_pool, shared_pool
+from repro.experiments.registry import get_scheme
+from repro.experiments.runner import RunConfig, run_scheme_on_link
+from repro.experiments.sweeps import (
+    SWEEP_PARAMETERS,
+    SweepSpec,
+    expand_sweep,
+    get_sweep_parameter,
+    render_sweep,
+    run_sweep,
+    run_sweep_suite,
+    sweep_parameter_names,
+)
+from repro.traces.cache import global_cache
+from repro.traces.networks import get_link, link_names
+
+TINY = RunConfig(duration=8.0, warmup=2.0)
+LINK = "AT&T LTE uplink"
+
+
+# ----------------------------------------------------------------- expansion
+
+
+def test_sweep_parameter_registry_is_complete():
+    assert set(sweep_parameter_names()) == {"loss", "sigma", "tick", "outage", "scale"}
+    for name in sweep_parameter_names():
+        assert get_sweep_parameter(name).description
+
+
+def test_unknown_parameter_is_rejected_with_valid_names():
+    with pytest.raises(KeyError, match="loss"):
+        get_sweep_parameter("bandwidth")
+    with pytest.raises(KeyError):
+        SweepSpec(parameter="bandwidth", values=(1.0,))
+
+
+def test_spec_defaults_links_to_all_eight():
+    spec = SweepSpec(parameter="loss", values=(0.0, 0.01))
+    assert list(spec.links) == link_names()
+    assert spec.cells_per_value == len(link_names())
+
+
+def test_expand_sweep_is_value_major_scheme_then_link():
+    spec = SweepSpec(
+        parameter="loss",
+        values=(0.0, 0.1),
+        schemes=("Vegas", "Skype"),
+        links=(LINK, "Verizon LTE uplink"),
+    )
+    cells = expand_sweep(spec, TINY)
+    assert len(cells) == 8
+    assert [c[2].loss_rate for c in cells] == [0.0] * 4 + [0.1] * 4
+    assert [c[0] for c in cells[:4]] == ["Vegas", "Vegas", "Skype", "Skype"]
+    # The base config is never mutated, only replaced.
+    assert TINY.loss_rate == 0.0
+
+
+def test_loss_values_validated():
+    spec = SweepSpec(parameter="loss", values=(1.5,), links=(LINK,))
+    with pytest.raises(ValueError, match="loss rate"):
+        expand_sweep(spec, TINY)
+
+
+def test_sigma_and_tick_variants_are_picklable_sprout_schemes():
+    for parameter, value in (("sigma", 120.0), ("tick", 0.04)):
+        spec = SweepSpec(parameter=parameter, values=(value,), links=(LINK,))
+        ((scheme, _, _),) = expand_sweep(spec, TINY)
+        assert scheme.category == "sprout"
+        assert str(value).rstrip("0").rstrip(".") in scheme.name or f"{value:g}" in scheme.name
+        pickle.loads(pickle.dumps(scheme))  # must ship to worker processes
+
+
+def test_sigma_and_tick_variants_start_from_the_base_spec_config():
+    """Sweeping a non-default Sprout spec must keep its other knobs."""
+    from repro.experiments.registry import sprout_with_confidence
+
+    base = sprout_with_confidence(0.25)
+    (scheme, _, _) = SWEEP_PARAMETERS["sigma"].expand(base, LINK, TINY, 120.0)
+    variant_config = scheme.factory.args[0]
+    assert variant_config.confidence == 0.25  # preserved, not reset to 0.95
+    assert variant_config.model_params.sigma == 120.0
+    assert "Sprout (25%)" in scheme.name and "sigma=120" in scheme.name
+
+    (scheme, _, _) = SWEEP_PARAMETERS["tick"].expand(base, LINK, TINY, 0.04)
+    variant_config = scheme.factory.args[0]
+    assert variant_config.confidence == 0.25
+    assert variant_config.tick_interval == 0.04
+    assert variant_config.model_params.tick == 0.04
+
+
+def test_sigma_sweep_rejects_unrecoverable_sprout_specs():
+    """An opaque closure spec is refused, not silently re-run at defaults."""
+    from repro.experiments.registry import SchemeSpec
+
+    opaque = SchemeSpec(name="Sprout (opaque)", factory=lambda: None, category="sprout")
+    with pytest.raises(ValueError, match="cannot recover"):
+        SWEEP_PARAMETERS["sigma"].expand(opaque, LINK, TINY, 100.0)
+
+
+def test_sigma_sweep_rejects_non_sprout_schemes():
+    spec = SweepSpec(parameter="sigma", values=(100.0,), schemes=("Vegas",), links=(LINK,))
+    with pytest.raises(ValueError, match="does not apply"):
+        expand_sweep(spec, TINY)
+    ewma = SweepSpec(
+        parameter="tick", values=(0.04,), schemes=("Sprout-EWMA",), links=(LINK,)
+    )
+    with pytest.raises(ValueError, match="does not apply"):
+        expand_sweep(ewma, TINY)
+
+
+def test_outage_and_scale_modify_a_copy_of_the_link():
+    pristine = get_link(LINK)
+    for parameter, value in (("outage", 3.0), ("scale", 0.5)):
+        spec = SweepSpec(parameter=parameter, values=(value,), links=(LINK,))
+        ((_, link, _),) = expand_sweep(spec, TINY)
+        assert link.name == pristine.name  # same identity for reporting
+        assert link.config != pristine.config
+    assert get_link(LINK).config == pristine.config  # registry untouched
+
+
+def test_modified_links_get_their_own_traces():
+    """The cache keys on channel content, so variants cannot collide."""
+    from repro.traces.networks import link_trace
+
+    pristine = get_link(LINK)
+    spec = SweepSpec(parameter="scale", values=(0.25,), links=(LINK,))
+    ((_, scaled, _),) = expand_sweep(spec, TINY)
+    base_trace = link_trace(pristine, duration=5.0)
+    scaled_trace = link_trace(scaled, duration=5.0)
+    assert base_trace != scaled_trace
+    assert len(scaled_trace) < len(base_trace)  # quarter the capacity
+
+
+# ----------------------------------------------------------------- execution
+
+
+def test_sweep_results_bit_identical_to_uncached_serial_cells(monkeypatch):
+    """Acceptance bar: fast path == cell-by-cell uncached serial run."""
+    spec = SweepSpec(
+        parameter="loss",
+        values=(0.0, 0.02, 0.1),
+        schemes=("Vegas", "Skype"),
+        links=(LINK,),
+    )
+    fast = run_sweep(spec, config=TINY, jobs=2)
+
+    monkeypatch.setattr(global_cache(), "enabled", False)
+    for point in fast.points:
+        for row in point.results:
+            reference = run_scheme_on_link(
+                row.scheme,
+                row.link,
+                RunConfig(
+                    duration=TINY.duration, warmup=TINY.warmup, loss_rate=point.value
+                ),
+            )
+            assert row.as_dict() == reference.as_dict()
+
+
+def test_run_sweep_groups_points_by_value():
+    spec = SweepSpec(
+        parameter="scale", values=(1.0, 0.5), schemes=("Vegas",), links=(LINK,)
+    )
+    data = run_sweep(spec, config=TINY)
+    assert [p.value for p in data.points] == [1.0, 0.5]
+    assert all(len(p.results) == 1 for p in data.points)
+    assert data.for_value(0.5) is data.points[1]
+    with pytest.raises(KeyError):
+        data.for_value(2.0)
+    # scale=1.0 is the calibrated link: identical to a plain run.
+    plain = run_scheme_on_link("Vegas", LINK, TINY)
+    assert data.for_value(1.0).results[0].as_dict() == plain.as_dict()
+
+
+def test_scale_one_equals_identity_and_halving_reduces_throughput():
+    spec = SweepSpec(
+        parameter="scale", values=(1.0, 0.5), schemes=("Vegas",), links=(LINK,)
+    )
+    data = run_sweep(spec, config=TINY)
+    full = data.for_value(1.0).results[0]
+    half = data.for_value(0.5).results[0]
+    assert half.throughput_bps < full.throughput_bps
+
+
+def test_suite_runs_inside_one_shared_pool():
+    observed_pools = []
+
+    def spy(_result) -> None:
+        observed_pools.append(active_pool())
+
+    specs = [
+        SweepSpec(parameter="loss", values=(0.0,), schemes=("Vegas",), links=(LINK,)),
+        SweepSpec(parameter="scale", values=(1.0,), schemes=("Vegas",), links=(LINK,)),
+    ]
+    suite = run_sweep_suite(specs, config=TINY, progress=spy, jobs=2)
+    assert len(suite) == 2
+    assert len(observed_pools) == 2
+    assert observed_pools[0] is not None
+    assert observed_pools[0] is observed_pools[1]  # the same pool, reused
+    assert active_pool() is None  # and closed afterwards
+
+
+def test_suite_serial_when_jobs_none():
+    specs = [
+        SweepSpec(parameter="loss", values=(0.0,), schemes=("Vegas",), links=(LINK,))
+    ]
+    suite = run_sweep_suite(specs, config=TINY)
+    plain = run_scheme_on_link("Vegas", LINK, TINY)
+    assert suite[0].points[0].results[0].as_dict() == plain.as_dict()
+
+
+@pytest.mark.perf
+def test_sigma_and_tick_sweeps_run_end_to_end():
+    """The model-rebuilding sweeps actually emulate (Monte-Carlo warm-up
+    per non-default parameter set makes this too slow for the smoke job)."""
+    for parameter, value in (("sigma", 150.0), ("tick", 0.04)):
+        spec = SweepSpec(parameter=parameter, values=(value,), links=(LINK,))
+        data = run_sweep(spec, config=RunConfig(duration=6.0, warmup=1.0))
+        ((point),) = data.points
+        (row,) = point.results
+        assert row.scheme.startswith("Sprout [")
+        assert row.throughput_bps > 0
+        assert row.link == LINK
+
+
+# ----------------------------------------------------------------- rendering
+
+
+def test_render_sweep_lists_every_value_and_scheme():
+    spec = SweepSpec(
+        parameter="loss", values=(0.0, 0.05), schemes=("Vegas",), links=(LINK,)
+    )
+    text = render_sweep(run_sweep(spec, config=TINY))
+    assert "Sweep — loss" in text
+    assert "loss = 0" in text
+    assert "loss = 0.05" in text
+    assert text.count("Vegas") == 2
+    assert LINK in text
+
+
+def test_report_includes_sweep_sections():
+    from repro.experiments.report import ReportConfig, generate_report
+
+    spec = SweepSpec(parameter="loss", values=(0.0,), schemes=("Vegas",), links=(LINK,))
+    cfg = ReportConfig(
+        duration=6.0, warmup=1.0, include_sections=["sweeps"], sweeps=[spec]
+    )
+    report = generate_report(cfg, progress=None)
+    assert "Sweep — loss" in report
+    assert "Vegas" in report
+
+
+def test_sweep_spec_registry_wiring():
+    """Sprout variants route through the scheme registry's builder."""
+    spec = SweepSpec(parameter="sigma", values=(200.0,), links=(LINK,))
+    ((scheme, _, _),) = expand_sweep(spec, TINY)
+    assert get_scheme("Sprout").category == scheme.category == "sprout"
+    assert SWEEP_PARAMETERS["sigma"].expand is not None

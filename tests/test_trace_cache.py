@@ -1,0 +1,194 @@
+"""Correctness of the shared trace cache (repro.traces.cache).
+
+The contract: cached and uncached callers get bit-identical traces; a cache
+hit hands back a defensive copy (mutating a returned trace cannot poison
+later callers); and no reader — thread or worker process — can ever observe
+a partially built entry (memory entries are published whole under a lock,
+disk entries via atomic ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+import os
+import threading
+
+import numpy as np
+import pytest
+
+from repro.traces.cache import (
+    CACHE_FORMAT_VERSION,
+    TraceCache,
+    default_cache_dir,
+    trace_key,
+)
+from repro.traces.channel import ChannelConfig
+from repro.traces.networks import get_link, link_trace
+from repro.traces.synthetic import generate_trace
+
+CONFIG = ChannelConfig(mean_rate=50.0, volatility=20.0)
+DURATION = 5.0
+SEED = 42
+
+
+@pytest.fixture
+def disk_cache(tmp_path) -> TraceCache:
+    return TraceCache(directory=str(tmp_path), use_disk=True)
+
+
+def test_cached_trace_is_bit_identical_to_direct_generation(disk_cache):
+    direct = generate_trace(CONFIG, DURATION, seed=SEED)
+    cached = disk_cache.trace(CONFIG, DURATION, SEED)
+    assert list(cached) == direct
+    # And again through every layer: memory hit, then a cold disk hit.
+    assert list(disk_cache.trace(CONFIG, DURATION, SEED)) == direct
+    cold = TraceCache(directory=disk_cache.directory, use_disk=True)
+    assert list(cold.trace(CONFIG, DURATION, SEED)) == direct
+    assert cold.stats.disk_hits == 1
+    assert cold.stats.misses == 0
+
+
+def test_disabled_cache_still_returns_identical_traces(tmp_path):
+    disabled = TraceCache(directory=str(tmp_path), enabled=False)
+    assert list(disabled.trace(CONFIG, DURATION, SEED)) == generate_trace(
+        CONFIG, DURATION, seed=SEED
+    )
+    assert list(tmp_path.iterdir()) == []  # nothing persisted
+
+
+def test_cache_hit_layers_are_counted(disk_cache):
+    disk_cache.trace(CONFIG, DURATION, SEED)
+    disk_cache.trace(CONFIG, DURATION, SEED)
+    assert disk_cache.stats.misses == 1
+    assert disk_cache.stats.memory_hits == 1
+
+
+def test_link_trace_returns_a_defensive_copy():
+    link = get_link("AT&T LTE uplink")
+    first = link_trace(link, duration=5.0)
+    first_copy = list(first)
+    first.clear()  # vandalise the returned list
+    second = link_trace(link, duration=5.0)
+    assert second == first_copy
+    assert second is not first
+
+
+def test_cache_trace_objects_are_immutable_tuples(disk_cache):
+    trace = disk_cache.trace(CONFIG, DURATION, SEED)
+    assert isinstance(trace, tuple)
+    with pytest.raises((TypeError, AttributeError)):
+        trace[0] = -1.0  # type: ignore[index]
+
+
+def test_key_covers_every_channel_field_not_the_link_name():
+    base = trace_key(CONFIG, DURATION, SEED)
+    assert trace_key(CONFIG, DURATION, SEED) == base
+    bumped = ChannelConfig(mean_rate=50.0, volatility=20.0, outage_rate=0.05)
+    assert trace_key(bumped, DURATION, SEED) != base
+    assert trace_key(CONFIG, DURATION + 1.0, SEED) != base
+    assert trace_key(CONFIG, DURATION, SEED + 1) != base
+
+
+def test_truncated_disk_entry_is_regenerated_not_trusted(disk_cache, tmp_path):
+    reference = list(disk_cache.trace(CONFIG, DURATION, SEED))
+    (path,) = [p for p in tmp_path.iterdir() if p.suffix == ".npy"]
+    payload = path.read_bytes()
+    path.write_bytes(payload[: len(payload) // 2])  # a torn write, simulated
+    cold = TraceCache(directory=str(tmp_path), use_disk=True)
+    assert list(cold.trace(CONFIG, DURATION, SEED)) == reference
+    assert cold.stats.misses == 1  # fell back to generation
+    # The regeneration healed the disk entry for the next cold reader.
+    healed = TraceCache(directory=str(tmp_path), use_disk=True)
+    assert list(healed.trace(CONFIG, DURATION, SEED)) == reference
+    assert healed.stats.disk_hits == 1
+
+
+def test_concurrent_threads_never_observe_partial_entries(tmp_path):
+    cache = TraceCache(directory=str(tmp_path), use_disk=True)
+    reference = generate_trace(CONFIG, DURATION, seed=SEED)
+    results = []
+    errors = []
+    gate = threading.Barrier(8)
+
+    def hammer() -> None:
+        try:
+            gate.wait()
+            for _ in range(5):
+                results.append(cache.trace(CONFIG, DURATION, SEED))
+        except Exception as exc:  # pragma: no cover - failure path
+            errors.append(exc)
+
+    threads = [threading.Thread(target=hammer) for _ in range(8)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    assert not errors
+    assert len(results) == 40
+    for trace in results:
+        assert list(trace) == reference
+
+
+def _worker_roundtrip(args):
+    directory, index = args
+    cache = TraceCache(directory=directory, use_disk=True)
+    trace = cache.trace(CONFIG, DURATION, SEED)
+    return (index, len(trace), float(np.sum(trace)))
+
+
+def test_concurrent_processes_share_disk_entries(tmp_path):
+    """Racing worker processes all see the complete, identical trace."""
+    reference = generate_trace(CONFIG, DURATION, seed=SEED)
+    expected = (len(reference), float(np.sum(reference)))
+    with concurrent.futures.ProcessPoolExecutor(max_workers=2) as pool:
+        outcomes = list(
+            pool.map(_worker_roundtrip, [(str(tmp_path), i) for i in range(4)])
+        )
+    assert [(length, total) for _, length, total in outcomes] == [expected] * 4
+    # Exactly one published file, whatever the race's winner order was.
+    names = [p.name for p in tmp_path.iterdir()]
+    assert names == [f"{trace_key(CONFIG, DURATION, SEED)}.npy"]
+
+
+def test_default_cache_dir_honours_env_override(monkeypatch, tmp_path):
+    monkeypatch.setenv("REPRO_TRACE_CACHE_DIR", str(tmp_path / "elsewhere"))
+    assert default_cache_dir() == str(tmp_path / "elsewhere")
+
+
+def test_unwritable_directory_degrades_to_memory_only(tmp_path):
+    target = tmp_path / "readonly"
+    target.mkdir()
+    os.chmod(target, 0o500)
+    try:
+        cache = TraceCache(directory=str(target), use_disk=True)
+        reference = generate_trace(CONFIG, DURATION, seed=SEED)
+        assert list(cache.trace(CONFIG, DURATION, SEED)) == reference
+        assert cache.stats.memory_hits == 0
+        assert list(cache.trace(CONFIG, DURATION, SEED)) == reference
+        assert cache.stats.memory_hits == 1
+    finally:
+        os.chmod(target, 0o700)
+
+
+def test_memory_layer_is_lru_bounded(tmp_path):
+    cache = TraceCache(directory=str(tmp_path), use_disk=True, max_entries=2)
+    configs = [
+        ChannelConfig(mean_rate=30.0 + 10.0 * i, volatility=10.0) for i in range(3)
+    ]
+    for config in configs:
+        cache.trace(config, 2.0, SEED)
+    assert len(cache._memory) == 2  # oldest entry evicted
+    # The evicted trace is still served correctly (disk hit, not a lie).
+    assert list(cache.trace(configs[0], 2.0, SEED)) == generate_trace(
+        configs[0], 2.0, seed=SEED
+    )
+    assert cache.stats.disk_hits == 1
+    with pytest.raises(ValueError):
+        TraceCache(max_entries=0)
+
+
+def test_format_version_salts_the_key():
+    # Guards against silently reusing stale entries across format bumps.
+    assert isinstance(CACHE_FORMAT_VERSION, int)
+    payload_key = trace_key(CONFIG, DURATION, SEED)
+    assert len(payload_key) == 64  # sha256 hex
