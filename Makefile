@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test smoke cov bench
+.PHONY: test smoke cov bench docs-check
 
 ## full suite, including perf benchmarks (the tier-1 gate)
 test:
@@ -21,3 +21,7 @@ cov:
 ## performance benchmarks, refreshing BENCH_PERF.json
 bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_perf.py -q -s
+
+## docs gate: validate markdown cross-links, smoke-run examples/*.py
+docs-check:
+	$(PYTHON) scripts/docs_check.py

@@ -11,7 +11,10 @@ root so the performance trajectory is trackable across PRs:
   between the two result sets;
 * ``sweep``: wall-clock of a small parameter sweep through the full fast
   path (flattened batch, shared pool, shared trace cache) against the same
-  cells run one by one with the trace cache disabled, again bit-identical.
+  cells run one by one with the trace cache disabled, again bit-identical;
+* ``grid``: the same comparison for a 2-D grid (Cartesian product of two
+  axes through ``repro.experiments.sweeps.run_grid``), so the N-dimensional
+  expansion's overhead and cache behaviour stay on the record.
 
 The matrix speedup is hardware dependent (worker warm-up dominates on a
 single core); the JSON record carries ``cpu_count`` so readers can judge
@@ -34,7 +37,14 @@ from repro.core.rate_model import shared_rate_model
 from repro.experiments.parallel import run_matrix
 from repro.experiments.runner import RunConfig, run_scheme_on_link
 from repro.experiments.runner import run_matrix as run_matrix_serial
-from repro.experiments.sweeps import SweepSpec, expand_sweep, run_sweep
+from repro.experiments.sweeps import (
+    GridSpec,
+    SweepSpec,
+    expand_grid,
+    expand_sweep,
+    run_grid,
+    run_sweep,
+)
 from repro.traces.cache import global_cache
 
 pytestmark = pytest.mark.perf
@@ -188,4 +198,56 @@ def test_bench_sweep_wallclock():
         },
     )
     print(f"\nsweep: fast path {fast_s:.2f}s, uncached serial {reference_s:.2f}s "
+          f"({len(cells)} cells, jobs={MATRIX_JOBS})")
+
+
+#: the small 2-D grid measured by the grid wall-clock benchmark
+GRID_SPEC = GridSpec(
+    parameters=("loss", "scale"),
+    values=((0.0, 0.02), (1.0, 0.5)),
+    schemes=("Vegas",),
+    links=("AT&T LTE uplink",),
+)
+
+
+def test_bench_grid_wallclock():
+    cache = global_cache()
+    cache.clear()
+
+    start = time.perf_counter()
+    fast = run_grid(GRID_SPEC, config=MATRIX_CONFIG, jobs=MATRIX_JOBS)
+    fast_s = time.perf_counter() - start
+
+    # Reference: the same expanded cells, one by one, trace cache off.
+    cells = expand_grid(GRID_SPEC, MATRIX_CONFIG)
+    was_enabled = cache.enabled
+    cache.enabled = False
+    try:
+        start = time.perf_counter()
+        reference = [run_scheme_on_link(s, l, c) for s, l, c in cells]
+        reference_s = time.perf_counter() - start
+    finally:
+        cache.enabled = was_enabled
+
+    # The acceptance bar: every grid cell bit-identical to its serial twin.
+    fast_rows = [r.as_dict() for p in fast.points for r in p.results]
+    assert fast_rows == [r.as_dict() for r in reference]
+
+    _record(
+        "grid",
+        {
+            "parameters": list(GRID_SPEC.parameters),
+            "axis_values": [list(axis) for axis in GRID_SPEC.values],
+            "shape": list(GRID_SPEC.shape),
+            "schemes": list(GRID_SPEC.schemes),
+            "links": list(GRID_SPEC.links),
+            "cells": len(cells),
+            "duration_s": MATRIX_CONFIG.duration,
+            "jobs": MATRIX_JOBS,
+            "grid_wallclock_s": round(fast_s, 3),
+            "uncached_serial_wallclock_s": round(reference_s, 3),
+            "speedup": round(reference_s / fast_s, 3) if fast_s > 0 else None,
+        },
+    )
+    print(f"\ngrid: fast path {fast_s:.2f}s, uncached serial {reference_s:.2f}s "
           f"({len(cells)} cells, jobs={MATRIX_JOBS})")

@@ -16,6 +16,7 @@ Run it with::
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro.baselines.omniscient import omniscient_delay
 from repro.cellsim import cellsim_for_link
@@ -31,10 +32,17 @@ from repro.metrics import (
 from repro.traces import get_link
 
 
+# make docs-check runs every example with REPRO_SMOKE=1: same code path,
+# seconds-long defaults
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
-    parser.add_argument("--duration", type=float, default=60.0, help="seconds to emulate")
-    parser.add_argument("--warmup", type=float, default=10.0, help="seconds excluded from metrics")
+    parser.add_argument("--duration", type=float, default=8.0 if SMOKE else 60.0,
+                        help="seconds to emulate")
+    parser.add_argument("--warmup", type=float, default=2.0 if SMOKE else 10.0,
+                        help="seconds excluded from metrics")
     parser.add_argument("--link", default="Verizon LTE downlink", help="modelled link to use")
     args = parser.parse_args()
 

@@ -14,15 +14,20 @@ Run it with::
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro.experiments.competing import render_competing, run_competing_comparison
+
+# make docs-check runs every example with REPRO_SMOKE=1: same code path,
+# seconds-long defaults
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
 
 
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--link", default="Verizon LTE downlink")
-    parser.add_argument("--duration", type=float, default=60.0)
-    parser.add_argument("--warmup", type=float, default=10.0)
+    parser.add_argument("--duration", type=float, default=10.0 if SMOKE else 60.0)
+    parser.add_argument("--warmup", type=float, default=2.0 if SMOKE else 10.0)
     args = parser.parse_args()
 
     print(f"Running Cubic + Skype over {args.link}, directly and through "

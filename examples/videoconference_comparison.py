@@ -14,6 +14,7 @@ Run it with::
 from __future__ import annotations
 
 import argparse
+import os
 
 from repro.experiments import RunConfig, run_scheme_on_link
 
@@ -30,13 +31,20 @@ DEFAULT_SCHEMES = (
 )
 
 
+# make docs-check runs every example with REPRO_SMOKE=1: same code path,
+# seconds-long defaults over a reduced scheme set
+SMOKE = os.environ.get("REPRO_SMOKE") == "1"
+SMOKE_SCHEMES = ("Sprout", "Skype", "Cubic")
+
+
 def main() -> None:
     parser = argparse.ArgumentParser(description=__doc__)
     parser.add_argument("--link", default="Verizon LTE downlink")
-    parser.add_argument("--duration", type=float, default=60.0)
-    parser.add_argument("--warmup", type=float, default=10.0)
+    parser.add_argument("--duration", type=float, default=8.0 if SMOKE else 60.0)
+    parser.add_argument("--warmup", type=float, default=2.0 if SMOKE else 10.0)
     parser.add_argument(
-        "--schemes", nargs="*", default=list(DEFAULT_SCHEMES),
+        "--schemes", nargs="*",
+        default=list(SMOKE_SCHEMES if SMOKE else DEFAULT_SCHEMES),
         help="schemes to compare (default: the Figure 7 set)",
     )
     args = parser.parse_args()

@@ -1,0 +1,104 @@
+#!/usr/bin/env python
+"""Docs gate: validate markdown cross-links and smoke-run every example.
+
+Two checks, both zero-dependency (``make docs-check``):
+
+1. **Cross-links** — every relative markdown link in ``README.md`` and
+   ``docs/*.md`` must point at a file that exists (anchors are stripped;
+   ``http(s)``/``mailto`` links are skipped).  A renamed doc or a typo'd
+   path fails the build instead of 404ing for readers.
+2. **Examples** — every ``examples/*.py`` runs to completion with
+   ``REPRO_SMOKE=1``, the documented smoke-mode contract that shrinks each
+   example to a seconds-long configuration on the same code path.
+
+Exit status is non-zero on the first category of failure, with every
+individual problem listed.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import subprocess
+import sys
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+#: markdown files whose relative links are validated
+DOC_GLOBS = ["README.md", "docs/*.md"]
+
+#: matches [text](target) links, ignoring images' leading "!"
+_LINK = re.compile(r"(?<!\!)\[[^\]]+\]\(([^)\s]+)\)")
+
+#: per-example wall-clock ceiling (smoke runs finish in seconds)
+EXAMPLE_TIMEOUT_S = 300
+
+
+def check_links() -> list:
+    problems = []
+    for pattern in DOC_GLOBS:
+        for doc in sorted(REPO_ROOT.glob(pattern)):
+            text = doc.read_text(encoding="utf-8")
+            for match in _LINK.finditer(text):
+                target = match.group(1)
+                if target.startswith(("http://", "https://", "mailto:", "#")):
+                    continue
+                path = target.split("#", 1)[0]
+                if not path:
+                    continue
+                resolved = (doc.parent / path).resolve()
+                if not resolved.exists():
+                    problems.append(
+                        f"{doc.relative_to(REPO_ROOT)}: broken link -> {target}"
+                    )
+    return problems
+
+
+def run_examples() -> list:
+    problems = []
+    env = dict(os.environ)
+    env["REPRO_SMOKE"] = "1"
+    src = str(REPO_ROOT / "src")
+    existing = env.get("PYTHONPATH")
+    env["PYTHONPATH"] = f"{src}{os.pathsep}{existing}" if existing else src
+    for example in sorted((REPO_ROOT / "examples").glob("*.py")):
+        rel = example.relative_to(REPO_ROOT)
+        print(f"docs-check: running {rel} (smoke mode)...", flush=True)
+        try:
+            proc = subprocess.run(
+                [sys.executable, str(example)],
+                cwd=REPO_ROOT,
+                env=env,
+                capture_output=True,
+                text=True,
+                timeout=EXAMPLE_TIMEOUT_S,
+            )
+        except subprocess.TimeoutExpired:
+            problems.append(f"{rel}: timed out after {EXAMPLE_TIMEOUT_S}s in smoke mode")
+            continue
+        if proc.returncode != 0:
+            tail = "\n".join(proc.stderr.strip().splitlines()[-5:])
+            problems.append(f"{rel}: exited {proc.returncode}\n{tail}")
+    return problems
+
+
+def main() -> int:
+    link_problems = check_links()
+    for problem in link_problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if link_problems:
+        return 1
+    print(f"docs-check: cross-links ok ({', '.join(DOC_GLOBS)})")
+
+    example_problems = run_examples()
+    for problem in example_problems:
+        print(f"docs-check: {problem}", file=sys.stderr)
+    if example_problems:
+        return 1
+    print("docs-check: all examples ran clean in smoke mode")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -6,9 +6,13 @@ Commands:
 * ``figure``     — regenerate one of the paper's figures (1, 2, 7, 8, 9)
 * ``table``      — regenerate one of the paper's tables (intro, ewma, loss, tunnel)
 * ``report``     — run the full reproduction and print/write the report
-* ``sweep``      — sweep parameters (sigma, tick, loss, outage, scale) over the matrix
+* ``sweep``      — run a scenario grid over the matrix: one ``--param`` is a
+  classic single-parameter sweep, several ``--param`` flags form the
+  Cartesian product (e.g. a sigma × loss grid); axes include loss, sigma,
+  tick, outage, scale, flows, and tunnelled, and results can be exported
+  as tidy CSV or structured JSON (``--export``, docs/scenarios.md)
 * ``trace``      — generate a synthetic delivery trace file for a modelled link
-* ``list``       — list the available schemes, links, and sweep parameters
+* ``list``       — list the available schemes, links, and sweep/grid axes
 """
 
 from __future__ import annotations
@@ -28,12 +32,14 @@ from repro.experiments.registry import scheme_names
 from repro.experiments.report import ReportConfig, generate_report
 from repro.experiments.runner import RunConfig, run_scheme_on_link
 from repro.experiments.parallel import shared_pool
+from repro.experiments.exports import export_text, write_export
 from repro.experiments.sweeps import (
-    SweepSpec,
-    expand_sweep,
+    GridSpec,
+    expand_grid,
     get_sweep_parameter,
-    render_sweep,
-    run_sweep,
+    render_grid,
+    render_grid_frontiers,
+    run_grid,
     sweep_parameter_names,
 )
 from repro.experiments.tables import (
@@ -135,31 +141,39 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             file=sys.stderr,
         )
         return 2
+    if args.out and not args.export:
+        print("--out requires --export (csv or json)", file=sys.stderr)
+        return 2
     links = tuple(args.links) if args.links else ()
     config = _run_config(args)
     try:
-        specs = [
-            SweepSpec(
-                parameter=param,
-                values=tuple(value_list),
-                schemes=tuple(args.schemes),
-                links=links,
-            )
-            for param, value_list in zip(params, values)
-        ]
-        # Validate every expansion up front (it is cheap) so a bad value in
-        # a later sweep cannot waste the minutes of emulation before it.
-        for spec in specs:
-            expand_sweep(spec, config)
+        # Several --param flags form ONE grid: the Cartesian product of the
+        # axes, every point measuring the schemes × links matrix.
+        spec = GridSpec(
+            parameters=tuple(params),
+            values=tuple(tuple(value_list) for value_list in values),
+            schemes=tuple(args.schemes),
+            links=links,
+        )
+        # Validate the full expansion up front (it is cheap) so a bad value
+        # in a late axis cannot waste the minutes of emulation before it.
+        expand_grid(spec, config)
     except ValueError as error:
         # Expander rejections (loss outside [0,1), sigma on a non-Sprout
         # scheme, ...) are user errors, not tracebacks.
         print(f"sweep error: {error}", file=sys.stderr)
         return 2
     with shared_pool(args.jobs):
-        for spec in specs:
-            # Print each sweep as it finishes rather than after the suite.
-            print(render_sweep(run_sweep(spec, config=config, jobs=args.jobs)))
+        data = run_grid(spec, config=config, jobs=args.jobs)
+    print(render_grid(data))
+    if len(spec.parameters) > 1:
+        print(render_grid_frontiers(data))
+    if args.export:
+        if args.out:
+            write_export(data, args.export, args.out)
+            print(f"{args.export} export written to {args.out}")
+        else:
+            print(export_text(data, args.export), end="")
     return 0
 
 
@@ -216,14 +230,14 @@ def build_parser() -> argparse.ArgumentParser:
     report_parser.set_defaults(func=_cmd_report)
 
     sweep_parser = sub.add_parser(
-        "sweep", help="sweep parameters over the scheme x link matrix"
+        "sweep", help="run a scenario grid (1-D sweep or N-D Cartesian product)"
     )
     sweep_parser.add_argument(
         "--param",
         action="append",
         choices=sweep_parameter_names(),
-        help="parameter to sweep; repeat for several sweeps in one run "
-        "(each sharing one warmed worker pool)",
+        help="axis to sweep; repeating adds grid dimensions (two --param "
+        "flags form a 2-D grid over the axes' Cartesian product)",
     )
     sweep_parser.add_argument(
         "--values",
@@ -232,6 +246,17 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         metavar="VALUE",
         help="values for the preceding --param",
+    )
+    sweep_parser.add_argument(
+        "--export",
+        choices=["csv", "json"],
+        help="also emit the grid as tidy CSV or structured JSON "
+        "(schema in docs/scenarios.md)",
+    )
+    sweep_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the --export payload to this file instead of stdout",
     )
     sweep_parser.add_argument(
         "--schemes",
@@ -257,7 +282,9 @@ def build_parser() -> argparse.ArgumentParser:
     trace_parser.add_argument("--duration", type=float, default=120.0)
     trace_parser.set_defaults(func=_cmd_trace)
 
-    list_parser = sub.add_parser("list", help="list schemes and links")
+    list_parser = sub.add_parser(
+        "list", help="list schemes, links, and sweep/grid axes"
+    )
     list_parser.set_defaults(func=_cmd_list)
 
     return parser

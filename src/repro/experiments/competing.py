@@ -18,6 +18,7 @@ the bottleneck either way.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import partial
 from typing import Dict, List, Optional, Tuple
 
 from repro.baselines.base import AckingReceiver
@@ -229,6 +230,117 @@ def run_competing_comparison(
     direct = run_direct(link_name, duration, warmup)
     tunnelled = run_tunnelled(link_name, duration, warmup)
     return CompetingComparison(direct=direct, tunnelled=tunnelled)
+
+
+# --------------------------------------------------------------------------
+# Competing-traffic scenarios as matrix cells (the flows / tunnelled axes)
+# --------------------------------------------------------------------------
+#
+# The sweep engine measures (scheme, link, config) cells through
+# ``run_scheme_on_link``, which only needs a picklable factory returning a
+# (sender, receiver) protocol pair.  The builders below package the whole
+# Section 5.7 scenario — one Skype call competing with N-1 Cubic bulk
+# downloads, either sharing the link's queue directly or carried through
+# SproutTunnel — into exactly that shape, so contention and tunnelling can
+# be swept like loss or sigma (see repro.experiments.sweeps and
+# docs/scenarios.md).  The measured SchemeResult is then what the receiving
+# host saw *over the emulated link*: aggregate delivered throughput and the
+# 95th-percentile packet delay (of the tunnel's own packets when tunnelled).
+
+
+def competing_flow_names(flows: int) -> List[str]:
+    """The client flows of an N-flow scenario: one Skype call + N-1 Cubics.
+
+    ``flows=2`` is the paper's Section 5.7 mix (Cubic + Skype); higher
+    values add more bulk downloads competing with the one interactive flow.
+    """
+    if flows < 1 or flows != int(flows):
+        raise ValueError(f"flows must be a positive integer, got {flows!r}")
+    return ["skype"] + [f"cubic-{i}" for i in range(1, int(flows))]
+
+
+def _client_pair(flow: str) -> Tuple[Protocol, Protocol]:
+    if flow == "skype":
+        return (
+            VideoconferenceSender(SKYPE_PROFILE, flow_id=flow),
+            VideoconferenceReceiver(flow_id=flow),
+        )
+    return CubicSender(flow_id=flow), AckingReceiver(flow_id=flow)
+
+
+def competing_direct_pair(flows: int = 2) -> Tuple[Protocol, Protocol]:
+    """Sender/receiver muxes for N client flows sharing the link directly."""
+    senders: Dict[str, Protocol] = {}
+    receivers: Dict[str, Protocol] = {}
+    for flow in competing_flow_names(flows):
+        senders[flow], receivers[flow] = _client_pair(flow)
+    return MultiplexProtocol(senders), MultiplexProtocol(receivers)
+
+
+def competing_tunnel_pair(
+    flows: int = 2, sprout_config: Optional[SproutConfig] = None
+) -> Tuple[Protocol, Protocol]:
+    """Sender/receiver muxes for N client flows carried through SproutTunnel.
+
+    The egress delivers each unwrapped client packet to its local receiver,
+    whose feedback (ACKs, receiver reports) returns over the reverse
+    direction outside the tunnel, exactly as in :func:`run_tunnelled`.
+    """
+    tunnel = make_tunnel(sprout_config)
+    senders: Dict[str, Protocol] = {"sprout-tunnel": tunnel.sender_protocol}
+    receivers: Dict[str, Protocol] = {"sprout-tunnel": tunnel.receiver_protocol}
+    for flow in competing_flow_names(flows):
+        client_sender, client_receiver = _client_pair(flow)
+        senders[flow] = TunnelClient(client_sender, flow, tunnel.ingress)
+        receivers[flow] = client_receiver
+        tunnel.egress.register_flow(flow, client_receiver.on_packet)
+    return MultiplexProtocol(senders), MultiplexProtocol(receivers)
+
+
+def competing_scheme(
+    flows: int = 2,
+    tunnelled: bool = True,
+    sprout_config: Optional[SproutConfig] = None,
+):
+    """A registry-style scheme spec wrapping one competing-traffic scenario.
+
+    The factory is a :func:`functools.partial` over the module-level pair
+    builders, so the spec pickles and parallelises like any registry scheme.
+    ``sprout_config`` tunes the tunnel's Sprout (ignored when direct), which
+    is what lets sigma x flows grids carry the swept model into the tunnel.
+    """
+    from repro.experiments.registry import SchemeSpec
+
+    names = competing_flow_names(flows)
+    if tunnelled:
+        factory = partial(competing_tunnel_pair, int(flows), sprout_config)
+        mode = "tunnel"
+    else:
+        factory = partial(competing_direct_pair, int(flows))
+        mode = "direct"
+    return SchemeSpec(
+        name=f"Competing x{len(names)} [{mode}]",
+        factory=factory,
+        category="scenario",
+    )
+
+
+def competing_scheme_parts(
+    spec,
+) -> Optional[Tuple[int, bool, Optional[SproutConfig]]]:
+    """Recover ``(flows, tunnelled, sprout_config)`` from a scenario spec.
+
+    Returns ``None`` for schemes not built by :func:`competing_scheme`, so
+    the sweep expanders can tell scenario cells from ordinary ones.
+    """
+    factory = getattr(spec, "factory", None)
+    if not isinstance(factory, partial) or factory.keywords:
+        return None
+    if factory.func is competing_tunnel_pair and len(factory.args) == 2:
+        return int(factory.args[0]), True, factory.args[1]
+    if factory.func is competing_direct_pair and len(factory.args) == 1:
+        return int(factory.args[0]), False, None
+    return None
 
 
 def render_competing(comparison: CompetingComparison) -> str:

@@ -1,0 +1,223 @@
+"""Structured exports of sweep/grid results: tidy CSV and structured JSON.
+
+Every finished :class:`~repro.experiments.sweeps.GridData` (or one-axis
+:class:`~repro.experiments.sweeps.SweepData`) can be serialised for plotting
+or archival without re-running a single emulation.  Two formats, both
+schema-versioned (:data:`EXPORT_SCHEMA_VERSION`) and documented
+column-by-column / key-by-key in ``docs/scenarios.md``:
+
+* **CSV** (:func:`export_csv`) — tidy long format: one row per measured
+  ``(grid point, scheme, link)`` cell.  The first column is
+  ``schema_version``, then one column per grid axis (named after the axis,
+  in grid order), then ``scheme``, ``link``, and the metric columns of
+  :data:`METRIC_COLUMNS`.  Floats are written with ``repr`` (shortest
+  round-trip form), so parsing the CSV back recovers bit-identical values.
+* **JSON** (:func:`export_json`) — the full grid structure: spec
+  (parameters, per-axis values, schemes, links), then one entry per grid
+  point with its coordinates (keyed by axis name) and complete
+  :class:`~repro.metrics.summary.SchemeResult` dictionaries.
+
+Both directions are covered: :func:`parse_csv` / :func:`parse_json` read an
+export back, and :func:`grid_data_from_json` rebuilds a full ``GridData`` —
+the round-trip is exact (``tests/test_exports.py``).
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from dataclasses import fields
+from typing import Dict, List, Sequence, Union
+
+from repro.experiments.sweeps import GridData, GridPoint, GridSpec, SweepData
+from repro.metrics.summary import SchemeResult
+
+#: bump when a column/key is added, removed, or changes meaning
+EXPORT_SCHEMA_VERSION = 1
+
+#: metric columns of the CSV export, in order (docs/scenarios.md)
+METRIC_COLUMNS: List[str] = [
+    "throughput_bps",
+    "throughput_kbps",
+    "delay_95_s",
+    "self_inflicted_delay_s",
+    "self_inflicted_delay_ms",
+    "utilization",
+    "capacity_bps",
+    "omniscient_delay_95_s",
+]
+
+GridLike = Union[GridData, SweepData]
+
+
+def as_grid_data(data: GridLike) -> GridData:
+    """Normalise sweep results to grid results (sweeps are one-axis grids)."""
+    if isinstance(data, SweepData):
+        return data.to_grid_data()
+    return data
+
+
+def csv_columns(spec: GridSpec) -> List[str]:
+    """The CSV header row for one grid: version, axes, identity, metrics."""
+    return ["schema_version", *spec.parameters, "scheme", "link", *METRIC_COLUMNS]
+
+
+def export_rows(data: GridLike) -> List[Dict[str, object]]:
+    """The tidy long-format rows of an export, one per measured cell."""
+    grid = as_grid_data(data)
+    rows: List[Dict[str, object]] = []
+    for point in grid.points:
+        for result in point.results:
+            row: Dict[str, object] = {"schema_version": EXPORT_SCHEMA_VERSION}
+            row.update(zip(point.parameters, point.coordinates))
+            row["scheme"] = result.scheme
+            row["link"] = result.link
+            for column in METRIC_COLUMNS:
+                row[column] = getattr(result, column)
+            rows.append(row)
+    return rows
+
+
+def export_csv(data: GridLike) -> str:
+    """Serialise a grid/sweep as tidy long-format CSV (exact floats)."""
+    grid = as_grid_data(data)
+    buffer = io.StringIO()
+    writer = csv.writer(buffer, lineterminator="\n")
+    writer.writerow(csv_columns(grid.spec))
+    for row in export_rows(grid):
+        writer.writerow(
+            [repr(value) if isinstance(value, float) else value for value in row.values()]
+        )
+    return buffer.getvalue()
+
+
+def export_json(data: GridLike) -> str:
+    """Serialise a grid/sweep as structured JSON (exact floats via repr)."""
+    grid = as_grid_data(data)
+    spec = grid.spec
+    payload = {
+        "schema_version": EXPORT_SCHEMA_VERSION,
+        "kind": "grid",
+        "parameters": list(spec.parameters),
+        "axis_values": [list(axis) for axis in spec.values],
+        "schemes": list(spec.schemes),
+        "links": list(spec.links),
+        "points": [
+            {
+                "coordinates": dict(zip(point.parameters, point.coordinates)),
+                "results": [result.as_dict() for result in point.results],
+            }
+            for point in grid.points
+        ],
+    }
+    return json.dumps(payload, indent=2) + "\n"
+
+
+def export_text(data: GridLike, fmt: str) -> str:
+    """Dispatch on format name: ``"csv"`` or ``"json"``."""
+    if fmt == "csv":
+        return export_csv(data)
+    if fmt == "json":
+        return export_json(data)
+    raise ValueError(f"unknown export format {fmt!r}; valid formats: csv, json")
+
+
+def write_export(data: GridLike, fmt: str, path: str) -> None:
+    """Write an export to ``path`` (see :func:`export_text`)."""
+    text = export_text(data, fmt)
+    with open(path, "w", encoding="utf-8", newline="") as handle:
+        handle.write(text)
+
+
+# ----------------------------------------------------------------- parsing
+
+
+def parse_csv(text: str) -> List[Dict[str, object]]:
+    """Parse a CSV export back into typed rows (exact float round-trip).
+
+    Axis and metric columns come back as floats, ``schema_version`` as an
+    int, ``scheme``/``link`` as strings.  Raises ``ValueError`` on a schema
+    version this code does not understand.
+    """
+    reader = csv.reader(io.StringIO(text))
+    try:
+        header = next(reader)
+    except StopIteration:
+        raise ValueError("empty CSV export: no header row") from None
+    if not header or header[0] != "schema_version":
+        raise ValueError("not a grid export: first column must be schema_version")
+    rows: List[Dict[str, object]] = []
+    for line, raw in enumerate(reader, start=2):
+        if not raw:
+            continue
+        if len(raw) != len(header):
+            raise ValueError(
+                f"malformed CSV export: line {line} has {len(raw)} fields, "
+                f"header has {len(header)} (truncated file?)"
+            )
+        row: Dict[str, object] = {}
+        for column, value in zip(header, raw):
+            if column == "schema_version":
+                row[column] = _check_schema_version(int(value))
+            elif column in ("scheme", "link"):
+                row[column] = value
+            else:
+                row[column] = float(value)
+        rows.append(row)
+    return rows
+
+
+def parse_json(text: str) -> dict:
+    """Parse a JSON export, validating its schema version."""
+    payload = json.loads(text)
+    _check_schema_version(payload.get("schema_version"))
+    if payload.get("kind") != "grid":
+        raise ValueError(f"not a grid export: kind={payload.get('kind')!r}")
+    return payload
+
+
+_RESULT_FIELDS = {f.name for f in fields(SchemeResult)}
+
+
+def _check_schema_version(version: object) -> int:
+    if version != EXPORT_SCHEMA_VERSION:
+        raise ValueError(
+            f"unsupported export schema version {version!r} "
+            f"(this code reads version {EXPORT_SCHEMA_VERSION})"
+        )
+    return EXPORT_SCHEMA_VERSION
+
+
+def grid_data_from_json(payload: Union[str, dict]) -> GridData:
+    """Rebuild a full :class:`GridData` from a JSON export.
+
+    The reconstruction is exact: every ``SchemeResult`` field (including
+    the ``extra`` counters) round-trips bit-identically, so downstream
+    analysis (frontiers, tables) can run from an export alone.
+    """
+    if isinstance(payload, str):
+        payload = parse_json(payload)
+    else:
+        _check_schema_version(payload.get("schema_version"))
+    spec = GridSpec(
+        parameters=tuple(payload["parameters"]),
+        values=tuple(tuple(axis) for axis in payload["axis_values"]),
+        schemes=tuple(payload["schemes"]),
+        links=tuple(payload["links"]),
+    )
+    points = []
+    for entry in payload["points"]:
+        coordinates = entry["coordinates"]
+        results = [
+            SchemeResult(**{k: v for k, v in row.items() if k in _RESULT_FIELDS})
+            for row in entry["results"]
+        ]
+        points.append(
+            GridPoint(
+                parameters=spec.parameters,
+                coordinates=tuple(coordinates[name] for name in spec.parameters),
+                results=results,
+            )
+        )
+    return GridData(spec=spec, points=points)

@@ -19,7 +19,15 @@ from repro.experiments.figure9 import render_figure9, run_figure9
 from repro.experiments.parallel import shared_pool
 from repro.experiments.registry import INTRO_TABLE_SCHEMES
 from repro.experiments.runner import RunConfig
-from repro.experiments.sweeps import SweepSpec, render_sweep, run_sweep
+from repro.experiments.sweeps import (
+    GridSpec,
+    SweepSpec,
+    render_grid,
+    render_grid_frontiers,
+    render_sweep,
+    run_grid,
+    run_sweep,
+)
 from repro.experiments.tables import (
     intro_table,
     loss_table,
@@ -45,6 +53,9 @@ class ReportConfig:
     jobs: Optional[int] = None
     #: optional parameter sweeps appended to the report (docs/sweeps.md)
     sweeps: Optional[List[SweepSpec]] = None
+    #: optional multi-dimensional grids appended to the report, each
+    #: followed by its per-link frontier section (docs/scenarios.md)
+    grids: Optional[List[GridSpec]] = None
 
     def run_config(self) -> RunConfig:
         return RunConfig(duration=self.duration, warmup=self.warmup)
@@ -111,5 +122,15 @@ def _generate_report_sections(cfg: ReportConfig, progress) -> str:
             sections.append(
                 render_sweep(run_sweep(spec, config=run_cfg, jobs=cfg.jobs))
             )
+    if cfg.grids and cfg.wants("grids"):
+        for grid_spec in cfg.grids:
+            axes = " × ".join(grid_spec.parameters)
+            note(
+                f"running the {axes} grid "
+                f"({len(grid_spec.coordinates())} points)..."
+            )
+            data = run_grid(grid_spec, config=run_cfg, jobs=cfg.jobs)
+            sections.append(render_grid(data))
+            sections.append(render_grid_frontiers(data))
 
     return "\n\n" + "\n\n".join(sections) + "\n"

@@ -1,15 +1,17 @@
-"""Parameterized scenario sweeps over the scheme × link matrix.
+"""Multi-dimensional scenario grids over the scheme × link matrix.
 
 The paper's headline figures come from one scheme × link matrix at the
-paper's frozen parameters.  This module generalises that into *sweeps*: a
-:class:`SweepSpec` names one swept parameter (from :data:`SWEEP_PARAMETERS`)
-and the values to try; the engine expands every ``value × scheme × link``
-combination into an explicit matrix cell and runs the whole flattened batch
-through :func:`repro.experiments.parallel.run_cells` — one warmed worker
-pool for the entire sweep, with the shared trace cache
-(:mod:`repro.traces.cache`) deduplicating trace generation across cells.
+paper's frozen parameters.  This module generalises that into N-dimensional
+*grids*: a :class:`GridSpec` names any number of swept axes (from
+:data:`SWEEP_PARAMETERS`) and the values to try per axis; the engine expands
+the Cartesian product of every ``coordinate × scheme × link`` combination
+into an explicit matrix cell and runs the whole flattened batch through
+:func:`repro.experiments.parallel.run_cells` — one warmed worker pool for
+the entire grid, with the shared trace cache (:mod:`repro.traces.cache`)
+deduplicating trace generation across cells.  :class:`SweepSpec` survives as
+the one-axis special case and is implemented on top of the grid engine.
 
-Swept parameters:
+Sweepable axes (full semantics in ``docs/scenarios.md``):
 
 ``loss``
     Bernoulli packet-loss probability of the emulated link (the §5.6 axis);
@@ -27,20 +29,33 @@ Swept parameters:
 ``scale``
     Multiplier on the link's mean rate, volatility, and rate cap — a whole
     -link capacity scaling.
+``flows``
+    Number of competing client flows (one Skype call plus N-1 Cubic bulk
+    downloads, §5.7) carried through SproutTunnel; the measured cell is the
+    whole scenario over the link (:mod:`repro.experiments.competing`).
+``tunnelled``
+    Direct-vs-tunnelled scenario toggle for the competing-flows mix:
+    ``0`` shares the link's single queue directly, ``1`` carries the flows
+    through SproutTunnel.
 
-Every expansion is deterministic and picklable, so sweep cells parallelise
-exactly like ordinary matrix cells, and results are bit-identical to
-running each expanded cell serially by hand (``tests/test_sweeps.py``).
+Axes are applied to each cell in the order the spec lists them, so a
+``sigma × flows`` grid (in that order) carries the swept stochastic model
+into the tunnel's Sprout.  Every expansion is deterministic and picklable,
+so grid cells parallelise exactly like ordinary matrix cells, and results
+are bit-identical to running each expanded cell serially by hand
+(``tests/test_sweeps.py``, ``tests/test_exports.py``).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
 from functools import partial
+from itertools import product
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.core.connection import SproutConfig
 from repro.core.rate_model import RateModelParams
+from repro.experiments.competing import competing_scheme, competing_scheme_parts
 from repro.experiments.parallel import Cell, run_cells, shared_pool
 from repro.experiments.registry import SchemeSpec, get_scheme, sprout_variant
 from repro.experiments.runner import ProgressCallback, RunConfig
@@ -68,6 +83,12 @@ def _sprout_base(scheme: SchemeLike, parameter: str) -> Tuple[str, SproutConfig]
     than silently re-run at paper defaults under the base's name.
     """
     spec = get_scheme(scheme) if isinstance(scheme, str) else scheme
+    if competing_scheme_parts(spec) is not None:
+        raise ValueError(
+            f"the {parameter!r} axis cannot re-tune the already-built scenario "
+            f"{spec.name!r}; list {parameter!r} before 'flows'/'tunnelled' so "
+            "the model axis applies to the tunnel's Sprout"
+        )
     if spec.category != "sprout" or spec.name == "Sprout-EWMA":
         raise ValueError(
             f"the {parameter!r} sweep tunes Sprout's stochastic model and does "
@@ -144,6 +165,43 @@ def _expand_scale(scheme: SchemeLike, link: LinkLike, config: RunConfig, value: 
     return (scheme, replace(spec, config=channel), config)
 
 
+def _scenario_base(
+    scheme: SchemeLike, parameter: str
+) -> Tuple[int, bool, Optional[SproutConfig]]:
+    """Current ``(flows, tunnelled, sprout_config)`` behind ``scheme``.
+
+    A scheme already built by :func:`~repro.experiments.competing.competing_scheme`
+    keeps its settings (so ``flows`` and ``tunnelled`` compose in either
+    order); a Sprout-category scheme contributes its recovered
+    :class:`SproutConfig` to the tunnel and starts from the paper's §5.7
+    defaults (two flows, tunnelled).  Anything else is rejected.
+    """
+    spec = get_scheme(scheme) if isinstance(scheme, str) else scheme
+    parts = competing_scheme_parts(spec)
+    if parts is not None:
+        return parts
+    _, sprout_config = _sprout_base(spec, parameter)
+    return 2, True, sprout_config
+
+
+def _expand_flows(scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float) -> Cell:
+    if value != int(value) or value < 1:
+        raise ValueError(f"flows must be a positive integer, got {value}")
+    _, tunnelled, sprout_config = _scenario_base(scheme, "flows")
+    return (competing_scheme(int(value), tunnelled, sprout_config), link, config)
+
+
+def _expand_tunnelled(
+    scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float
+) -> Cell:
+    if value not in (0.0, 1.0):
+        raise ValueError(
+            f"tunnelled must be 0 (direct) or 1 (via SproutTunnel), got {value}"
+        )
+    flows, _, sprout_config = _scenario_base(scheme, "tunnelled")
+    return (competing_scheme(flows, bool(value), sprout_config), link, config)
+
+
 @dataclass(frozen=True)
 class SweepParameter:
     """One sweepable knob: its name, axis label, and cell expander."""
@@ -162,6 +220,12 @@ SWEEP_PARAMETERS: Dict[str, SweepParameter] = {
         SweepParameter("tick", "Sprout inference tick length (s)", _expand_tick),
         SweepParameter("outage", "link outage-rate multiplier", _expand_outage),
         SweepParameter("scale", "link capacity scale multiplier", _expand_scale),
+        SweepParameter(
+            "flows", "competing client flows (1 Skype + N-1 Cubic, sec. 5.7)", _expand_flows
+        ),
+        SweepParameter(
+            "tunnelled", "competing flows direct (0) or via SproutTunnel (1)", _expand_tunnelled
+        ),
     )
 }
 
@@ -186,9 +250,175 @@ def get_sweep_parameter(name: str) -> SweepParameter:
         ) from None
 
 
+# ------------------------------------------------------------------- grids
+
+
+@dataclass(frozen=True)
+class GridSpec:
+    """An N-dimensional grid: axes, per-axis values, and the base matrix.
+
+    The grid's points are the Cartesian product of the per-axis value lists,
+    iterated *value-major*: the first axis varies slowest, the last fastest
+    (``itertools.product`` order).  Every point measures the full
+    ``schemes × links`` matrix.
+    """
+
+    parameters: Tuple[str, ...]
+    values: Tuple[Tuple[float, ...], ...]
+    schemes: Tuple[str, ...] = ("Sprout",)
+    links: Tuple[str, ...] = ()
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "parameters", tuple(self.parameters))
+        object.__setattr__(self, "values", tuple(tuple(axis) for axis in self.values))
+        object.__setattr__(self, "schemes", tuple(self.schemes))
+        object.__setattr__(self, "links", tuple(self.links))
+        if not self.parameters:
+            raise ValueError("a grid needs at least one axis")
+        if len(set(self.parameters)) != len(self.parameters):
+            raise ValueError(f"grid axes must be distinct, got {self.parameters}")
+        for name in self.parameters:
+            get_sweep_parameter(name)
+        if len(self.values) != len(self.parameters):
+            raise ValueError(
+                f"{len(self.parameters)} axes but {len(self.values)} value lists; "
+                "each axis needs its own values"
+            )
+        for name, axis in zip(self.parameters, self.values):
+            if not axis:
+                raise ValueError(f"axis {name!r} needs at least one value")
+        if not self.schemes:
+            raise ValueError("a grid needs at least one scheme")
+        if not self.links:
+            object.__setattr__(self, "links", tuple(link_names()))
+
+    @property
+    def shape(self) -> Tuple[int, ...]:
+        """Points per axis, e.g. ``(3, 2)`` for a 3 × 2 grid."""
+        return tuple(len(axis) for axis in self.values)
+
+    @property
+    def cells_per_point(self) -> int:
+        return len(self.schemes) * len(self.links)
+
+    def coordinates(self) -> List[Tuple[float, ...]]:
+        """Every grid point, value-major (first axis slowest)."""
+        return list(product(*self.values))
+
+    def axis_values(self, parameter: str) -> Tuple[float, ...]:
+        """The value list of one named axis."""
+        try:
+            return self.values[self.parameters.index(parameter)]
+        except ValueError:
+            raise KeyError(
+                f"no axis {parameter!r} in this grid; axes: {', '.join(self.parameters)}"
+            ) from None
+
+
+@dataclass
+class GridPoint:
+    """All matrix results measured at one grid coordinate."""
+
+    parameters: Tuple[str, ...]
+    coordinates: Tuple[float, ...]
+    results: List[SchemeResult]
+
+    def coordinate(self, parameter: str) -> float:
+        """This point's value on one named axis."""
+        try:
+            return self.coordinates[self.parameters.index(parameter)]
+        except ValueError:
+            raise KeyError(
+                f"no axis {parameter!r}; axes: {', '.join(self.parameters)}"
+            ) from None
+
+    @property
+    def label(self) -> str:
+        """``"sigma = 100, loss = 0.01"`` — the point's display name."""
+        return ", ".join(
+            f"{name} = {value:g}" for name, value in zip(self.parameters, self.coordinates)
+        )
+
+
+@dataclass
+class GridData:
+    """A finished grid: one :class:`GridPoint` per coordinate, value-major."""
+
+    spec: GridSpec
+    points: List[GridPoint]
+
+    def for_coordinates(self, coordinates: Sequence[float]) -> GridPoint:
+        wanted = tuple(coordinates)
+        for point in self.points:
+            if point.coordinates == wanted:
+                return point
+        raise KeyError(f"no grid point at coordinates {wanted!r}")
+
+    def slice(self, parameter: str, value: float) -> List[GridPoint]:
+        """All points whose ``parameter`` coordinate equals ``value``."""
+        self.spec.axis_values(parameter)  # validate the axis name
+        return [point for point in self.points if point.coordinate(parameter) == value]
+
+
+def expand_grid(spec: GridSpec, config: Optional[RunConfig] = None) -> List[Cell]:
+    """Flatten a grid spec into explicit matrix cells, value-major.
+
+    Cell order is ``coordinate -> scheme -> link``, mirroring the serial
+    runner's scheme-major/link-minor order inside each point, so results
+    slice back into :class:`GridPoint` chunks deterministically.  Each
+    axis's expander is applied to the cell in spec order, so later axes see
+    (and may refine) the schemes and links produced by earlier ones.
+    """
+    cfg = config if config is not None else RunConfig()
+    expanders = [get_sweep_parameter(name).expand for name in spec.parameters]
+    cells: List[Cell] = []
+    for coordinate in spec.coordinates():
+        for scheme in spec.schemes:
+            for link in spec.links:
+                cell: Cell = (scheme, link, cfg)
+                for expand, value in zip(expanders, coordinate):
+                    cell = expand(cell[0], cell[1], cell[2], value)
+                cells.append(cell)
+    return cells
+
+
+def run_grid(
+    spec: GridSpec,
+    config: Optional[RunConfig] = None,
+    progress: Optional[ProgressCallback] = None,
+    jobs: Optional[int] = None,
+) -> GridData:
+    """Run one grid through the (shared-pool-aware) cell runner.
+
+    The entire flattened batch is submitted at once, so a multi-point grid
+    saturates the worker pool instead of draining between points, and every
+    cell that shares a channel pulls its trace from the shared cache.
+    """
+    cells = expand_grid(spec, config)
+    results = run_cells(cells, progress=progress, jobs=jobs)
+    chunk = spec.cells_per_point
+    points = [
+        GridPoint(
+            parameters=spec.parameters,
+            coordinates=coordinate,
+            results=results[i * chunk : (i + 1) * chunk],
+        )
+        for i, coordinate in enumerate(spec.coordinates())
+    ]
+    return GridData(spec=spec, points=points)
+
+
+# ------------------------------------------------------------------ sweeps
+# The historical one-axis API, now a thin wrapper over the grid engine.
+
+
 @dataclass(frozen=True)
 class SweepSpec:
-    """One sweep: a parameter, its values, and the base matrix to expand."""
+    """One sweep: a single parameter, its values, and the base matrix.
+
+    A sweep is exactly a one-axis :class:`GridSpec` (see :meth:`to_grid`);
+    it survives as the convenient spelling for the common case.
+    """
 
     parameter: str
     values: Tuple[float, ...]
@@ -210,6 +440,15 @@ class SweepSpec:
     @property
     def cells_per_value(self) -> int:
         return len(self.schemes) * len(self.links)
+
+    def to_grid(self) -> GridSpec:
+        """This sweep as the equivalent one-axis grid."""
+        return GridSpec(
+            parameters=(self.parameter,),
+            values=(self.values,),
+            schemes=self.schemes,
+            links=self.links,
+        )
 
 
 @dataclass
@@ -234,22 +473,24 @@ class SweepData:
                 return point
         raise KeyError(f"no sweep point for value {value!r}")
 
+    def to_grid_data(self) -> GridData:
+        """This sweep's results as the equivalent one-axis grid data."""
+        return GridData(
+            spec=self.spec.to_grid(),
+            points=[
+                GridPoint(
+                    parameters=(self.spec.parameter,),
+                    coordinates=(point.value,),
+                    results=point.results,
+                )
+                for point in self.points
+            ],
+        )
+
 
 def expand_sweep(spec: SweepSpec, config: Optional[RunConfig] = None) -> List[Cell]:
-    """Flatten a sweep spec into explicit matrix cells, value-major.
-
-    Cell order is ``value -> scheme -> link``, mirroring the serial runner's
-    scheme-major/link-minor order inside each value, so results slice back
-    into :class:`SweepPoint` chunks deterministically.
-    """
-    cfg = config if config is not None else RunConfig()
-    parameter = get_sweep_parameter(spec.parameter)
-    cells: List[Cell] = []
-    for value in spec.values:
-        for scheme in spec.schemes:
-            for link in spec.links:
-                cells.append(parameter.expand(scheme, link, cfg, value))
-    return cells
+    """Flatten a sweep spec into explicit matrix cells, value-major."""
+    return expand_grid(spec.to_grid(), config)
 
 
 def run_sweep(
@@ -258,22 +499,11 @@ def run_sweep(
     progress: Optional[ProgressCallback] = None,
     jobs: Optional[int] = None,
 ) -> SweepData:
-    """Run one parameter sweep through the (shared-pool-aware) cell runner.
-
-    The entire flattened batch is submitted at once, so a multi-value sweep
-    saturates the worker pool instead of draining between values, and every
-    cell that shares a link pulls its trace from the shared cache.
-    """
-    cells = expand_sweep(spec, config)
-    results = run_cells(cells, progress=progress, jobs=jobs)
-    chunk = spec.cells_per_value
+    """Run one parameter sweep (a one-axis grid) through the cell runner."""
+    grid = run_grid(spec.to_grid(), config=config, progress=progress, jobs=jobs)
     points = [
-        SweepPoint(
-            parameter=spec.parameter,
-            value=value,
-            results=results[i * chunk : (i + 1) * chunk],
-        )
-        for i, value in enumerate(spec.values)
+        SweepPoint(parameter=spec.parameter, value=point.coordinates[0], results=point.results)
+        for point in grid.points
     ]
     return SweepData(spec=spec, points=points)
 
@@ -292,6 +522,21 @@ def run_sweep_suite(
         ]
 
 
+# --------------------------------------------------------------- rendering
+
+_RESULT_HEADER = (
+    f"  {'scheme':22s} {'link':30s} {'tput (kbps)':>12s} "
+    f"{'delay (ms)':>12s} {'util %':>8s}"
+)
+
+
+def _result_line(row: SchemeResult) -> str:
+    return (
+        f"  {row.scheme:22s} {row.link:30s} {row.throughput_kbps:12.0f} "
+        f"{row.self_inflicted_delay_ms:12.0f} {100 * row.utilization:8.1f}"
+    )
+
+
 def render_sweep(data: SweepData) -> str:
     """Plain-text rendering: one block per swept value."""
     parameter = get_sweep_parameter(data.spec.parameter)
@@ -301,14 +546,100 @@ def render_sweep(data: SweepData) -> str:
     ]
     for point in data.points:
         lines.append(f"{parameter.name} = {point.value:g}")
-        lines.append(
-            f"  {'scheme':22s} {'link':30s} {'tput (kbps)':>12s} "
-            f"{'delay (ms)':>12s} {'util %':>8s}"
+        lines.append(_RESULT_HEADER)
+        lines.extend(_result_line(row) for row in point.results)
+        lines.append("")
+    return "\n".join(lines)
+
+
+def render_grid(data: GridData) -> str:
+    """Plain-text rendering: one block per grid point, value-major.
+
+    One-axis grids render in the sweep format (``Sweep — loss (...)``) so
+    ``repro sweep`` output is unchanged for single-parameter runs.
+    """
+    spec = data.spec
+    if len(spec.parameters) == 1:
+        parameter = get_sweep_parameter(spec.parameters[0])
+        header = f"Sweep — {parameter.name} ({parameter.description})"
+    else:
+        axes = " × ".join(spec.parameters)
+        shape = " × ".join(str(n) for n in spec.shape)
+        header = f"Grid — {axes} ({shape} = {len(data.points)} points)"
+    lines: List[str] = [header, ""]
+    for point in data.points:
+        lines.append(point.label)
+        lines.append(_RESULT_HEADER)
+        lines.extend(_result_line(row) for row in point.results)
+        lines.append("")
+    return "\n".join(lines)
+
+
+# --------------------------------------------------------------- frontiers
+
+
+def pareto_frontier(rows: Sequence[SchemeResult]) -> List[bool]:
+    """Which rows sit on the throughput/delay Pareto frontier.
+
+    A row is on the frontier when no other row has both at least its
+    throughput and at most its self-inflicted delay, with one strictly
+    better — the upper-left boundary of the paper's Figure 7 plane.
+    """
+    flags: List[bool] = []
+    for i, row in enumerate(rows):
+        dominated = any(
+            other.throughput_bps >= row.throughput_bps
+            and other.self_inflicted_delay_s <= row.self_inflicted_delay_s
+            and (
+                other.throughput_bps > row.throughput_bps
+                or other.self_inflicted_delay_s < row.self_inflicted_delay_s
+            )
+            for j, other in enumerate(rows)
+            if j != i
         )
-        for row in point.results:
+        flags.append(not dominated)
+    return flags
+
+
+def render_grid_frontiers(data: GridData) -> str:
+    """Per-link throughput/delay frontiers across every grid slice.
+
+    For each link, every ``(grid point, scheme)`` measurement becomes one
+    candidate operating point; candidates are listed by ascending delay and
+    the Pareto-optimal ones (:func:`pareto_frontier`) are starred.  This is
+    the report's frontier-comparison section (``docs/scenarios.md``).
+    """
+    spec = data.spec
+    axes = " × ".join(spec.parameters)
+    lines: List[str] = [f"Frontier — throughput vs delay across the {axes} grid", ""]
+    for link in spec.links:
+        link_name = link if isinstance(link, str) else link.name
+        entries = [
+            (point, row)
+            for point in data.points
+            for row in point.results
+            if row.link == link_name
+        ]
+        if not entries:
+            continue
+        flags = pareto_frontier([row for _, row in entries])
+        ordered = sorted(
+            zip(entries, flags),
+            key=lambda pair: (
+                pair[0][1].self_inflicted_delay_s,
+                -pair[0][1].throughput_bps,
+            ),
+        )
+        lines.append(link_name)
+        lines.append(
+            f"  {'point':30s} {'scheme':22s} {'tput (kbps)':>12s} "
+            f"{'delay (ms)':>12s} {'frontier':>9s}"
+        )
+        for (point, row), on_frontier in ordered:
+            star = "*" if on_frontier else ""
             lines.append(
-                f"  {row.scheme:22s} {row.link:30s} {row.throughput_kbps:12.0f} "
-                f"{row.self_inflicted_delay_ms:12.0f} {100 * row.utilization:8.1f}"
+                f"  {point.label:30s} {row.scheme:22s} {row.throughput_kbps:12.0f} "
+                f"{row.self_inflicted_delay_ms:12.0f} {star:>9s}"
             )
         lines.append("")
     return "\n".join(lines)

@@ -63,12 +63,29 @@ def test_list_command_names_sweep_parameters(capsys):
     assert main(["list"]) == 0
     out = capsys.readouterr().out
     assert "sweep parameters:" in out
-    for name in ("loss", "sigma", "tick", "outage", "scale"):
+    for name in ("loss", "sigma", "tick", "outage", "scale", "flows", "tunnelled"):
         assert name in out
 
 
-def test_sweep_command_three_parameters_end_to_end(capsys):
-    """A ≥3-parameter sweep through the real CLI entry point."""
+def test_sweep_command_single_parameter_keeps_sweep_output(capsys):
+    code = main(
+        [
+            "sweep",
+            "--param", "loss", "--values", "0", "0.05",
+            "--schemes", "Vegas",
+            "--links", "AT&T LTE uplink",
+            "--duration", "6", "--warmup", "1", "--jobs", "1",
+        ]
+    )
+    assert code == 0
+    out = capsys.readouterr().out
+    assert "Sweep — loss" in out
+    assert "Frontier" not in out  # 1-D runs stay in the classic format
+    assert out.count("Vegas") == 2
+
+
+def test_sweep_command_multiple_parameters_form_a_grid(capsys):
+    """Several --param flags are one Cartesian-product grid, not sweeps."""
     code = main(
         [
             "sweep",
@@ -82,10 +99,40 @@ def test_sweep_command_three_parameters_end_to_end(capsys):
     )
     assert code == 0
     out = capsys.readouterr().out
-    assert "Sweep — loss" in out
-    assert "Sweep — outage" in out
-    assert "Sweep — scale" in out
-    assert out.count("Vegas") == 6  # two values per parameter
+    assert "Grid — loss × outage × scale (2 × 2 × 2 = 8 points)" in out
+    assert "loss = 0.05, outage = 4, scale = 0.5" in out
+    assert "Frontier — throughput vs delay" in out
+    # 8 grid rows + 8 frontier candidate rows
+    assert out.count("Vegas") == 16
+
+
+def test_sweep_command_exports_csv_and_json(tmp_path, capsys):
+    from repro.experiments.exports import grid_data_from_json, parse_csv
+
+    csv_path = tmp_path / "grid.csv"
+    base = [
+        "sweep",
+        "--param", "loss", "--values", "0", "0.05",
+        "--param", "scale", "--values", "1",
+        "--schemes", "Vegas",
+        "--links", "AT&T LTE uplink",
+        "--duration", "6", "--warmup", "1", "--jobs", "1",
+    ]
+    code = main(base + ["--export", "csv", "--out", str(csv_path)])
+    out = capsys.readouterr().out
+    assert code == 0
+    assert f"csv export written to {csv_path}" in out
+    rows = parse_csv(csv_path.read_text())
+    assert len(rows) == 2
+    assert {row["loss"] for row in rows} == {0.0, 0.05}
+
+    # without --out the payload lands on stdout
+    code = main(base + ["--export", "json"])
+    out = capsys.readouterr().out
+    assert code == 0
+    payload = out[out.index("{"):]
+    data = grid_data_from_json(payload)
+    assert data.spec.parameters == ("loss", "scale")
 
 
 def test_sweep_command_requires_param(capsys):
@@ -106,21 +153,35 @@ def test_sweep_command_rejects_unknown_parameter():
         main(["sweep", "--param", "bandwidth", "--values", "1"])
 
 
-def test_sweep_command_validates_every_sweep_before_running_any(capsys):
-    # The second sweep's bad value must fail fast — before the first
-    # sweep's emulation burns minutes of wall-clock.
+def test_sweep_command_validates_every_axis_before_running_any(capsys):
+    # A late axis's bad value must fail fast — before the grid's emulation
+    # burns minutes of wall-clock.
     code = main(
         [
             "sweep",
             "--param", "loss", "--values", "0",
-            "--param", "loss", "--values", "1.5",
+            "--param", "scale", "--values", "-1",
             "--schemes", "Vegas", "--links", "AT&T LTE uplink",
         ]
     )
     captured = capsys.readouterr()
     assert code == 2
-    assert "loss rate" in captured.err
+    assert "scale must be positive" in captured.err
     assert "Sweep —" not in captured.out  # nothing was run or printed
+    assert "Grid —" not in captured.out
+
+
+def test_sweep_command_rejects_duplicate_axes(capsys):
+    code = main(
+        [
+            "sweep",
+            "--param", "loss", "--values", "0",
+            "--param", "loss", "--values", "0.05",
+            "--schemes", "Vegas", "--links", "AT&T LTE uplink",
+        ]
+    )
+    assert code == 2
+    assert "distinct" in capsys.readouterr().err
 
 
 def test_sweep_command_reports_expander_errors_without_traceback(capsys):
@@ -132,3 +193,11 @@ def test_sweep_command_reports_expander_errors_without_traceback(capsys):
     code = main(["sweep", "--param", "loss", "--values", "1.5"])
     assert code == 2
     assert "loss rate" in capsys.readouterr().err
+
+
+def test_sweep_command_out_requires_export(capsys):
+    code = main(
+        ["sweep", "--param", "loss", "--values", "0", "--out", "/tmp/grid.csv"]
+    )
+    assert code == 2
+    assert "--out requires --export" in capsys.readouterr().err

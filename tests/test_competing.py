@@ -57,3 +57,89 @@ def test_change_percent_and_render(comparison):
     text = render_competing(comparison)
     assert "Cubic throughput" in text
     assert "Skype 95% delay" in text
+
+
+# ----------------------------------------------------- scenario scheme specs
+
+
+def test_competing_flow_names_mix():
+    from repro.experiments.competing import competing_flow_names
+
+    assert competing_flow_names(1) == ["skype"]
+    assert competing_flow_names(2) == ["skype", "cubic-1"]
+    assert competing_flow_names(4) == ["skype", "cubic-1", "cubic-2", "cubic-3"]
+    with pytest.raises(ValueError):
+        competing_flow_names(0)
+
+
+def test_competing_scheme_parts_round_trip():
+    import pickle
+
+    from repro.core.connection import SproutConfig
+    from repro.experiments.competing import competing_scheme, competing_scheme_parts
+    from repro.experiments.registry import get_scheme
+
+    direct = competing_scheme(3, tunnelled=False)
+    assert direct.name == "Competing x3 [direct]"
+    assert competing_scheme_parts(direct) == (3, False, None)
+
+    config = SproutConfig(confidence=0.25)
+    tunnelled = competing_scheme(2, tunnelled=True, sprout_config=config)
+    assert tunnelled.name == "Competing x2 [tunnel]"
+    flows, is_tunnelled, recovered = competing_scheme_parts(tunnelled)
+    assert (flows, is_tunnelled) == (2, True)
+    assert recovered.confidence == 0.25
+
+    # ordinary schemes are not scenarios
+    assert competing_scheme_parts(get_scheme("Sprout")) is None
+    # scenario specs must ship to matrix worker processes
+    pickle.loads(pickle.dumps(direct))
+    pickle.loads(pickle.dumps(tunnelled))
+
+
+def test_competing_scenarios_run_as_matrix_cells():
+    """The scenario specs run through the ordinary scheme-on-link runner."""
+    from repro.experiments.competing import competing_scheme
+    from repro.experiments.runner import RunConfig, run_scheme_on_link
+
+    config = RunConfig(duration=10.0, warmup=2.0)
+    direct = run_scheme_on_link(
+        competing_scheme(2, tunnelled=False), "Verizon LTE downlink", config
+    )
+    tunnelled = run_scheme_on_link(
+        competing_scheme(2, tunnelled=True), "Verizon LTE downlink", config
+    )
+    assert direct.scheme == "Competing x2 [direct]"
+    assert tunnelled.scheme == "Competing x2 [tunnel]"
+    assert direct.throughput_bps > 0
+    assert tunnelled.throughput_bps > 0
+    # the §5.7 story at cell granularity: the tunnel contains the bulk
+    # flow's queue, so the over-the-link delay drops
+    assert tunnelled.self_inflicted_delay_s < direct.self_inflicted_delay_s
+
+
+def test_competing_cells_are_deterministic():
+    from repro.experiments.competing import competing_scheme
+    from repro.experiments.runner import RunConfig, run_scheme_on_link
+
+    config = RunConfig(duration=8.0, warmup=2.0)
+    spec = competing_scheme(2, tunnelled=True)
+    first = run_scheme_on_link(spec, "Verizon LTE downlink", config)
+    second = run_scheme_on_link(spec, "Verizon LTE downlink", config)
+    assert first.as_dict() == second.as_dict()
+
+
+def test_competing_scheme_parts_ignores_foreign_partials():
+    """Only specs with competing_scheme's exact factory shape are scenarios."""
+    from functools import partial
+
+    from repro.experiments.competing import (
+        competing_scheme_parts,
+        competing_tunnel_pair,
+    )
+    from repro.experiments.registry import SchemeSpec
+
+    keyworded = SchemeSpec(
+        name="kw", factory=partial(competing_tunnel_pair, flows=3), category="scenario"
+    )
+    assert competing_scheme_parts(keyworded) is None

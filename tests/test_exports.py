@@ -1,0 +1,188 @@
+"""Tests for the structured export layer (repro.experiments.exports).
+
+Three lines of defence, per docs/scenarios.md:
+
+* golden fixtures — the exact CSV and JSON bytes of a tiny 2-D grid are
+  checked in (``tests/fixtures/golden_grid_export.*``); any simulation or
+  schema drift shows up as an exact-compare failure;
+* round-trips — export → parse → compare recovers bit-identical values in
+  both formats, and the JSON path rebuilds a full ``GridData``;
+* grid equivalence — a 2-D grid cell is pinned against the same cell run
+  serially by hand through ``run_scheme_on_link``, the PR's acceptance bar.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.exports import (
+    EXPORT_SCHEMA_VERSION,
+    METRIC_COLUMNS,
+    as_grid_data,
+    csv_columns,
+    export_csv,
+    export_json,
+    export_rows,
+    export_text,
+    grid_data_from_json,
+    parse_csv,
+    parse_json,
+    write_export,
+)
+from repro.experiments.runner import RunConfig, run_scheme_on_link
+from repro.experiments.sweeps import (
+    SWEEP_PARAMETERS,
+    GridSpec,
+    SweepSpec,
+    run_grid,
+    run_sweep,
+)
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN_CSV = FIXTURES / "golden_grid_export.csv"
+GOLDEN_JSON = FIXTURES / "golden_grid_export.json"
+
+#: the tiny grid frozen in the golden fixtures
+GOLDEN_SPEC = GridSpec(
+    parameters=("loss", "scale"),
+    values=((0.0, 0.02), (1.0, 0.5)),
+    schemes=("Vegas",),
+    links=("AT&T LTE uplink",),
+)
+GOLDEN_CONFIG = RunConfig(duration=6.0, warmup=1.0)
+
+
+@pytest.fixture(scope="module")
+def grid_data():
+    return run_grid(GOLDEN_SPEC, config=GOLDEN_CONFIG, jobs=1)
+
+
+# ------------------------------------------------------------------ golden
+
+
+def test_csv_export_matches_golden_fixture(grid_data):
+    assert export_csv(grid_data) == GOLDEN_CSV.read_text()
+
+
+def test_json_export_matches_golden_fixture(grid_data):
+    assert export_json(grid_data) == GOLDEN_JSON.read_text()
+
+
+def test_grid_cells_bit_identical_to_serial_single_cells(grid_data):
+    """Acceptance bar: every 2-D grid cell == the same cell run serially."""
+    loss_expand = SWEEP_PARAMETERS["loss"].expand
+    scale_expand = SWEEP_PARAMETERS["scale"].expand
+    for point in grid_data.points:
+        loss, scale = point.coordinates
+        scheme, link, config = ("Vegas", "AT&T LTE uplink", GOLDEN_CONFIG)
+        scheme, link, config = loss_expand(scheme, link, config, loss)
+        scheme, link, config = scale_expand(scheme, link, config, scale)
+        reference = run_scheme_on_link(scheme, link, config)
+        (row,) = point.results
+        assert row.as_dict() == reference.as_dict()
+
+
+# -------------------------------------------------------------- round-trip
+
+
+def test_csv_round_trip_is_exact(grid_data):
+    rows = parse_csv(export_csv(grid_data))
+    assert rows == export_rows(grid_data)
+    for row in rows:
+        assert row["schema_version"] == EXPORT_SCHEMA_VERSION
+
+
+def test_json_round_trip_rebuilds_grid_data(grid_data):
+    rebuilt = grid_data_from_json(export_json(grid_data))
+    assert rebuilt.spec == grid_data.spec
+    assert len(rebuilt.points) == len(grid_data.points)
+    for mine, theirs in zip(grid_data.points, rebuilt.points):
+        assert mine.coordinates == theirs.coordinates
+        assert [r.as_dict() for r in mine.results] == [
+            r.as_dict() for r in theirs.results
+        ]
+
+
+def test_json_payload_structure(grid_data):
+    payload = parse_json(export_json(grid_data))
+    assert payload["schema_version"] == EXPORT_SCHEMA_VERSION
+    assert payload["kind"] == "grid"
+    assert payload["parameters"] == ["loss", "scale"]
+    assert payload["axis_values"] == [[0.0, 0.02], [1.0, 0.5]]
+    assert payload["schemes"] == ["Vegas"]
+    assert len(payload["points"]) == 4
+    first = payload["points"][0]
+    assert first["coordinates"] == {"loss": 0.0, "scale": 1.0}
+    assert first["results"][0]["scheme"] == "Vegas"
+    assert "throughput_bps" in first["results"][0]
+
+
+def test_csv_column_order_is_documented_shape(grid_data):
+    header = export_csv(grid_data).splitlines()[0].split(",")
+    assert header == csv_columns(GOLDEN_SPEC)
+    assert header[0] == "schema_version"
+    assert header[1:3] == ["loss", "scale"]
+    assert header[3:5] == ["scheme", "link"]
+    assert header[5:] == METRIC_COLUMNS
+
+
+def test_sweep_data_exports_as_one_axis_grid():
+    spec = SweepSpec(
+        parameter="loss", values=(0.0,), schemes=("Vegas",), links=("AT&T LTE uplink",)
+    )
+    data = run_sweep(spec, config=GOLDEN_CONFIG)
+    grid = as_grid_data(data)
+    assert grid.spec.parameters == ("loss",)
+    rows = parse_csv(export_csv(data))
+    assert len(rows) == 1
+    assert rows[0]["loss"] == 0.0
+    assert rows[0]["scheme"] == "Vegas"
+    # the sweep and its grid form serialise identically
+    assert export_json(data) == export_json(grid)
+
+
+# -------------------------------------------------------------- validation
+
+
+def test_unknown_export_format_rejected(grid_data):
+    with pytest.raises(ValueError, match="csv, json"):
+        export_text(grid_data, "yaml")
+
+
+def test_parse_rejects_wrong_schema_version(grid_data):
+    bumped = export_json(grid_data).replace(
+        f'"schema_version": {EXPORT_SCHEMA_VERSION}', '"schema_version": 999'
+    )
+    with pytest.raises(ValueError, match="schema version"):
+        parse_json(bumped)
+    csv_text = export_csv(grid_data)
+    header, first, rest = csv_text.split("\n", 2)
+    with pytest.raises(ValueError, match="schema version"):
+        parse_csv("\n".join([header, first.replace("1,", "999,", 1), rest]))
+
+
+def test_parse_csv_rejects_non_export_text():
+    with pytest.raises(ValueError, match="schema_version"):
+        parse_csv("a,b,c\n1,2,3\n")
+    with pytest.raises(ValueError, match="empty"):
+        parse_csv("")
+
+
+def test_write_export_creates_parseable_files(grid_data, tmp_path):
+    csv_path = tmp_path / "grid.csv"
+    json_path = tmp_path / "grid.json"
+    write_export(grid_data, "csv", str(csv_path))
+    write_export(grid_data, "json", str(json_path))
+    assert parse_csv(csv_path.read_text()) == export_rows(grid_data)
+    rebuilt = grid_data_from_json(json_path.read_text())
+    assert rebuilt.spec == grid_data.spec
+
+
+def test_parse_csv_rejects_truncated_rows(grid_data):
+    text = export_csv(grid_data)
+    lines = text.splitlines()
+    truncated = "\n".join(lines[:-1] + [lines[-1].rsplit(",", 2)[0]]) + "\n"
+    with pytest.raises(ValueError, match="truncated"):
+        parse_csv(truncated)

@@ -17,10 +17,16 @@ from repro.experiments.registry import get_scheme
 from repro.experiments.runner import RunConfig, run_scheme_on_link
 from repro.experiments.sweeps import (
     SWEEP_PARAMETERS,
+    GridSpec,
     SweepSpec,
+    expand_grid,
     expand_sweep,
     get_sweep_parameter,
+    pareto_frontier,
+    render_grid,
+    render_grid_frontiers,
     render_sweep,
+    run_grid,
     run_sweep,
     run_sweep_suite,
     sweep_parameter_names,
@@ -36,7 +42,9 @@ LINK = "AT&T LTE uplink"
 
 
 def test_sweep_parameter_registry_is_complete():
-    assert set(sweep_parameter_names()) == {"loss", "sigma", "tick", "outage", "scale"}
+    assert set(sweep_parameter_names()) == {
+        "loss", "sigma", "tick", "outage", "scale", "flows", "tunnelled",
+    }
     for name in sweep_parameter_names():
         assert get_sweep_parameter(name).description
 
@@ -270,3 +278,265 @@ def test_sweep_spec_registry_wiring():
     ((scheme, _, _),) = expand_sweep(spec, TINY)
     assert get_scheme("Sprout").category == scheme.category == "sprout"
     assert SWEEP_PARAMETERS["sigma"].expand is not None
+
+
+# ------------------------------------------------------------------- grids
+
+
+def test_grid_spec_validation():
+    with pytest.raises(ValueError, match="at least one axis"):
+        GridSpec(parameters=(), values=())
+    with pytest.raises(ValueError, match="distinct"):
+        GridSpec(parameters=("loss", "loss"), values=((0.0,), (0.1,)))
+    with pytest.raises(KeyError):
+        GridSpec(parameters=("bandwidth",), values=((1.0,),))
+    with pytest.raises(ValueError, match="value lists"):
+        GridSpec(parameters=("loss", "scale"), values=((0.0,),))
+    with pytest.raises(ValueError, match="at least one value"):
+        GridSpec(parameters=("loss", "scale"), values=((0.0,), ()))
+    with pytest.raises(ValueError, match="at least one scheme"):
+        GridSpec(parameters=("loss",), values=((0.0,),), schemes=())
+
+
+def test_grid_spec_defaults_and_shape():
+    spec = GridSpec(parameters=("loss", "scale"), values=((0.0, 0.1), (1.0, 0.5, 0.25)))
+    assert spec.shape == (2, 3)
+    assert list(spec.links) == link_names()
+    assert spec.cells_per_point == len(link_names())
+    assert spec.axis_values("scale") == (1.0, 0.5, 0.25)
+    with pytest.raises(KeyError, match="outage"):
+        spec.axis_values("outage")
+
+
+def test_grid_coordinates_are_value_major():
+    """First axis slowest, last fastest — the N-D value-major order."""
+    spec = GridSpec(
+        parameters=("loss", "scale"),
+        values=((0.0, 0.1), (1.0, 0.5)),
+        schemes=("Vegas",),
+        links=(LINK,),
+    )
+    assert spec.coordinates() == [
+        (0.0, 1.0), (0.0, 0.5), (0.1, 1.0), (0.1, 0.5),
+    ]
+    cells = expand_grid(spec, TINY)
+    assert [c[2].loss_rate for c in cells] == [0.0, 0.0, 0.1, 0.1]
+
+
+def test_grid_expansion_applies_axes_in_spec_order():
+    """A sigma × flows grid carries the swept model into the tunnel."""
+    from repro.core.connection import SproutConfig
+    from repro.experiments.competing import competing_scheme_parts
+
+    spec = GridSpec(
+        parameters=("sigma", "flows"),
+        values=((120.0,), (3.0,)),
+        schemes=("Sprout",),
+        links=(LINK,),
+    )
+    ((scheme, _, _),) = expand_grid(spec, TINY)
+    flows, tunnelled, sprout_config = competing_scheme_parts(scheme)
+    assert (flows, tunnelled) == (3, True)
+    assert isinstance(sprout_config, SproutConfig)
+    assert sprout_config.model_params.sigma == 120.0
+
+
+def test_grid_results_bit_identical_to_uncached_serial_cells(monkeypatch):
+    """Acceptance bar: a 2-D grid == cell-by-cell uncached serial runs."""
+    spec = GridSpec(
+        parameters=("loss", "scale"),
+        values=((0.0, 0.05), (1.0, 0.5)),
+        schemes=("Vegas",),
+        links=(LINK,),
+    )
+    fast = run_grid(spec, config=TINY, jobs=2)
+    assert [p.coordinates for p in fast.points] == spec.coordinates()
+
+    monkeypatch.setattr(global_cache(), "enabled", False)
+    cells = expand_grid(spec, TINY)
+    reference = [run_scheme_on_link(s, l, c) for s, l, c in cells]
+    fast_rows = [r.as_dict() for p in fast.points for r in p.results]
+    assert fast_rows == [r.as_dict() for r in reference]
+
+
+def test_grid_data_lookup_and_slicing():
+    spec = GridSpec(
+        parameters=("loss", "scale"),
+        values=((0.0, 0.05), (1.0, 0.5)),
+        schemes=("Vegas",),
+        links=(LINK,),
+    )
+    data = run_grid(spec, config=TINY)
+    point = data.for_coordinates((0.05, 0.5))
+    assert point.coordinate("loss") == 0.05
+    assert point.coordinate("scale") == 0.5
+    assert point.label == "loss = 0.05, scale = 0.5"
+    with pytest.raises(KeyError):
+        data.for_coordinates((0.2, 1.0))
+    with pytest.raises(KeyError):
+        point.coordinate("outage")
+    half = data.slice("scale", 0.5)
+    assert len(half) == 2
+    assert all(p.coordinate("scale") == 0.5 for p in half)
+    with pytest.raises(KeyError):
+        data.slice("outage", 1.0)
+
+
+def test_one_axis_grid_equals_sweep():
+    """SweepSpec is exactly the one-axis GridSpec."""
+    sweep_spec = SweepSpec(
+        parameter="loss", values=(0.0, 0.05), schemes=("Vegas",), links=(LINK,)
+    )
+    sweep = run_sweep(sweep_spec, config=TINY)
+    grid = run_grid(sweep_spec.to_grid(), config=TINY)
+    assert [p.value for p in sweep.points] == [p.coordinates[0] for p in grid.points]
+    assert [r.as_dict() for p in sweep.points for r in p.results] == [
+        r.as_dict() for p in grid.points for r in p.results
+    ]
+    regridded = sweep.to_grid_data()
+    assert regridded.spec == sweep_spec.to_grid()
+    assert [p.coordinates for p in regridded.points] == [
+        p.coordinates for p in grid.points
+    ]
+
+
+# --------------------------------------------------------- scenario axes
+
+
+def test_flows_axis_builds_tunnelled_scenarios():
+    from repro.experiments.competing import competing_scheme_parts
+
+    ((scheme, _, _),) = expand_grid(
+        GridSpec(parameters=("flows",), values=((3.0,),), links=(LINK,)), TINY
+    )
+    flows, tunnelled, _ = competing_scheme_parts(scheme)
+    assert (flows, tunnelled) == (3, True)
+    assert scheme.name == "Competing x3 [tunnel]"
+    assert scheme.category == "scenario"
+    pickle.loads(pickle.dumps(scheme))  # must ship to worker processes
+
+
+def test_tunnelled_axis_toggles_direct_vs_tunnel():
+    from repro.experiments.competing import competing_scheme_parts
+
+    spec = GridSpec(parameters=("tunnelled",), values=((0.0, 1.0),), links=(LINK,))
+    cells = expand_grid(spec, TINY)
+    parts = [competing_scheme_parts(scheme) for scheme, _, _ in cells]
+    assert [(f, t) for f, t, _ in parts] == [(2, False), (2, True)]
+    assert [scheme.name for scheme, _, _ in cells] == [
+        "Competing x2 [direct]",
+        "Competing x2 [tunnel]",
+    ]
+
+
+def test_flows_and_tunnelled_compose_in_either_order():
+    from repro.experiments.competing import competing_scheme_parts
+
+    for order in (("flows", "tunnelled"), ("tunnelled", "flows")):
+        values = ((3.0,), (0.0,)) if order[0] == "flows" else ((0.0,), (3.0,))
+        spec = GridSpec(parameters=order, values=values, links=(LINK,))
+        ((scheme, _, _),) = expand_grid(spec, TINY)
+        flows, tunnelled, _ = competing_scheme_parts(scheme)
+        assert (flows, tunnelled) == (3, False)
+
+
+def test_scenario_axis_value_validation():
+    for parameter, bad in (("flows", 0.0), ("flows", 1.5), ("tunnelled", 2.0)):
+        spec = GridSpec(parameters=(parameter,), values=((bad,),), links=(LINK,))
+        with pytest.raises(ValueError):
+            expand_grid(spec, TINY)
+
+
+def test_scenario_axes_reject_non_sprout_schemes():
+    spec = GridSpec(
+        parameters=("flows",), values=((2.0,),), schemes=("Vegas",), links=(LINK,)
+    )
+    with pytest.raises(ValueError, match="does not apply"):
+        expand_grid(spec, TINY)
+
+
+# --------------------------------------------------------------- frontiers
+
+
+def _result(scheme, tput, delay, link=LINK):
+    from repro.metrics.summary import SchemeResult
+
+    return SchemeResult(
+        scheme=scheme,
+        link=link,
+        throughput_bps=tput,
+        delay_95_s=delay,
+        self_inflicted_delay_s=delay,
+        utilization=0.5,
+    )
+
+
+def test_pareto_frontier_flags_undominated_rows():
+    rows = [
+        _result("a", 1000.0, 0.1),   # frontier: fastest at its delay
+        _result("b", 2000.0, 0.2),   # frontier: more tput, more delay
+        _result("c", 900.0, 0.15),   # dominated by a (less tput, more delay)
+        _result("d", 2000.0, 0.3),   # dominated by b (same tput, more delay)
+    ]
+    assert pareto_frontier(rows) == [True, True, False, False]
+    # identical rows tie: neither dominates the other
+    twins = [_result("x", 1.0, 1.0), _result("y", 1.0, 1.0)]
+    assert pareto_frontier(twins) == [True, True]
+
+
+def test_render_grid_and_frontiers():
+    spec = GridSpec(
+        parameters=("loss", "scale"),
+        values=((0.0, 0.05), (1.0, 0.5)),
+        schemes=("Vegas",),
+        links=(LINK,),
+    )
+    data = run_grid(spec, config=TINY)
+    text = render_grid(data)
+    assert "Grid — loss × scale (2 × 2 = 4 points)" in text
+    assert "loss = 0.05, scale = 0.5" in text
+    assert text.count("Vegas") == 4
+
+    frontier = render_grid_frontiers(data)
+    assert "Frontier — throughput vs delay across the loss × scale grid" in frontier
+    assert LINK in frontier
+    assert "*" in frontier  # at least one point is always undominated
+    # every (point, scheme) pair appears as a candidate
+    assert frontier.count("Vegas") == 4
+
+
+def test_render_grid_uses_sweep_format_for_one_axis():
+    spec = GridSpec(
+        parameters=("loss",), values=((0.0,),), schemes=("Vegas",), links=(LINK,)
+    )
+    data = run_grid(spec, config=TINY)
+    text = render_grid(data)
+    assert text.startswith("Sweep — loss (Bernoulli packet-loss rate)")
+    assert "loss = 0" in text
+
+
+def test_report_includes_grid_and_frontier_sections():
+    from repro.experiments.report import ReportConfig, generate_report
+
+    spec = GridSpec(
+        parameters=("loss", "scale"),
+        values=((0.0,), (1.0, 0.5)),
+        schemes=("Vegas",),
+        links=(LINK,),
+    )
+    cfg = ReportConfig(
+        duration=6.0, warmup=1.0, include_sections=["grids"], grids=[spec]
+    )
+    report = generate_report(cfg, progress=None)
+    assert "Grid — loss × scale" in report
+    assert "Frontier — throughput vs delay" in report
+
+
+def test_model_axis_after_scenario_axis_names_the_ordering_fix():
+    spec = GridSpec(
+        parameters=("flows", "sigma"),
+        values=((2.0,), (120.0,)),
+        links=(LINK,),
+    )
+    with pytest.raises(ValueError, match="before 'flows'/'tunnelled'"):
+        expand_grid(spec, TINY)
