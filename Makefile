@@ -4,11 +4,15 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test smoke cov bench docs-check
+.PHONY: test test-fast smoke cov bench docs-check
 
 ## full suite, including perf benchmarks (the tier-1 gate)
 test:
 	$(PYTHON) -m pytest -x -q
+
+## fastest inner-loop pass: no perf benchmarks, no golden-grid re-runs
+test-fast:
+	$(PYTHON) -m pytest -q -m "not perf and not golden"
 
 ## fast smoke job: correctness tests only, no perf benchmarks
 smoke:

@@ -14,7 +14,11 @@ root so the performance trajectory is trackable across PRs:
   cells run one by one with the trace cache disabled, again bit-identical;
 * ``grid``: the same comparison for a 2-D grid (Cartesian product of two
   axes through ``repro.experiments.sweeps.run_grid``), so the N-dimensional
-  expansion's overhead and cache behaviour stay on the record.
+  expansion's overhead and cache behaviour stay on the record;
+* ``aqm``: wall-clock of the queue-management grid (drop-tail vs CoDel ×
+  deep vs bounded buffer, per-flow metrics on) against the same cells run
+  one by one with the trace cache off — the discipline swap and per-flow
+  collection must stay collection-cost-only, bit-identical physics.
 
 The matrix speedup is hardware dependent (worker warm-up dominates on a
 single core); the JSON record carries ``cpu_count`` so readers can judge
@@ -250,4 +254,66 @@ def test_bench_grid_wallclock():
         },
     )
     print(f"\ngrid: fast path {fast_s:.2f}s, uncached serial {reference_s:.2f}s "
+          f"({len(cells)} cells, jobs={MATRIX_JOBS})")
+
+
+#: the queue-management grid measured by the aqm wall-clock benchmark; the
+#: flows axis makes the cells multiplexed scenarios (so per_flow=True
+#: genuinely exercises the per-flow collection path) and tunnelled=0 shares
+#: the carrier queue directly, where the discipline visibly matters
+AQM_GRID_SPEC = GridSpec(
+    parameters=("aqm", "qlimit", "flows", "tunnelled"),
+    values=((0.0, 1.0), (0.0, 30000.0), (2.0,), (0.0,)),
+    schemes=("Sprout",),
+    links=("AT&T LTE uplink",),
+)
+AQM_CONFIG = RunConfig(duration=15.0, warmup=3.0, per_flow=True)
+
+
+def test_bench_aqm_wallclock():
+    cache = global_cache()
+    cache.clear()
+
+    start = time.perf_counter()
+    fast = run_grid(AQM_GRID_SPEC, config=AQM_CONFIG, jobs=MATRIX_JOBS)
+    fast_s = time.perf_counter() - start
+
+    # Reference: the same expanded cells, one by one, trace cache off.
+    cells = expand_grid(AQM_GRID_SPEC, AQM_CONFIG)
+    was_enabled = cache.enabled
+    cache.enabled = False
+    try:
+        start = time.perf_counter()
+        reference = [run_scheme_on_link(s, l, c) for s, l, c in cells]
+        reference_s = time.perf_counter() - start
+    finally:
+        cache.enabled = was_enabled
+
+    # The acceptance bar: every queue-management cell bit-identical to its
+    # serial twin, the disciplines genuinely differ, and per-flow metrics
+    # were actually collected (otherwise this wall-clock measures nothing).
+    fast_rows = [r.as_dict() for p in fast.points for r in p.results]
+    assert fast_rows == [r.as_dict() for r in reference]
+    drop_tail = [r.as_dict() for p in fast.slice("aqm", 0.0) for r in p.results]
+    codel = [r.as_dict() for p in fast.slice("aqm", 1.0) for r in p.results]
+    assert drop_tail != codel
+    assert all(r.flows for p in fast.points for r in p.results)
+
+    _record(
+        "aqm",
+        {
+            "parameters": list(AQM_GRID_SPEC.parameters),
+            "axis_values": [list(axis) for axis in AQM_GRID_SPEC.values],
+            "schemes": list(AQM_GRID_SPEC.schemes),
+            "links": list(AQM_GRID_SPEC.links),
+            "cells": len(cells),
+            "duration_s": AQM_CONFIG.duration,
+            "per_flow": AQM_CONFIG.per_flow,
+            "jobs": MATRIX_JOBS,
+            "grid_wallclock_s": round(fast_s, 3),
+            "uncached_serial_wallclock_s": round(reference_s, 3),
+            "speedup": round(reference_s / fast_s, 3) if fast_s > 0 else None,
+        },
+    )
+    print(f"\naqm: fast path {fast_s:.2f}s, uncached serial {reference_s:.2f}s "
           f"({len(cells)} cells, jobs={MATRIX_JOBS})")

@@ -1,7 +1,8 @@
 #!/usr/bin/env python3
-"""Grid sweep: a sigma × loss grid over one link, exported as tidy CSV.
+"""Grid sweep: a sigma × loss grid over one link, exported as tidy CSV,
+followed by a per-flow queue-management grid (aqm × tunnelled).
 
-This example shows the three moving parts of the scenario-grid layer
+This example shows the moving parts of the scenario-grid layer
 (docs/scenarios.md):
 
 1. declare an N-dimensional ``GridSpec`` (here: forecaster noise power
@@ -9,14 +10,19 @@ This example shows the three moving parts of the scenario-grid layer
 2. run it through ``run_grid`` — one flattened batch of matrix cells,
    bit-identical to running every cell serially by hand,
 3. export the result as tidy long-format CSV (``repro.experiments.exports``)
-   and print the per-link throughput/delay frontier.
+   and print the per-link throughput/delay frontier,
+4. run a second grid over the queue-management axes (``aqm``: drop-tail
+   vs CoDel, §5.4; ``tunnelled``: direct vs SproutTunnel, §5.7) with
+   ``RunConfig(per_flow=True)``, so every cell also reports Skype's delay
+   tail and Cubic's throughput per flow — the paper's headline three-way
+   comparison in one frontier print-out.
 
 Run it with::
 
     python examples/grid_sweep.py [--duration SECONDS] [--out grid.csv]
 
-Set ``REPRO_SMOKE=1`` (as ``make docs-check`` does) to shrink the grid to a
-seconds-long smoke configuration that skips the per-sigma model rebuild.
+Set ``REPRO_SMOKE=1`` (as ``make docs-check`` does) to shrink both grids to
+a seconds-long smoke configuration that skips the per-sigma model rebuild.
 """
 
 from __future__ import annotations
@@ -70,6 +76,29 @@ def main() -> None:
     else:
         print("CSV export (tidy long format, docs/scenarios.md):\n")
         print(export_csv(data), end="")
+
+    # ---- per-flow worked example: the queue-management grid (sec. 5.4/5.7)
+    # aqm 0/1 toggles drop-tail vs CoDel at the carrier queue; tunnelled 0/1
+    # shares the queue directly vs rides SproutTunnel.  per_flow=True adds
+    # Skype's delay tail and Cubic's throughput to every cell, and the
+    # frontier print-out gains a per-flow section per link.
+    aqm_values = (0.0,) if SMOKE else (0.0, 1.0)
+    aqm_spec = GridSpec(
+        parameters=("aqm", "tunnelled"),
+        values=(aqm_values, (0.0, 1.0)),
+        schemes=("Sprout",),
+        links=(args.link,),
+    )
+    shape = " × ".join(str(n) for n in aqm_spec.shape)
+    print(f"\nrunning an aqm × tunnelled grid ({shape} points, per-flow) "
+          f"on {args.link}...\n")
+    aqm_data = run_grid(
+        aqm_spec,
+        config=RunConfig(
+            duration=args.duration, warmup=args.warmup, per_flow=True
+        ),
+    )
+    print(render_grid_frontiers(aqm_data))
 
 
 if __name__ == "__main__":

@@ -30,6 +30,13 @@ import sys
 REPO_ROOT = os.path.dirname(os.path.dirname(os.path.abspath(__file__)))
 SRC_ROOT = os.path.join(REPO_ROOT, "src")
 
+#: modules the gate refuses to run without — a rename or an accidental
+#: deletion must fail loudly instead of silently shrinking the universe
+REQUIRED_MODULES = (
+    os.path.join("metrics", "flows.py"),
+    os.path.join("simulation", "queues.py"),
+)
+
 #: pinned floor for the pytest-cov backend (line coverage, percent)
 DEFAULT_FLOOR = 85.0
 #: pinned floor for the stdlib fallback backend.  Calibrated 2026-07-31 on
@@ -133,6 +140,11 @@ def _stdlib_gate(floor: float) -> int:
 
 
 def main() -> int:
+    for module in REQUIRED_MODULES:
+        path = os.path.join(SRC_ROOT, "repro", module)
+        if not os.path.exists(path):
+            print(f"coverage gate: required module missing: {path}", file=sys.stderr)
+            return 1
     override = os.environ.get("REPRO_COV_FLOOR")
     if importlib.util.find_spec("pytest_cov") is not None:
         floor = float(override) if override else DEFAULT_FLOOR

@@ -20,6 +20,7 @@ from repro.simulation.delay_box import DEFAULT_PROPAGATION_DELAY
 from repro.simulation.endpoints import Host, Protocol
 from repro.simulation.event_loop import EventLoop
 from repro.simulation.path import DuplexLinkConfig, DuplexPath
+from repro.simulation.queues import QueueConfig
 from repro.traces.networks import (
     DEFAULT_TRACE_DURATION,
     LinkSpec,
@@ -61,10 +62,16 @@ def build_cellsim(
     loss_rate: float = 0.0,
     use_codel: bool = False,
     queue_byte_limit: Optional[int] = None,
+    queue: Optional[QueueConfig] = None,
     name: str = "cellsim",
     seed: int = 0,
 ) -> Cellsim:
-    """Wire a sender and receiver protocol through an emulated duplex link."""
+    """Wire a sender and receiver protocol through an emulated duplex link.
+
+    ``queue`` selects the bottleneck discipline explicitly (the ``aqm`` /
+    ``qlimit`` grid axes); its inherit-marked fields fall back to
+    ``use_codel`` / ``queue_byte_limit``.
+    """
     loop = EventLoop()
     config = DuplexLinkConfig(
         forward_trace=forward_trace,
@@ -73,6 +80,7 @@ def build_cellsim(
         loss_rate=loss_rate,
         use_codel=use_codel,
         queue_byte_limit=queue_byte_limit,
+        queue=queue,
         seed=seed,
         name=name,
     )
@@ -115,9 +123,17 @@ def cellsim_for_link(
     loss_rate: float = 0.0,
     use_codel: bool = False,
     queue_byte_limit: Optional[int] = None,
+    queue: Optional[QueueConfig] = None,
 ) -> Cellsim:
-    """Cellsim configured for one of the modelled cellular links."""
+    """Cellsim configured for one of the modelled cellular links.
+
+    When the link spec itself carries a queue configuration (a sweep-built
+    variant from the ``aqm``/``qlimit`` axes), it is used unless ``queue``
+    overrides it explicitly.
+    """
     data_trace, feedback_trace = traces_for_link(link, duration)
+    if queue is None:
+        queue = link.queue
     return build_cellsim(
         sender=sender,
         receiver=receiver,
@@ -126,6 +142,7 @@ def cellsim_for_link(
         loss_rate=loss_rate,
         use_codel=use_codel,
         queue_byte_limit=queue_byte_limit,
+        queue=queue,
         name=link.name,
         seed=link.seed,
     )

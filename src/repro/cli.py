@@ -69,7 +69,11 @@ def _add_run_options(parser: argparse.ArgumentParser) -> None:
 
 
 def _run_config(args: argparse.Namespace) -> RunConfig:
-    return RunConfig(duration=args.duration, warmup=args.warmup)
+    return RunConfig(
+        duration=args.duration,
+        warmup=args.warmup,
+        per_flow=getattr(args, "per_flow", False),
+    )
 
 
 def _cmd_run(args: argparse.Namespace) -> int:
@@ -166,7 +170,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     with shared_pool(args.jobs):
         data = run_grid(spec, config=config, jobs=args.jobs)
     print(render_grid(data))
-    if len(spec.parameters) > 1:
+    if len(spec.parameters) > 1 or args.per_flow:
         print(render_grid_frontiers(data))
     if args.export:
         if args.out:
@@ -246,6 +250,14 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         metavar="VALUE",
         help="values for the preceding --param",
+    )
+    sweep_parser.add_argument(
+        "--per-flow",
+        action="store_true",
+        dest="per_flow",
+        help="collect per-client-flow metrics (Skype delay vs Cubic "
+        "throughput, sec. 5.7) on cells with multiplexed flows; adds "
+        "per-flow frontier sections and flow_id columns to exports",
     )
     sweep_parser.add_argument(
         "--export",

@@ -30,28 +30,13 @@ from repro.baselines.videoconference import (
 )
 from repro.cellsim.cellsim import build_cellsim, traces_for_link
 from repro.core.connection import SproutConfig
-from repro.metrics.delay import percentile_of_delay_signal
+from repro.metrics.flows import FlowMetrics, flow_metrics_from_arrivals
 from repro.simulation.endpoints import HostContext, Protocol
 from repro.simulation.mux import MultiplexProtocol
 from repro.simulation.packet import Packet
+from repro.simulation.queues import QueueConfig
 from repro.traces.networks import get_link
 from repro.tunnel.tunnel import HEADER_TUNNEL_FLOW, make_tunnel
-
-
-@dataclass
-class FlowMetrics:
-    """Per-client-flow metrics of one competing-traffic run."""
-
-    throughput_bps: float
-    delay_95_s: float
-
-    @property
-    def throughput_kbps(self) -> float:
-        return self.throughput_bps / 1000.0
-
-    @property
-    def delay_95_ms(self) -> float:
-        return self.delay_95_s * 1000.0
 
 
 @dataclass
@@ -122,21 +107,22 @@ def _flow_metrics(
     arrivals: List[Tuple[float, Packet]],
     warmup: float,
     duration: float,
+    flow: str = "",
 ) -> FlowMetrics:
-    window = duration - warmup
-    in_window = [(t, p) for t, p in arrivals if warmup <= t <= duration]
-    total_bytes = sum(p.size for _, p in in_window)
-    pairs = [(t, p.sent_at) for t, p in arrivals if p.sent_at is not None]
-    delay = percentile_of_delay_signal(pairs, start_time=warmup, end_time=duration)
-    return FlowMetrics(throughput_bps=total_bytes * 8.0 / window, delay_95_s=delay)
+    return flow_metrics_from_arrivals(arrivals, warmup, duration, flow)
 
 
 def run_direct(
     link_name: str = "Verizon LTE downlink",
     duration: float = 60.0,
     warmup: float = 10.0,
+    queue: Optional[QueueConfig] = None,
 ) -> CompetingResult:
-    """Cubic and Skype sharing the emulated link's single queue directly."""
+    """Cubic and Skype sharing the emulated link's single queue directly.
+
+    ``queue`` selects the carrier queue (e.g. CoDel, or a finite byte
+    limit); the default is the paper's deep drop-tail buffer.
+    """
     link = get_link(link_name)
     forward, reverse = traces_for_link(link, duration)
 
@@ -153,12 +139,20 @@ def run_direct(
         }
     )
     sim = build_cellsim(
-        sender_mux, receiver_mux, forward, reverse, name=f"{link.name} direct", seed=link.seed
+        sender_mux,
+        receiver_mux,
+        forward,
+        reverse,
+        queue=queue,
+        name=f"{link.name} direct",
+        seed=link.seed,
     )
     sim.run(duration)
 
     flows = {
-        name: _flow_metrics(receiver_mux.received_by_flow.get(name, []), warmup, duration)
+        name: _flow_metrics(
+            receiver_mux.received_by_flow.get(name, []), warmup, duration, name
+        )
         for name in ("cubic", "skype")
     }
     return CompetingResult(mode="direct", flows=flows)
@@ -169,6 +163,7 @@ def run_tunnelled(
     duration: float = 60.0,
     warmup: float = 10.0,
     sprout_config: Optional[SproutConfig] = None,
+    queue: Optional[QueueConfig] = None,
 ) -> CompetingResult:
     """Cubic and Skype carried through SproutTunnel over the same link."""
     link = get_link(link_name)
@@ -209,12 +204,19 @@ def run_tunnelled(
     tunnel.egress.register_flow("skype", _handler("skype", skype_receiver))
 
     sim = build_cellsim(
-        sender_mux, receiver_mux, forward, reverse, name=f"{link.name} tunnel", seed=link.seed
+        sender_mux,
+        receiver_mux,
+        forward,
+        reverse,
+        queue=queue,
+        name=f"{link.name} tunnel",
+        seed=link.seed,
     )
     sim.run(duration)
 
     flows = {
-        name: _flow_metrics(delivered[name], warmup, duration) for name in ("cubic", "skype")
+        name: _flow_metrics(delivered[name], warmup, duration, name)
+        for name in ("cubic", "skype")
     }
     return CompetingResult(
         mode="sprout-tunnel", flows=flows, tunnel_drops=tunnel.dropped_for_limit
@@ -225,10 +227,11 @@ def run_competing_comparison(
     link_name: str = "Verizon LTE downlink",
     duration: float = 60.0,
     warmup: float = 10.0,
+    queue: Optional[QueueConfig] = None,
 ) -> CompetingComparison:
     """The full Section 5.7 comparison: direct vs. through SproutTunnel."""
-    direct = run_direct(link_name, duration, warmup)
-    tunnelled = run_tunnelled(link_name, duration, warmup)
+    direct = run_direct(link_name, duration, warmup, queue=queue)
+    tunnelled = run_tunnelled(link_name, duration, warmup, queue=queue)
     return CompetingComparison(direct=direct, tunnelled=tunnelled)
 
 
@@ -284,17 +287,34 @@ def competing_tunnel_pair(
 
     The egress delivers each unwrapped client packet to its local receiver,
     whose feedback (ACKs, receiver reports) returns over the reverse
-    direction outside the tunnel, exactly as in :func:`run_tunnelled`.
+    direction outside the tunnel, exactly as in :func:`run_tunnelled`.  Each
+    egress delivery is also logged into the receiver mux's per-flow log, so
+    per-flow metrics (``RunConfig(per_flow=True)``) see the client flows and
+    not just the tunnel frames that crossed the link.
     """
     tunnel = make_tunnel(sprout_config)
     senders: Dict[str, Protocol] = {"sprout-tunnel": tunnel.sender_protocol}
     receivers: Dict[str, Protocol] = {"sprout-tunnel": tunnel.receiver_protocol}
+    client_receivers: Dict[str, Protocol] = {}
     for flow in competing_flow_names(flows):
         client_sender, client_receiver = _client_pair(flow)
         senders[flow] = TunnelClient(client_sender, flow, tunnel.ingress)
         receivers[flow] = client_receiver
-        tunnel.egress.register_flow(flow, client_receiver.on_packet)
-    return MultiplexProtocol(senders), MultiplexProtocol(receivers)
+        client_receivers[flow] = client_receiver
+    receiver_mux = MultiplexProtocol(receivers)
+
+    def _egress_handler(flow: str, receiver: Protocol):
+        log = receiver_mux.received_by_flow[flow]
+
+        def handle(packet: Packet, now: float) -> None:
+            log.append((now, packet))
+            receiver.on_packet(packet, now)
+
+        return handle
+
+    for flow, client_receiver in client_receivers.items():
+        tunnel.egress.register_flow(flow, _egress_handler(flow, client_receiver))
+    return MultiplexProtocol(senders), receiver_mux
 
 
 def competing_scheme(

@@ -7,19 +7,25 @@ schema-versioned (:data:`EXPORT_SCHEMA_VERSION`) and documented
 column-by-column / key-by-key in ``docs/scenarios.md``:
 
 * **CSV** (:func:`export_csv`) — tidy long format: one row per measured
-  ``(grid point, scheme, link)`` cell.  The first column is
+  ``(grid point, scheme, link)`` cell, plus — when a cell carries per-flow
+  metrics — one row per ``(cell, flow)``.  The first column is
   ``schema_version``, then one column per grid axis (named after the axis,
-  in grid order), then ``scheme``, ``link``, and the metric columns of
-  :data:`METRIC_COLUMNS`.  Floats are written with ``repr`` (shortest
-  round-trip form), so parsing the CSV back recovers bit-identical values.
+  in grid order), then ``scheme``, ``link``, the metric columns of
+  :data:`METRIC_COLUMNS`, and the per-flow columns of
+  :data:`FLOW_COLUMNS`.  Aggregate rows leave the flow columns empty;
+  per-flow rows leave the aggregate metric columns empty (the discriminator
+  is ``flow_id``).  Floats are written with ``repr`` (shortest round-trip
+  form), so parsing the CSV back recovers bit-identical values.
 * **JSON** (:func:`export_json`) — the full grid structure: spec
   (parameters, per-axis values, schemes, links), then one entry per grid
   point with its coordinates (keyed by axis name) and complete
-  :class:`~repro.metrics.summary.SchemeResult` dictionaries.
+  :class:`~repro.metrics.summary.SchemeResult` dictionaries (including the
+  optional per-flow ``flows`` list).
 
 Both directions are covered: :func:`parse_csv` / :func:`parse_json` read an
-export back, and :func:`grid_data_from_json` rebuilds a full ``GridData`` —
-the round-trip is exact (``tests/test_exports.py``).
+export back — current (v2) **and** v1 exports written before the per-flow
+columns existed — and :func:`grid_data_from_json` rebuilds a full
+``GridData``; the round-trip is exact (``tests/test_exports.py``).
 """
 
 from __future__ import annotations
@@ -31,10 +37,14 @@ from dataclasses import fields
 from typing import Dict, List, Sequence, Union
 
 from repro.experiments.sweeps import GridData, GridPoint, GridSpec, SweepData
+from repro.metrics.flows import FlowMetrics
 from repro.metrics.summary import SchemeResult
 
 #: bump when a column/key is added, removed, or changes meaning
-EXPORT_SCHEMA_VERSION = 1
+EXPORT_SCHEMA_VERSION = 2
+
+#: schema versions :func:`parse_csv` / :func:`parse_json` understand
+SUPPORTED_SCHEMA_VERSIONS = (1, 2)
 
 #: metric columns of the CSV export, in order (docs/scenarios.md)
 METRIC_COLUMNS: List[str] = [
@@ -46,6 +56,13 @@ METRIC_COLUMNS: List[str] = [
     "utilization",
     "capacity_bps",
     "omniscient_delay_95_s",
+]
+
+#: per-flow columns of the CSV export (schema v2), after the metric columns
+FLOW_COLUMNS: List[str] = [
+    "flow_id",
+    "flow_throughput_bps",
+    "flow_delay_95_s",
 ]
 
 GridLike = Union[GridData, SweepData]
@@ -60,22 +77,45 @@ def as_grid_data(data: GridLike) -> GridData:
 
 def csv_columns(spec: GridSpec) -> List[str]:
     """The CSV header row for one grid: version, axes, identity, metrics."""
-    return ["schema_version", *spec.parameters, "scheme", "link", *METRIC_COLUMNS]
+    return [
+        "schema_version",
+        *spec.parameters,
+        "scheme",
+        "link",
+        *METRIC_COLUMNS,
+        *FLOW_COLUMNS,
+    ]
 
 
 def export_rows(data: GridLike) -> List[Dict[str, object]]:
-    """The tidy long-format rows of an export, one per measured cell."""
+    """The tidy long-format rows of an export.
+
+    One aggregate row per measured cell (flow columns ``None``) followed by
+    one per-flow row per flow the cell recorded (aggregate metric columns
+    ``None``, flow columns set) — row kind is discriminated by ``flow_id``.
+    """
     grid = as_grid_data(data)
     rows: List[Dict[str, object]] = []
     for point in grid.points:
         for result in point.results:
-            row: Dict[str, object] = {"schema_version": EXPORT_SCHEMA_VERSION}
-            row.update(zip(point.parameters, point.coordinates))
-            row["scheme"] = result.scheme
-            row["link"] = result.link
+            base: Dict[str, object] = {"schema_version": EXPORT_SCHEMA_VERSION}
+            base.update(zip(point.parameters, point.coordinates))
+            base["scheme"] = result.scheme
+            base["link"] = result.link
+            aggregate = dict(base)
             for column in METRIC_COLUMNS:
-                row[column] = getattr(result, column)
-            rows.append(row)
+                aggregate[column] = getattr(result, column)
+            for column in FLOW_COLUMNS:
+                aggregate[column] = None
+            rows.append(aggregate)
+            for flow in result.flows or []:
+                flow_row = dict(base)
+                for column in METRIC_COLUMNS:
+                    flow_row[column] = None
+                flow_row["flow_id"] = flow.flow
+                flow_row["flow_throughput_bps"] = flow.throughput_bps
+                flow_row["flow_delay_95_s"] = flow.delay_95_s
+                rows.append(flow_row)
     return rows
 
 
@@ -92,8 +132,27 @@ def export_csv(data: GridLike) -> str:
     return buffer.getvalue()
 
 
+def _jsonable(value: object) -> object:
+    """``value`` with every nan float replaced by ``None``.
+
+    ``json.dumps`` would otherwise emit the bare token ``NaN`` — accepted by
+    Python's own parser but invalid RFC 8259, so jq / JavaScript / pandas
+    reject the whole file.  nan is reachable (a flow with no delay-signal
+    segments inside the window); it exports as ``null`` and parses back to
+    nan (:func:`_result_from_dict`).
+    """
+    if isinstance(value, float) and value != value:
+        return None
+    if isinstance(value, dict):
+        return {key: _jsonable(item) for key, item in value.items()}
+    if isinstance(value, list):
+        return [_jsonable(item) for item in value]
+    return value
+
+
 def export_json(data: GridLike) -> str:
-    """Serialise a grid/sweep as structured JSON (exact floats via repr)."""
+    """Serialise a grid/sweep as structured JSON (exact floats via repr;
+    nan values as ``null`` so the output stays strict RFC 8259)."""
     grid = as_grid_data(data)
     spec = grid.spec
     payload = {
@@ -111,7 +170,7 @@ def export_json(data: GridLike) -> str:
             for point in grid.points
         ],
     }
-    return json.dumps(payload, indent=2) + "\n"
+    return json.dumps(_jsonable(payload), indent=2, allow_nan=False) + "\n"
 
 
 def export_text(data: GridLike, fmt: str) -> str:
@@ -137,8 +196,11 @@ def parse_csv(text: str) -> List[Dict[str, object]]:
     """Parse a CSV export back into typed rows (exact float round-trip).
 
     Axis and metric columns come back as floats, ``schema_version`` as an
-    int, ``scheme``/``link`` as strings.  Raises ``ValueError`` on a schema
-    version this code does not understand.
+    int, ``scheme``/``link`` as strings.  Schema v2 adds the per-flow
+    columns: ``flow_id`` is a string (``None`` on aggregate rows) and empty
+    metric cells come back as ``None``.  v1 exports (no flow columns) parse
+    unchanged.  Raises ``ValueError`` on a schema version this code does
+    not understand.
     """
     reader = csv.reader(io.StringIO(text))
     try:
@@ -162,8 +224,12 @@ def parse_csv(text: str) -> List[Dict[str, object]]:
                 row[column] = _check_schema_version(int(value))
             elif column in ("scheme", "link"):
                 row[column] = value
+            elif column == "flow_id":
+                row[column] = value if value != "" else None
+            elif column in METRIC_COLUMNS or column in FLOW_COLUMNS:
+                row[column] = float(value) if value != "" else None
             else:
-                row[column] = float(value)
+                row[column] = float(value)  # a grid-axis coordinate
         rows.append(row)
     return rows
 
@@ -181,20 +247,50 @@ _RESULT_FIELDS = {f.name for f in fields(SchemeResult)}
 
 
 def _check_schema_version(version: object) -> int:
-    if version != EXPORT_SCHEMA_VERSION:
+    if version not in SUPPORTED_SCHEMA_VERSIONS:
+        supported = ", ".join(str(v) for v in SUPPORTED_SCHEMA_VERSIONS)
         raise ValueError(
             f"unsupported export schema version {version!r} "
-            f"(this code reads version {EXPORT_SCHEMA_VERSION})"
+            f"(this code reads versions {supported})"
         )
-    return EXPORT_SCHEMA_VERSION
+    return int(version)  # type: ignore[arg-type]
+
+
+_RESULT_FLOAT_FIELDS = {
+    f.name for f in fields(SchemeResult) if f.type in ("float", float)
+}
+_FLOW_FLOAT_FIELDS = {
+    f.name for f in fields(FlowMetrics) if f.type in ("float", float)
+}
+
+
+def _nan_floats(data: Dict[str, object], float_fields) -> Dict[str, object]:
+    """Restore ``null``-exported nan values on known float fields."""
+    return {
+        key: float("nan") if value is None and key in float_fields else value
+        for key, value in data.items()
+    }
+
+
+def _result_from_dict(row: Dict[str, object]) -> SchemeResult:
+    data = _nan_floats(
+        {k: v for k, v in row.items() if k in _RESULT_FIELDS}, _RESULT_FLOAT_FIELDS
+    )
+    flows = data.get("flows")
+    if flows is not None:
+        data["flows"] = [
+            FlowMetrics(**_nan_floats(flow, _FLOW_FLOAT_FIELDS)) for flow in flows
+        ]
+    return SchemeResult(**data)  # type: ignore[arg-type]
 
 
 def grid_data_from_json(payload: Union[str, dict]) -> GridData:
-    """Rebuild a full :class:`GridData` from a JSON export.
+    """Rebuild a full :class:`GridData` from a JSON export (v1 or v2).
 
     The reconstruction is exact: every ``SchemeResult`` field (including
-    the ``extra`` counters) round-trips bit-identically, so downstream
-    analysis (frontiers, tables) can run from an export alone.
+    the ``extra`` counters and the optional per-flow list) round-trips
+    bit-identically, so downstream analysis (frontiers, tables) can run
+    from an export alone.
     """
     if isinstance(payload, str):
         payload = parse_json(payload)
@@ -209,10 +305,7 @@ def grid_data_from_json(payload: Union[str, dict]) -> GridData:
     points = []
     for entry in payload["points"]:
         coordinates = entry["coordinates"]
-        results = [
-            SchemeResult(**{k: v for k, v in row.items() if k in _RESULT_FIELDS})
-            for row in entry["results"]
-        ]
+        results = [_result_from_dict(row) for row in entry["results"]]
         points.append(
             GridPoint(
                 parameters=spec.parameters,

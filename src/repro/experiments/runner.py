@@ -9,6 +9,7 @@ from repro.baselines.omniscient import omniscient_delay
 from repro.cellsim.cellsim import Cellsim, build_cellsim, cellsim_for_link, traces_for_link
 from repro.experiments.registry import SchemeSpec, get_scheme
 from repro.metrics.delay import arrivals_from_log, end_to_end_delay_95, self_inflicted_delay
+from repro.metrics.flows import flow_metrics_from_logs
 from repro.metrics.summary import SchemeResult
 from repro.metrics.throughput import average_throughput_bps, link_capacity_bps, utilization
 from repro.traces.networks import DEFAULT_TRACE_DURATION, LinkSpec, get_link
@@ -21,12 +22,18 @@ class RunConfig:
     The paper skips the first minute of every application run to avoid
     start-up effects; with the shorter default traces used here the warm-up
     is scaled down proportionally but serves the same purpose.
+
+    ``per_flow`` asks the metrics collection to also break the run down per
+    client flow (Section 5.7: Skype's delay vs. Cubic's throughput) when the
+    receiving endpoint keeps per-flow logs — a multiplexed scenario cell.
+    It is pure collection: the emulation's physics are identical either way.
     """
 
     duration: float = DEFAULT_TRACE_DURATION
     warmup: float = 15.0
     loss_rate: float = 0.0
     queue_byte_limit: Optional[int] = None
+    per_flow: bool = False
 
     def __post_init__(self) -> None:
         if self.duration <= 0:
@@ -71,7 +78,13 @@ def collect_metrics(
     link_name: str,
     config: RunConfig,
 ) -> SchemeResult:
-    """Compute the paper's metrics from a finished emulation."""
+    """Compute the paper's metrics from a finished emulation.
+
+    With ``config.per_flow`` set and a receiver that keeps per-flow logs
+    (:class:`~repro.simulation.mux.MultiplexProtocol`, whose log the tunnel
+    egress also feeds), the result additionally carries one
+    :class:`~repro.metrics.flows.FlowMetrics` per client flow.
+    """
     start = config.warmup
     end = config.duration
 
@@ -89,6 +102,12 @@ def collect_metrics(
     )
     inflicted = self_inflicted_delay(delay_95, base_delay)
 
+    flows = None
+    if config.per_flow:
+        flow_logs = getattr(sim.receiver_host.protocol, "received_by_flow", None)
+        if flow_logs is not None:
+            flows = flow_metrics_from_logs(flow_logs, start, end) or None
+
     return SchemeResult(
         scheme=scheme_name,
         link=link_name,
@@ -103,6 +122,7 @@ def collect_metrics(
             "forward_queue_drops": float(getattr(sim.path.forward.queue, "drops", 0)),
             "forward_loss_drops": float(sim.path.forward.packets_lost),
         },
+        flows=flows,
     )
 
 

@@ -37,6 +37,15 @@ Sweepable axes (full semantics in ``docs/scenarios.md``):
     Direct-vs-tunnelled scenario toggle for the competing-flows mix:
     ``0`` shares the link's single queue directly, ``1`` carries the flows
     through SproutTunnel.
+``aqm``
+    Queue discipline of the emulated link's bottleneck queues (§5.4):
+    ``0`` is the deep drop-tail buffer, ``1`` applies CoDel to both
+    directions.  Carried on a copy of the link spec, so the trace (and the
+    trace cache) are shared across disciplines — every discipline sees the
+    identical delivery schedule, as the paper's comparison requires.
+``qlimit``
+    Byte limit of the bottleneck queues; ``0`` keeps the deep
+    (effectively unbounded) buffer.  Composes with ``aqm`` in either order.
 
 Axes are applied to each cell in the order the spec lists them, so a
 ``sigma × flows`` grid (in that order) carries the swept stochastic model
@@ -59,7 +68,9 @@ from repro.experiments.competing import competing_scheme, competing_scheme_parts
 from repro.experiments.parallel import Cell, run_cells, shared_pool
 from repro.experiments.registry import SchemeSpec, get_scheme, sprout_variant
 from repro.experiments.runner import ProgressCallback, RunConfig
+from repro.metrics.flows import FlowMetrics
 from repro.metrics.summary import SchemeResult
+from repro.simulation.queues import AQM_CODEL, AQM_DROP_TAIL, QueueConfig
 from repro.traces.networks import LinkSpec, get_link, link_names
 
 SchemeLike = Union[str, SchemeSpec]
@@ -202,6 +213,33 @@ def _expand_tunnelled(
     return (competing_scheme(flows, bool(value), sprout_config), link, config)
 
 
+def _link_queue(link: LinkLike) -> Tuple[LinkSpec, QueueConfig]:
+    """The cell's link spec and its current (possibly inherit-all) queue."""
+    spec = _resolve_link(link)
+    return spec, spec.queue if spec.queue is not None else QueueConfig()
+
+
+def _expand_aqm(scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float) -> Cell:
+    if value not in (float(AQM_DROP_TAIL), float(AQM_CODEL)):
+        raise ValueError(
+            f"aqm must be {AQM_DROP_TAIL} (drop-tail) or {AQM_CODEL} (CoDel), got {value}"
+        )
+    spec, queue = _link_queue(link)
+    return (scheme, replace(spec, queue=replace(queue, aqm=int(value))), config)
+
+
+def _expand_qlimit(
+    scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float
+) -> Cell:
+    if value != int(value) or value < 0:
+        raise ValueError(
+            f"qlimit must be a whole number of bytes (0 = deep buffer), got {value}"
+        )
+    spec, queue = _link_queue(link)
+    limit = None if value == 0 else int(value)
+    return (scheme, replace(spec, queue=replace(queue, byte_limit=limit)), config)
+
+
 @dataclass(frozen=True)
 class SweepParameter:
     """One sweepable knob: its name, axis label, and cell expander."""
@@ -225,6 +263,12 @@ SWEEP_PARAMETERS: Dict[str, SweepParameter] = {
         ),
         SweepParameter(
             "tunnelled", "competing flows direct (0) or via SproutTunnel (1)", _expand_tunnelled
+        ),
+        SweepParameter(
+            "aqm", "bottleneck queue discipline: drop-tail (0) or CoDel (1), sec. 5.4", _expand_aqm
+        ),
+        SweepParameter(
+            "qlimit", "bottleneck queue byte limit (0 = deep buffer)", _expand_qlimit
         ),
     )
 }
@@ -578,27 +622,73 @@ def render_grid(data: GridData) -> str:
 # --------------------------------------------------------------- frontiers
 
 
-def pareto_frontier(rows: Sequence[SchemeResult]) -> List[bool]:
-    """Which rows sit on the throughput/delay Pareto frontier.
+def pareto_frontier_points(points: Sequence[Tuple[float, float]]) -> List[bool]:
+    """Which ``(throughput, delay)`` points sit on the Pareto frontier.
 
-    A row is on the frontier when no other row has both at least its
-    throughput and at most its self-inflicted delay, with one strictly
-    better — the upper-left boundary of the paper's Figure 7 plane.
+    A point is on the frontier when no other point has both at least its
+    throughput and at most its delay, with one strictly better — the
+    upper-left boundary of the paper's Figure 7 plane.  ``nan`` delays
+    (flows that saw no traffic in the window) never make the frontier.
     """
     flags: List[bool] = []
-    for i, row in enumerate(rows):
+    for i, (throughput, delay) in enumerate(points):
+        if delay != delay:  # nan delay: no measurable operating point
+            flags.append(False)
+            continue
         dominated = any(
-            other.throughput_bps >= row.throughput_bps
-            and other.self_inflicted_delay_s <= row.self_inflicted_delay_s
-            and (
-                other.throughput_bps > row.throughput_bps
-                or other.self_inflicted_delay_s < row.self_inflicted_delay_s
-            )
-            for j, other in enumerate(rows)
-            if j != i
+            other_throughput >= throughput
+            and other_delay <= delay
+            and (other_throughput > throughput or other_delay < delay)
+            for j, (other_throughput, other_delay) in enumerate(points)
+            if j != i and other_delay == other_delay
         )
         flags.append(not dominated)
     return flags
+
+
+def pareto_frontier(rows: Sequence[SchemeResult]) -> List[bool]:
+    """Which rows sit on the throughput/delay Pareto frontier."""
+    return pareto_frontier_points(
+        [(row.throughput_bps, row.self_inflicted_delay_s) for row in rows]
+    )
+
+
+#: a per-flow candidate operating point: (grid point, result row, flow)
+FlowEntry = Tuple[GridPoint, SchemeResult, FlowMetrics]
+
+
+def _per_flow_frontier_lines(entries: Sequence[FlowEntry]) -> List[str]:
+    """Frontier table for one link's per-flow series.
+
+    The frontier is computed *within* each flow series (all grid points of
+    one flow name), so a bulk flow's large throughput cannot blot out the
+    interactive flow's frontier — the §5.7 comparison is per flow.
+    """
+    lines = [
+        f"  {'point':30s} {'scheme':22s} {'flow':14s} {'tput (kbps)':>12s} "
+        f"{'delay95 (ms)':>12s} {'frontier':>9s}"
+    ]
+    flow_names = sorted({flow.flow for _, _, flow in entries})
+    for flow_name in flow_names:
+        series = [entry for entry in entries if entry[2].flow == flow_name]
+        flags = pareto_frontier_points(
+            [(flow.throughput_bps, flow.delay_95_s) for _, _, flow in series]
+        )
+        ordered = sorted(
+            zip(series, flags),
+            key=lambda pair: (
+                pair[0][2].delay_95_s != pair[0][2].delay_95_s,  # nan last
+                pair[0][2].delay_95_s,
+                -pair[0][2].throughput_bps,
+            ),
+        )
+        for (point, row, flow), on_frontier in ordered:
+            star = "*" if on_frontier else ""
+            lines.append(
+                f"  {point.label:30s} {row.scheme:22s} {flow.flow:14s} "
+                f"{flow.throughput_kbps:12.0f} {flow.delay_95_ms:12.0f} {star:>9s}"
+            )
+    return lines
 
 
 def render_grid_frontiers(data: GridData) -> str:
@@ -608,6 +698,12 @@ def render_grid_frontiers(data: GridData) -> str:
     candidate operating point; candidates are listed by ascending delay and
     the Pareto-optimal ones (:func:`pareto_frontier`) are starred.  This is
     the report's frontier-comparison section (``docs/scenarios.md``).
+
+    When results carry per-flow metrics (``RunConfig(per_flow=True)``), each
+    link additionally gets a per-flow section: one candidate per ``(grid
+    point, scheme, flow)``, starred by a frontier computed within each flow
+    series — Skype's delay tail and Cubic's bulk throughput traced across
+    the same scenario space.
     """
     spec = data.spec
     axes = " × ".join(spec.parameters)
@@ -642,4 +738,13 @@ def render_grid_frontiers(data: GridData) -> str:
                 f"{row.self_inflicted_delay_ms:12.0f} {star:>9s}"
             )
         lines.append("")
+        flow_entries: List[FlowEntry] = [
+            (point, row, flow)
+            for point, row in entries
+            for flow in (row.flows or [])
+        ]
+        if flow_entries:
+            lines.append(f"{link_name} — per-flow")
+            lines.extend(_per_flow_frontier_lines(flow_entries))
+            lines.append("")
     return "\n".join(lines)

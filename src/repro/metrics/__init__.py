@@ -7,6 +7,12 @@ from repro.metrics.delay import (
     percentile_of_delay_signal,
     self_inflicted_delay,
 )
+from repro.metrics.flows import (
+    FlowAccumulator,
+    FlowMetrics,
+    flow_metrics_from_arrivals,
+    flow_metrics_from_logs,
+)
 from repro.metrics.summary import (
     RelativeComparison,
     SchemeResult,
@@ -27,6 +33,10 @@ __all__ = [
     "end_to_end_delay_95",
     "percentile_of_delay_signal",
     "self_inflicted_delay",
+    "FlowAccumulator",
+    "FlowMetrics",
+    "flow_metrics_from_arrivals",
+    "flow_metrics_from_logs",
     "RelativeComparison",
     "SchemeResult",
     "average_by_scheme",

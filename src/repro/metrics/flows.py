@@ -1,0 +1,116 @@
+"""Per-flow metrics: the Section 5.7 view of a multi-flow experiment.
+
+The aggregate :class:`~repro.metrics.summary.SchemeResult` answers "what did
+the link carry?"; this module answers "what did each *client flow* get?" —
+the paper's Section 5.7 comparison is exactly that split (Cubic's bulk
+throughput vs. Skype's delay tail).  The raw material is the per-flow
+received-packet log kept by :class:`~repro.simulation.mux.MultiplexProtocol`
+(and fed by the tunnel egress for tunnelled flows): for every flow, a list
+of ``(delivery_time, packet)`` observations.
+
+:class:`FlowAccumulator` collects those observations (directly or from a
+mux log) and finalises them into one :class:`FlowMetrics` per flow over a
+measurement window; :func:`flow_metrics_from_logs` is the one-shot helper
+the experiment runner uses.  Delay uses the same instantaneous-delay-signal
+percentile as the aggregate metrics (:mod:`repro.metrics.delay`), so a
+flow's tail delay is directly comparable with the scheme-level numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Mapping, Sequence, Tuple
+
+from repro.metrics.delay import percentile_of_delay_signal
+from repro.simulation.packet import Packet
+
+#: one per-flow observation log: (delivery_time, packet) in arrival order
+FlowLog = Sequence[Tuple[float, Packet]]
+
+
+@dataclass
+class FlowMetrics:
+    """Metrics of one client flow over a measurement window."""
+
+    throughput_bps: float
+    delay_95_s: float
+    flow: str = ""
+    packets: int = 0
+    bytes: int = 0
+
+    @property
+    def throughput_kbps(self) -> float:
+        return self.throughput_bps / 1000.0
+
+    @property
+    def delay_95_ms(self) -> float:
+        return self.delay_95_s * 1000.0
+
+
+def flow_metrics_from_arrivals(
+    arrivals: FlowLog,
+    start_time: float,
+    end_time: float,
+    flow: str = "",
+) -> FlowMetrics:
+    """Finalise one flow's observation log into its metrics.
+
+    Throughput counts the bytes delivered inside ``[start_time, end_time]``;
+    the delay tail is the 95th percentile of the flow's instantaneous delay
+    signal over the same window (``nan`` when the flow saw no deliveries).
+    """
+    window = end_time - start_time
+    if window <= 0:
+        raise ValueError("end_time must be after start_time")
+    in_window = [(t, p) for t, p in arrivals if start_time <= t <= end_time]
+    total_bytes = sum(p.size for _, p in in_window)
+    pairs = [(t, p.sent_at) for t, p in arrivals if p.sent_at is not None]
+    delay = percentile_of_delay_signal(pairs, start_time=start_time, end_time=end_time)
+    return FlowMetrics(
+        throughput_bps=total_bytes * 8.0 / window,
+        delay_95_s=delay,
+        flow=flow,
+        packets=len(in_window),
+        bytes=total_bytes,
+    )
+
+
+class FlowAccumulator:
+    """Accumulates per-flow packet observations across an experiment.
+
+    Observations can be recorded one at a time (:meth:`record`, e.g. from a
+    tunnel-egress delivery hook) or absorbed wholesale from a mux's
+    ``received_by_flow`` log (:meth:`extend`); :meth:`metrics` finalises
+    every flow, sorted by flow name so results are deterministic.
+    """
+
+    def __init__(self) -> None:
+        self.arrivals: Dict[str, List[Tuple[float, Packet]]] = {}
+
+    def record(self, flow: str, now: float, packet: Packet) -> None:
+        """Record one delivered packet for ``flow`` at time ``now``."""
+        self.arrivals.setdefault(flow, []).append((now, packet))
+
+    def extend(self, logs: Mapping[str, Iterable[Tuple[float, Packet]]]) -> None:
+        """Absorb a whole per-flow log (a mux's ``received_by_flow``)."""
+        for flow, entries in logs.items():
+            self.arrivals.setdefault(flow, []).extend(entries)
+
+    def metrics(self, start_time: float, end_time: float) -> List[FlowMetrics]:
+        """One :class:`FlowMetrics` per flow that saw any delivery, by name."""
+        return [
+            flow_metrics_from_arrivals(self.arrivals[flow], start_time, end_time, flow)
+            for flow in sorted(self.arrivals)
+            if self.arrivals[flow]
+        ]
+
+
+def flow_metrics_from_logs(
+    logs: Mapping[str, Iterable[Tuple[float, Packet]]],
+    start_time: float,
+    end_time: float,
+) -> List[FlowMetrics]:
+    """Per-flow metrics straight from a mux's ``received_by_flow`` log."""
+    accumulator = FlowAccumulator()
+    accumulator.extend(logs)
+    return accumulator.metrics(start_time, end_time)

@@ -14,10 +14,19 @@ from typing import Dict, Iterable, List, Optional
 
 import numpy as np
 
+from repro.metrics.flows import FlowMetrics
+
 
 @dataclass
 class SchemeResult:
-    """Metrics of one scheme over one emulated link."""
+    """Metrics of one scheme over one emulated link.
+
+    ``flows`` is the optional per-flow breakdown (Section 5.7: each client
+    flow's throughput and delay tail), populated when the run was collected
+    with ``RunConfig(per_flow=True)`` and the receiving endpoint kept
+    per-flow logs; ``None`` otherwise, and omitted from :meth:`as_dict` so
+    aggregate-only results serialise exactly as before.
+    """
 
     scheme: str
     link: str
@@ -28,6 +37,7 @@ class SchemeResult:
     capacity_bps: float = 0.0
     omniscient_delay_95_s: float = 0.0
     extra: Dict[str, float] = field(default_factory=dict)
+    flows: Optional[List[FlowMetrics]] = None
 
     @property
     def throughput_kbps(self) -> float:
@@ -39,6 +49,8 @@ class SchemeResult:
 
     def as_dict(self) -> dict:
         data = asdict(self)
+        if self.flows is None:
+            del data["flows"]
         data["throughput_kbps"] = self.throughput_kbps
         data["self_inflicted_delay_ms"] = self.self_inflicted_delay_ms
         return data

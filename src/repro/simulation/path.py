@@ -18,7 +18,7 @@ from repro.simulation.delay_box import DEFAULT_PROPAGATION_DELAY, DelayBox
 from repro.simulation.event_loop import EventLoop
 from repro.simulation.link import TraceDrivenLink
 from repro.simulation.packet import MTU_BYTES, Packet
-from repro.simulation.queues import CoDelQueue, DropTailQueue, Queue
+from repro.simulation.queues import Queue, QueueConfig
 from repro.simulation.random import make_rng
 
 
@@ -34,6 +34,11 @@ class DuplexLinkConfig:
             direction at the queue tail (Section 5.6); 0 disables loss.
         use_codel: apply the CoDel AQM to both queues (Section 5.4).
         queue_byte_limit: optional finite buffer size; None = deep buffer.
+        queue: explicit queue configuration for both directions; fields left
+            to inherit (``aqm=None`` / ``byte_limit=None``) fall back to
+            ``use_codel`` / ``queue_byte_limit``, so an ``aqm``/``qlimit``
+            grid axis can override the discipline without losing a scheme's
+            own queue requirements (see :meth:`effective_queue`).
         seed: seed for the loss process.
         name: label used in reports.
     """
@@ -44,6 +49,7 @@ class DuplexLinkConfig:
     loss_rate: float = 0.0
     use_codel: bool = False
     queue_byte_limit: Optional[int] = None
+    queue: Optional[QueueConfig] = None
     seed: Optional[int] = 0
     name: str = "emulated-link"
 
@@ -52,6 +58,11 @@ class DuplexLinkConfig:
             raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
         if self.propagation_delay < 0:
             raise ValueError("propagation_delay must be non-negative")
+
+    def effective_queue(self) -> QueueConfig:
+        """The fully resolved queue configuration both pipes will build."""
+        base = self.queue if self.queue is not None else QueueConfig()
+        return base.resolve(use_codel=self.use_codel, byte_limit=self.queue_byte_limit)
 
 
 class OneWayPipe:
@@ -66,6 +77,7 @@ class OneWayPipe:
         loss_rate: float = 0.0,
         use_codel: bool = False,
         queue_byte_limit: Optional[int] = None,
+        queue_config: Optional[QueueConfig] = None,
         rng: Optional[np.random.Generator] = None,
         name: str = "pipe",
     ) -> None:
@@ -75,11 +87,12 @@ class OneWayPipe:
         self.packets_lost = 0
         self.packets_offered = 0
 
-        queue: Queue
-        if use_codel:
-            queue = CoDelQueue(byte_limit=queue_byte_limit)
-        else:
-            queue = DropTailQueue(byte_limit=queue_byte_limit)
+        if queue_config is None:
+            queue_config = QueueConfig().resolve(
+                use_codel=use_codel, byte_limit=queue_byte_limit
+            )
+        self.queue_config = queue_config
+        queue: Queue = queue_config.build()
         self.queue = queue
 
         self.link = TraceDrivenLink(loop, trace, deliver, queue=queue)
@@ -128,6 +141,7 @@ class DuplexPath:
 
         rng_fwd = make_rng(config.seed, f"{config.name}-forward-loss")
         rng_rev = make_rng(config.seed, f"{config.name}-reverse-loss")
+        queue_config = config.effective_queue()
 
         self.forward = OneWayPipe(
             loop,
@@ -135,8 +149,7 @@ class DuplexPath:
             self._on_forward_delivery,
             propagation_delay=config.propagation_delay,
             loss_rate=config.loss_rate,
-            use_codel=config.use_codel,
-            queue_byte_limit=config.queue_byte_limit,
+            queue_config=queue_config,
             rng=rng_fwd,
             name=f"{config.name}-forward",
         )
@@ -146,8 +159,7 @@ class DuplexPath:
             self._on_reverse_delivery,
             propagation_delay=config.propagation_delay,
             loss_rate=config.loss_rate,
-            use_codel=config.use_codel,
-            queue_byte_limit=config.queue_byte_limit,
+            queue_config=queue_config,
             rng=rng_rev,
             name=f"{config.name}-reverse",
         )

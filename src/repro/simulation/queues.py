@@ -10,12 +10,21 @@ Two disciplines are provided:
   (Nichols & Jacobson, ACM Queue 2012), following the published pseudocode.
   The paper adds CoDel to Cellsim's uplink and downlink queues to compare
   Sprout's end-to-end approach with an in-network deployment (Section 5.4).
+  The dequeue-side state machine is held bit-for-bit against a direct
+  transliteration of the published pseudocode by the differential suite in
+  ``tests/test_codel_differential.py``.
+
+:class:`QueueConfig` packages the choice of discipline and its parameters
+into one picklable value, so the experiment layer (the ``aqm`` and
+``qlimit`` grid axes, ``docs/scenarios.md``) can select the queue per cell
+instead of it being fixed at link-build time.
 """
 
 from __future__ import annotations
 
 import math
 from collections import deque
+from dataclasses import dataclass
 from typing import Callable, Deque, List, Optional
 
 from repro.simulation.packet import Packet
@@ -142,7 +151,6 @@ class CoDelQueue(Queue):
         self._first_above_time = 0.0
         self._drop_next = 0.0
         self._count = 0
-        self._last_count = 0
         self._dropping = False
 
         self.drops = 0
@@ -203,37 +211,36 @@ class CoDelQueue(Queue):
 
         if self._dropping:
             if not ok_to_drop:
+                # Sojourn time went below target: leave the dropping state.
                 self._dropping = False
-            else:
-                while self._dropping and now >= self._drop_next:
+            elif now >= self._drop_next:
+                while now >= self._drop_next and self._dropping:
                     self._drop(packet)
                     self._count += 1
                     packet, ok_to_drop = self._do_dequeue(now)
-                    if packet is None:
-                        self._dropping = False
-                        return None
                     if not ok_to_drop:
                         self._dropping = False
                     else:
                         self._drop_next = self._control_law(self._drop_next)
+                if packet is None:
+                    return None
         elif ok_to_drop and (
             now - self._drop_next < self.interval
             or now - self._first_above_time >= self.interval
         ):
             self._drop(packet)
-            self._count += 1
             packet, ok_to_drop = self._do_dequeue(now)
-            if packet is None:
-                self._dropping = False
-                return None
             self._dropping = True
-            # Start the next drop sooner if we were recently dropping.
+            # Re-entering the dropping state soon after leaving it resumes
+            # from (almost) the previous drop rate rather than restarting the
+            # sqrt control law from count = 1.
             if now - self._drop_next < self.interval:
-                self._count = self._count - self._last_count if self._count > 2 else 1
+                self._count = self._count - 2 if self._count > 2 else 1
             else:
                 self._count = 1
-            self._last_count = self._count
             self._drop_next = self._control_law(now)
+            if packet is None:
+                return None
 
         packet.dequeued_at = now
         return packet
@@ -251,6 +258,76 @@ class CoDelQueue(Queue):
 
     def byte_length(self) -> int:
         return self._bytes
+
+
+#: queue-discipline selectors for :class:`QueueConfig` (the ``aqm`` axis)
+AQM_DROP_TAIL = 0
+AQM_CODEL = 1
+
+
+@dataclass(frozen=True)
+class QueueConfig:
+    """Picklable description of a bottleneck queue, buildable per cell.
+
+    This is what the experiment layer sweeps: the ``aqm`` axis toggles the
+    discipline, the ``qlimit`` axis sets the byte limit, and the resolved
+    config travels (through :class:`~repro.traces.networks.LinkSpec` and the
+    duplex-path config) into the link's queue construction.
+
+    Attributes:
+        aqm: :data:`AQM_DROP_TAIL` (0) or :data:`AQM_CODEL` (1); ``None``
+            inherits the context's default (a scheme such as Cubic-CoDel may
+            require CoDel even when only ``qlimit`` is swept).
+        byte_limit: maximum queued bytes; ``None`` means the deep
+            (effectively unbounded) buffer of the paper's cellular links,
+            or an inherited context default where one exists.
+        codel_target: CoDel's target sojourn time in seconds.
+        codel_interval: CoDel's estimation interval in seconds.
+    """
+
+    aqm: Optional[int] = None
+    byte_limit: Optional[int] = None
+    codel_target: float = CoDelQueue.TARGET
+    codel_interval: float = CoDelQueue.INTERVAL
+
+    def __post_init__(self) -> None:
+        if self.aqm not in (None, AQM_DROP_TAIL, AQM_CODEL):
+            raise ValueError(
+                f"aqm must be {AQM_DROP_TAIL} (drop-tail), {AQM_CODEL} (CoDel), "
+                f"or None (inherit), got {self.aqm!r}"
+            )
+        if self.byte_limit is not None and self.byte_limit <= 0:
+            raise ValueError(
+                f"byte_limit must be positive or None, got {self.byte_limit}"
+            )
+        if self.codel_target <= 0 or self.codel_interval <= 0:
+            raise ValueError("CoDel target and interval must be positive")
+
+    def resolve(
+        self, use_codel: bool = False, byte_limit: Optional[int] = None
+    ) -> "QueueConfig":
+        """This config with inherited fields filled from context defaults."""
+        aqm = self.aqm
+        if aqm is None:
+            aqm = AQM_CODEL if use_codel else AQM_DROP_TAIL
+        limit = self.byte_limit if self.byte_limit is not None else byte_limit
+        return QueueConfig(
+            aqm=aqm,
+            byte_limit=limit,
+            codel_target=self.codel_target,
+            codel_interval=self.codel_interval,
+        )
+
+    def build(self, on_drop: Optional[Callable[[Packet], None]] = None) -> Queue:
+        """Construct the described queue (``aqm=None`` builds drop-tail)."""
+        if self.aqm == AQM_CODEL:
+            return CoDelQueue(
+                target=self.codel_target,
+                interval=self.codel_interval,
+                byte_limit=self.byte_limit,
+                on_drop=on_drop,
+            )
+        return DropTailQueue(byte_limit=self.byte_limit, on_drop=on_drop)
 
 
 def drain(queue: Queue, now: float) -> List[Packet]:

@@ -25,8 +25,9 @@ link, Section 4).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Tuple
+from typing import Dict, List, Optional, Tuple
 
+from repro.simulation.queues import QueueConfig
 from repro.traces.cache import global_cache
 from repro.traces.channel import ChannelConfig
 
@@ -38,12 +39,22 @@ DEFAULT_TRACE_DURATION = 120.0
 
 @dataclass(frozen=True)
 class LinkSpec:
-    """One direction of one cellular network."""
+    """One direction of one cellular network.
+
+    ``queue`` carries an optional bottleneck-queue configuration into the
+    emulation (``None`` for the registry presets — the deep drop-tail buffer
+    of the paper's carriers).  The ``aqm``/``qlimit`` sweep axes produce
+    variants of a registry link with this field set; the trace cache keys on
+    the channel config alone, so all queue variants of one link share the
+    identical delivery trace, exactly as the paper's Section 5.4 comparison
+    requires.
+    """
 
     network: str
     direction: str  # "downlink" or "uplink"
     config: ChannelConfig
     seed: int
+    queue: Optional[QueueConfig] = None
 
     @property
     def name(self) -> str:

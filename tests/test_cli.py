@@ -135,6 +135,55 @@ def test_sweep_command_exports_csv_and_json(tmp_path, capsys):
     assert data.spec.parameters == ("loss", "scale")
 
 
+def test_sweep_command_per_flow_prints_flow_frontiers_and_exports_flow_rows(
+    tmp_path, capsys
+):
+    from repro.experiments.exports import parse_csv
+
+    csv_path = tmp_path / "aqm.csv"
+    code = main(
+        [
+            "sweep",
+            "--param", "aqm", "--values", "0", "1",
+            "--param", "flows", "--values", "2",
+            "--links", "AT&T LTE uplink",
+            "--duration", "6", "--warmup", "1", "--jobs", "1",
+            "--per-flow",
+            "--export", "csv", "--out", str(csv_path),
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    assert "AT&T LTE uplink — per-flow" in out
+    assert "skype" in out
+    rows = parse_csv(csv_path.read_text())
+    aggregate = [row for row in rows if row["flow_id"] is None]
+    per_flow = [row for row in rows if row["flow_id"] is not None]
+    assert len(aggregate) == 2  # one cell per aqm value
+    assert {row["flow_id"] for row in per_flow} >= {"skype", "cubic-1"}
+    for row in per_flow:
+        assert row["flow_throughput_bps"] is not None
+        assert row["throughput_bps"] is None
+
+
+def test_sweep_command_per_flow_single_axis_still_prints_frontier(capsys):
+    code = main(
+        [
+            "sweep",
+            "--param", "flows", "--values", "2",
+            "--links", "AT&T LTE uplink",
+            "--duration", "6", "--warmup", "1", "--jobs", "1",
+            "--per-flow",
+        ]
+    )
+    out = capsys.readouterr().out
+    assert code == 0
+    # One-axis sweeps normally skip the frontier; --per-flow forces it so
+    # the per-flow series are visible.
+    assert "Frontier — throughput vs delay" in out
+    assert "per-flow" in out
+
+
 def test_sweep_command_requires_param(capsys):
     assert main(["sweep", "--duration", "6"]) == 2
     assert "at least one --param" in capsys.readouterr().err

@@ -1,0 +1,265 @@
+"""Differential test: CoDelQueue vs. the Nichols & Jacobson pseudocode.
+
+``ReferenceCoDel`` below is a deliberately literal transliteration of the
+dequeue-side pseudocode from "Controlling Queue Delay" (Nichols & Jacobson,
+ACM Queue 10(5), 2012) — same variable names, same control flow, no reuse
+of the production code.  Hypothesis then drives both implementations over
+randomized arrival/drain schedules (bursts, trickles, idle gaps, standing
+queues) and asserts that every externally observable decision is identical:
+which packets are delivered, which are dropped, and in what order.
+
+Divergences this suite pinned down in the production queue (now fixed):
+
+* the re-entry rule for the sqrt control law used a ``count - last_count``
+  variant (and pre-incremented ``count`` for the triggering drop) instead
+  of the pseudocode's ``count > 2 ? count - 2 : 1``;
+* emptying the queue while dropping the first packet of a new dropping
+  episode left the state machine out of the dropping state (the pseudocode
+  stays in it, with ``drop_next`` scheduled).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import sqrt
+from typing import List, Optional, Tuple
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.simulation.packet import Packet
+from repro.simulation.queues import CoDelQueue
+
+TARGET = CoDelQueue.TARGET
+INTERVAL = CoDelQueue.INTERVAL
+MAX_PACKET = CoDelQueue.MAX_PACKET
+
+
+# ------------------------------------------------- reference transliteration
+
+
+@dataclass
+class _Entry:
+    """One queued packet of the reference implementation."""
+
+    ident: int
+    size: int
+    tstamp: float
+
+
+class ReferenceCoDel:
+    """Line-by-line transliteration of the published CoDel pseudocode."""
+
+    def __init__(
+        self,
+        target: float = TARGET,
+        interval: float = INTERVAL,
+        maxpacket: int = MAX_PACKET,
+    ) -> None:
+        self.target_ = target
+        self.interval_ = interval
+        self.maxpacket_ = maxpacket
+        self.queue_: List[_Entry] = []
+        self.first_above_time_ = 0.0
+        self.drop_next_ = 0.0
+        self.count_ = 0
+        self.dropping_ = False
+        self.delivered: List[int] = []
+        self.dropped: List[int] = []
+
+    def bytes(self) -> int:
+        return sum(entry.size for entry in self.queue_)
+
+    def enqueue(self, ident: int, size: int, now: float) -> None:
+        self.queue_.append(_Entry(ident, size, now))
+
+    def control_law(self, t: float) -> float:
+        return t + self.interval_ / sqrt(self.count_)
+
+    def dodeque(self, now: float) -> Tuple[Optional[_Entry], bool]:
+        ok_to_drop = False
+        if not self.queue_:
+            self.first_above_time_ = 0.0
+            return None, ok_to_drop
+        p = self.queue_.pop(0)
+        sojourn_time = now - p.tstamp
+        if sojourn_time < self.target_ or self.bytes() <= self.maxpacket_:
+            # went below - stay below for at least interval
+            self.first_above_time_ = 0.0
+        else:
+            if self.first_above_time_ == 0.0:
+                # just went above from below. if still above at
+                # first_above_time, will say it's ok to drop
+                self.first_above_time_ = now + self.interval_
+            elif now >= self.first_above_time_:
+                ok_to_drop = True
+        return p, ok_to_drop
+
+    def drop(self, p: _Entry) -> None:
+        self.dropped.append(p.ident)
+
+    def deque(self, now: float) -> Optional[int]:
+        p, ok_to_drop = self.dodeque(now)
+        if p is None:
+            # queue is empty - we can't be dropping
+            self.dropping_ = False
+            return None
+        if self.dropping_:
+            if not ok_to_drop:
+                # sojourn time below target - leave dropping state
+                self.dropping_ = False
+            elif now >= self.drop_next_:
+                while now >= self.drop_next_ and self.dropping_:
+                    self.drop(p)
+                    self.count_ += 1
+                    p, ok_to_drop = self.dodeque(now)
+                    if not ok_to_drop:
+                        # leave dropping state
+                        self.dropping_ = False
+                    else:
+                        # schedule the next drop
+                        self.drop_next_ = self.control_law(self.drop_next_)
+                if p is None:
+                    return None
+        elif ok_to_drop and (
+            now - self.drop_next_ < self.interval_
+            or now - self.first_above_time_ >= self.interval_
+        ):
+            self.drop(p)
+            p, ok_to_drop = self.dodeque(now)
+            self.dropping_ = True
+            # If min went above target close to when it last went below,
+            # assume that the drop rate that controlled the queue on the
+            # last cycle is a good starting point.
+            if now - self.drop_next_ < self.interval_:
+                self.count_ = self.count_ - 2 if self.count_ > 2 else 1
+            else:
+                self.count_ = 1
+            self.drop_next_ = self.control_law(now)
+            if p is None:
+                return None
+        if p is None:
+            return None
+        self.delivered.append(p.ident)
+        return p.ident
+
+
+# ----------------------------------------------------------------- schedules
+
+#: one schedule step: (time_delta, operation); operation is a packet size to
+#: enqueue, or None for a dequeue attempt
+Step = Tuple[float, Optional[int]]
+
+# Time deltas quantised around CoDel's constants so schedules actually cross
+# the target/interval thresholds instead of living entirely on one side.
+_deltas = st.sampled_from(
+    [0.0, 0.001, 0.002, 0.005, 0.010, 0.020, 0.050, 0.090, 0.100, 0.110, 0.250]
+)
+_sizes = st.sampled_from([100, 500, 1000, 1500])
+_ops = st.one_of(st.none(), _sizes)
+_flat_schedules = st.lists(st.tuples(_deltas, _ops), min_size=1, max_size=120)
+
+
+@st.composite
+def _phased_schedules(draw) -> List[Step]:
+    """Burst / drain / trickle phases: the traffic shapes that actually walk
+    CoDel through its dropping-state transitions (a flat random mix almost
+    never sustains a standing queue long enough to re-enter the dropping
+    state, which is where the historical divergences lived)."""
+    schedule: List[Step] = []
+    for _ in range(draw(st.integers(2, 6))):
+        kind = draw(st.sampled_from(["burst", "drain", "trickle"]))
+        if kind == "burst":
+            size = draw(_sizes)
+            schedule.extend([(0.001, size)] * draw(st.integers(5, 40)))
+        elif kind == "drain":
+            delta = draw(st.sampled_from([0.005, 0.010, 0.020, 0.030]))
+            schedule.extend([(delta, None)] * draw(st.integers(5, 50)))
+        else:
+            for _ in range(draw(st.integers(10, 40))):
+                delta = draw(st.sampled_from([0.002, 0.005, 0.010, 0.020]))
+                op = draw(st.sampled_from([None, None, 500, 1500]))
+                schedule.append((delta, op))
+    return schedule
+
+
+_schedules = st.one_of(_flat_schedules, _phased_schedules())
+
+
+def _run_both(schedule: List[Step]):
+    """Drive production and reference queues over one schedule."""
+    production = CoDelQueue()
+    reference = ReferenceCoDel()
+    delivered: List[int] = []
+    dropped: List[int] = []
+    production.on_drop = lambda packet: dropped.append(packet.headers["i"])
+
+    now = 0.0
+    for ident, (delta, op) in enumerate(schedule):
+        now += delta
+        if op is not None:
+            production.enqueue(Packet(size=op, headers={"i": ident}), now)
+            reference.enqueue(ident, op, now)
+        else:
+            packet = production.dequeue(now)
+            if packet is not None:
+                delivered.append(packet.headers["i"])
+            reference.deque(now)
+    return production, reference, delivered, dropped
+
+
+@settings(max_examples=250, deadline=None)
+@given(_schedules)
+def test_drop_decisions_match_reference(schedule):
+    """Every delivery and every drop matches the pseudocode, in order."""
+    production, reference, delivered, dropped = _run_both(schedule)
+    assert delivered == reference.delivered
+    assert dropped == reference.dropped
+    assert production.drops == len(reference.dropped)
+
+
+@settings(max_examples=250, deadline=None)
+@given(_schedules)
+def test_control_law_state_matches_reference(schedule):
+    """The sqrt control-law state agrees after any schedule (so future
+    decisions agree too, beyond the schedule horizon)."""
+    production, reference, _, _ = _run_both(schedule)
+    assert production._dropping == reference.dropping_
+    assert production._count == reference.count_
+    assert production._drop_next == reference.drop_next_
+    assert production._first_above_time == reference.first_above_time_
+
+
+def _reentry_divergence_schedule() -> List[Step]:
+    """The frozen counterexample for the re-entry (``count - 2``) divergence.
+
+    Found by randomized differential search against the pre-fix queue and
+    shrunk: a bufferbloat burst, a long drain that enters (and leaves) the
+    dropping state, then a mixed trickle whose standing queue re-enters the
+    dropping state within an ``interval`` of the pending ``drop_next``.
+    At that point the old ``count - last_count`` rule resumed the sqrt
+    control law at a higher drop rate than the pseudocode's ``count - 2``,
+    shifting every subsequent drop decision.
+    """
+    schedule: List[Step] = [(0.001, 1500)] * 35
+    schedule += [(0.01, None)] * 32
+    schedule += [(0.001, 1500)] * 3
+    schedule += [
+        (0.002, None), (0.02, None), (0.01, 500), (0.005, 500), (0.005, 500),
+        (0.01, 500), (0.005, 500), (0.01, None), (0.002, 1500), (0.02, 500),
+        (0.01, None), (0.005, None), (0.005, 1500), (0.02, 1500),
+    ]
+    schedule += [(0.01, None)] * 5
+    return schedule
+
+
+def test_reentry_resumes_control_law_per_pseudocode():
+    """Regression for the divergences listed in the module docstring."""
+    production, reference, delivered, dropped = _run_both(_reentry_divergence_schedule())
+    assert dropped == reference.dropped
+    assert delivered == reference.delivered
+    # The schedule must actually cycle the dropping state for the re-entry
+    # rule to matter at all.
+    assert len(reference.dropped) >= 2
+    assert production._count == reference.count_
+    assert production._drop_next == reference.drop_next_

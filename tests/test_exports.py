@@ -19,6 +19,7 @@ import pytest
 
 from repro.experiments.exports import (
     EXPORT_SCHEMA_VERSION,
+    FLOW_COLUMNS,
     METRIC_COLUMNS,
     as_grid_data,
     csv_columns,
@@ -43,6 +44,9 @@ from repro.experiments.sweeps import (
 FIXTURES = Path(__file__).parent / "fixtures"
 GOLDEN_CSV = FIXTURES / "golden_grid_export.csv"
 GOLDEN_JSON = FIXTURES / "golden_grid_export.json"
+#: schema-v1 exports written before the per-flow columns existed
+GOLDEN_CSV_V1 = FIXTURES / "golden_grid_export_v1.csv"
+GOLDEN_JSON_V1 = FIXTURES / "golden_grid_export_v1.json"
 
 #: the tiny grid frozen in the golden fixtures
 GOLDEN_SPEC = GridSpec(
@@ -125,7 +129,51 @@ def test_csv_column_order_is_documented_shape(grid_data):
     assert header[0] == "schema_version"
     assert header[1:3] == ["loss", "scale"]
     assert header[3:5] == ["scheme", "link"]
-    assert header[5:] == METRIC_COLUMNS
+    assert header[5 : 5 + len(METRIC_COLUMNS)] == METRIC_COLUMNS
+    assert header[5 + len(METRIC_COLUMNS) :] == FLOW_COLUMNS
+
+
+def test_aggregate_rows_leave_flow_columns_empty(grid_data):
+    for row in parse_csv(export_csv(grid_data)):
+        assert row["flow_id"] is None
+        assert row["flow_throughput_bps"] is None
+        assert row["flow_delay_95_s"] is None
+        assert row["throughput_bps"] is not None
+
+
+# ------------------------------------------------- v1 backward compatibility
+
+
+def test_v1_csv_fixture_still_parses():
+    rows = parse_csv(GOLDEN_CSV_V1.read_text())
+    assert rows, "v1 fixture parsed to no rows"
+    for row in rows:
+        assert row["schema_version"] == 1
+        assert "flow_id" not in row  # v1 had no per-flow columns
+        assert isinstance(row["throughput_bps"], float)
+
+
+def test_v1_json_fixture_still_rebuilds_grid_data():
+    payload = parse_json(GOLDEN_JSON_V1.read_text())
+    assert payload["schema_version"] == 1
+    rebuilt = grid_data_from_json(GOLDEN_JSON_V1.read_text())
+    assert rebuilt.spec.parameters == ("loss", "scale")
+    for point in rebuilt.points:
+        for result in point.results:
+            assert result.flows is None
+            assert "flows" not in result.as_dict()
+
+
+def test_v1_and_v2_goldens_carry_identical_metrics():
+    """The schema bump is additive: the measured numbers did not move."""
+    v1 = parse_csv(GOLDEN_CSV_V1.read_text())
+    v2 = [row for row in parse_csv(GOLDEN_CSV.read_text()) if row["flow_id"] is None]
+    assert len(v1) == len(v2)
+    ignored = {"schema_version", *FLOW_COLUMNS}
+    for old, new in zip(v1, v2):
+        assert {k: v for k, v in old.items() if k not in ignored} == {
+            k: v for k, v in new.items() if k not in ignored
+        }
 
 
 def test_sweep_data_exports_as_one_axis_grid():
@@ -159,8 +207,10 @@ def test_parse_rejects_wrong_schema_version(grid_data):
         parse_json(bumped)
     csv_text = export_csv(grid_data)
     header, first, rest = csv_text.split("\n", 2)
+    assert first.startswith(f"{EXPORT_SCHEMA_VERSION},")
+    mutated = "999" + first[len(str(EXPORT_SCHEMA_VERSION)) :]
     with pytest.raises(ValueError, match="schema version"):
-        parse_csv("\n".join([header, first.replace("1,", "999,", 1), rest]))
+        parse_csv("\n".join([header, mutated, rest]))
 
 
 def test_parse_csv_rejects_non_export_text():

@@ -24,6 +24,8 @@ from repro.experiments.runner import RunConfig
 from repro.experiments.runner import run_matrix as run_matrix_serial
 from repro.traces.cache import global_cache
 
+pytestmark = pytest.mark.golden
+
 FIXTURE_PATH = Path(__file__).parent / "fixtures" / "golden_matrix.json"
 
 

@@ -1,9 +1,16 @@
-"""Tests for the queue disciplines (drop-tail and CoDel)."""
+"""Tests for the queue disciplines (drop-tail and CoDel) and QueueConfig."""
 
 import pytest
 
 from repro.simulation.packet import Packet
-from repro.simulation.queues import CoDelQueue, DropTailQueue, drain
+from repro.simulation.queues import (
+    AQM_CODEL,
+    AQM_DROP_TAIL,
+    CoDelQueue,
+    DropTailQueue,
+    QueueConfig,
+    drain,
+)
 
 
 class TestDropTail:
@@ -68,6 +75,91 @@ class TestDropTail:
         queue.enqueue(Packet(headers={"i": 1}), 0.0)
         assert queue.peek().headers["i"] == 1
         assert len(queue) == 1
+
+    # Regression suite: the byte limit must be charged against queued
+    # *bytes*, never against the packet count — many small packets fit
+    # where few large ones would, and vice versa.
+
+    def test_byte_limit_admits_many_small_packets(self):
+        queue = DropTailQueue(byte_limit=1500)
+        for _ in range(15):
+            assert queue.enqueue(Packet(size=100), 0.0)
+        assert queue.drops == 0
+        assert len(queue) == 15
+        assert queue.byte_length() == 1500
+        # The 16th small packet would exceed the byte budget.
+        assert not queue.enqueue(Packet(size=100), 0.0)
+        assert queue.drops == 1
+
+    def test_byte_limit_rejects_large_packet_but_admits_smaller_one(self):
+        queue = DropTailQueue(byte_limit=2000)
+        assert queue.enqueue(Packet(size=1500), 0.0)
+        # A full-MTU packet would overflow the byte budget...
+        assert not queue.enqueue(Packet(size=1500), 0.0)
+        # ...but a packet that fits the remaining 500 bytes is admitted
+        # even though a drop happened in between (no tail lock).
+        assert queue.enqueue(Packet(size=500), 0.0)
+        assert queue.byte_length() == 2000
+        assert queue.drops == 1
+
+    def test_dequeue_frees_byte_budget_for_new_arrivals(self):
+        queue = DropTailQueue(byte_limit=3000)
+        assert queue.enqueue(Packet(size=1500), 0.0)
+        assert queue.enqueue(Packet(size=1500), 0.0)
+        assert not queue.enqueue(Packet(size=100), 0.0)
+        queue.dequeue(1.0)
+        assert queue.byte_length() == 1500
+        assert queue.enqueue(Packet(size=1400), 1.0)
+        assert queue.byte_length() == 2900
+
+    def test_codel_byte_limit_is_byte_accounted_too(self):
+        queue = CoDelQueue(byte_limit=1000)
+        for _ in range(10):
+            assert queue.enqueue(Packet(size=100), 0.0)
+        assert not queue.enqueue(Packet(size=100), 0.0)
+        assert queue.drops == 1
+
+
+class TestQueueConfig:
+    def test_default_builds_unbounded_drop_tail(self):
+        queue = QueueConfig().build()
+        assert isinstance(queue, DropTailQueue)
+        assert queue.byte_limit is None
+
+    def test_codel_build_carries_parameters(self):
+        config = QueueConfig(
+            aqm=AQM_CODEL, byte_limit=5000, codel_target=0.01, codel_interval=0.2
+        )
+        queue = config.build()
+        assert isinstance(queue, CoDelQueue)
+        assert queue.byte_limit == 5000
+        assert queue.target == 0.01
+        assert queue.interval == 0.2
+
+    def test_resolve_inherits_context_defaults(self):
+        inherit_all = QueueConfig()
+        resolved = inherit_all.resolve(use_codel=True, byte_limit=7000)
+        assert resolved.aqm == AQM_CODEL
+        assert resolved.byte_limit == 7000
+        # Explicit fields win over the context.
+        explicit = QueueConfig(aqm=AQM_DROP_TAIL, byte_limit=100)
+        resolved = explicit.resolve(use_codel=True, byte_limit=7000)
+        assert resolved.aqm == AQM_DROP_TAIL
+        assert resolved.byte_limit == 100
+
+    def test_invalid_values_rejected(self):
+        with pytest.raises(ValueError):
+            QueueConfig(aqm=7)
+        with pytest.raises(ValueError):
+            QueueConfig(byte_limit=0)
+        with pytest.raises(ValueError):
+            QueueConfig(codel_target=0.0)
+
+    def test_config_is_picklable(self):
+        import pickle
+
+        config = QueueConfig(aqm=AQM_CODEL, byte_limit=30000)
+        assert pickle.loads(pickle.dumps(config)) == config
 
 
 class TestCoDel:

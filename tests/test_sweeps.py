@@ -44,6 +44,7 @@ LINK = "AT&T LTE uplink"
 def test_sweep_parameter_registry_is_complete():
     assert set(sweep_parameter_names()) == {
         "loss", "sigma", "tick", "outage", "scale", "flows", "tunnelled",
+        "aqm", "qlimit",
     }
     for name in sweep_parameter_names():
         assert get_sweep_parameter(name).description
@@ -138,6 +139,73 @@ def test_outage_and_scale_modify_a_copy_of_the_link():
         assert link.name == pristine.name  # same identity for reporting
         assert link.config != pristine.config
     assert get_link(LINK).config == pristine.config  # registry untouched
+
+
+def test_aqm_and_qlimit_set_the_link_queue_config():
+    from repro.simulation.queues import AQM_CODEL, AQM_DROP_TAIL
+
+    pristine = get_link(LINK)
+    spec = GridSpec(
+        parameters=("aqm", "qlimit"), values=((1.0,), (30000.0,)), links=(LINK,)
+    )
+    ((_, link, _),) = expand_grid(spec, TINY)
+    assert link.queue.aqm == AQM_CODEL
+    assert link.queue.byte_limit == 30000
+    assert link.config == pristine.config  # channel (and trace) untouched
+    assert get_link(LINK).queue is None  # registry untouched
+
+    # qlimit 0 is the deep-buffer default; qlimit alone leaves aqm inherit.
+    spec = GridSpec(parameters=("qlimit",), values=((0.0,),), links=(LINK,))
+    ((_, link, _),) = expand_grid(spec, TINY)
+    assert link.queue.byte_limit is None
+    assert link.queue.aqm is None
+
+    # The axes compose in either order onto one QueueConfig.
+    spec = GridSpec(
+        parameters=("qlimit", "aqm"), values=((15000.0,), (0.0,)), links=(LINK,)
+    )
+    ((_, link, _),) = expand_grid(spec, TINY)
+    assert link.queue.aqm == AQM_DROP_TAIL
+    assert link.queue.byte_limit == 15000
+
+
+def test_aqm_and_qlimit_value_validation():
+    for parameter, bad in (("aqm", 2.0), ("aqm", 0.5), ("qlimit", -1.0), ("qlimit", 0.5)):
+        spec = GridSpec(parameters=(parameter,), values=((bad,),), links=(LINK,))
+        with pytest.raises(ValueError):
+            expand_grid(spec, TINY)
+
+
+def test_aqm_axis_matches_the_registry_codel_scheme():
+    """aqm = 1 over Cubic measures exactly what Cubic-CoDel measures."""
+    spec = GridSpec(
+        parameters=("aqm",), values=((1.0,),), schemes=("Cubic",), links=(LINK,)
+    )
+    (cell,) = expand_grid(spec, TINY)
+    from repro.experiments.runner import run_scheme_on_link
+
+    swept = run_scheme_on_link(*cell).as_dict()
+    registry = run_scheme_on_link("Cubic-CoDel", LINK, TINY).as_dict()
+    del swept["scheme"], registry["scheme"]
+    assert swept == registry
+
+
+def test_qlimit_bounds_bufferbloat_for_cubic():
+    from repro.experiments.runner import run_scheme_on_link
+
+    deep = GridSpec(
+        parameters=("qlimit",), values=((0.0,),), schemes=("Cubic",), links=(LINK,)
+    )
+    bounded = GridSpec(
+        parameters=("qlimit",), values=((30000.0,),), schemes=("Cubic",), links=(LINK,)
+    )
+    (deep_cell,) = expand_grid(deep, TINY)
+    (bounded_cell,) = expand_grid(bounded, TINY)
+    deep_result = run_scheme_on_link(*deep_cell)
+    bounded_result = run_scheme_on_link(*bounded_cell)
+    assert bounded_result.self_inflicted_delay_s < deep_result.self_inflicted_delay_s
+    assert bounded_result.extra["forward_queue_drops"] > 0
+    assert deep_result.extra["forward_queue_drops"] == 0
 
 
 def test_modified_links_get_their_own_traces():
@@ -469,6 +537,62 @@ def _result(scheme, tput, delay, link=LINK):
         self_inflicted_delay_s=delay,
         utilization=0.5,
     )
+
+
+def test_pareto_frontier_points_handles_nan_and_ties():
+    from repro.experiments.sweeps import pareto_frontier_points
+
+    flags = pareto_frontier_points(
+        [
+            (100.0, 0.1),  # dominated by the 200/0.1 point
+            (200.0, 0.1),  # frontier
+            (200.0, 0.2),  # dominated (same tput, worse delay)
+            (50.0, 0.05),  # frontier (best delay)
+            (300.0, float("nan")),  # no operating point at all
+        ]
+    )
+    assert flags == [False, True, False, True, False]
+
+
+def test_per_flow_frontier_sections_render_per_flow_series():
+    from repro.experiments.sweeps import GridData, GridPoint, render_grid_frontiers
+    from repro.metrics.flows import FlowMetrics
+
+    def result_with_flows(tput, delay, skype_delay):
+        row = _result("Competing x2 [direct]", tput, delay)
+        row.flows = [
+            FlowMetrics(throughput_bps=tput * 0.8, delay_95_s=delay, flow="cubic-1"),
+            FlowMetrics(throughput_bps=tput * 0.2, delay_95_s=skype_delay, flow="skype"),
+        ]
+        return row
+
+    spec = GridSpec(parameters=("aqm",), values=((0.0, 1.0),), links=(LINK,))
+    data = GridData(
+        spec=spec,
+        points=[
+            GridPoint(("aqm",), (0.0,), [result_with_flows(2e6, 0.8, 0.9)]),
+            GridPoint(("aqm",), (1.0,), [result_with_flows(1.5e6, 0.2, 0.1)]),
+        ],
+    )
+    text = render_grid_frontiers(data)
+    assert f"{LINK} — per-flow" in text
+    assert "cubic-1" in text and "skype" in text
+    lines = [line for line in text.splitlines() if "skype" in line]
+    # The aqm=1 skype point dominates on delay but not throughput: both
+    # skype points are on the skype series' frontier, independently of the
+    # much-higher-throughput cubic series.
+    assert all(line.rstrip().endswith("*") for line in lines)
+
+
+def test_frontiers_have_no_per_flow_section_without_flow_metrics():
+    from repro.experiments.sweeps import GridData, GridPoint, render_grid_frontiers
+
+    spec = GridSpec(parameters=("aqm",), values=((0.0,),), links=(LINK,))
+    data = GridData(
+        spec=spec,
+        points=[GridPoint(("aqm",), (0.0,), [_result("Vegas", 1e6, 0.1)])],
+    )
+    assert "per-flow" not in render_grid_frontiers(data)
 
 
 def test_pareto_frontier_flags_undominated_rows():
