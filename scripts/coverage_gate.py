@@ -35,6 +35,7 @@ SRC_ROOT = os.path.join(REPO_ROOT, "src")
 REQUIRED_MODULES = (
     os.path.join("metrics", "flows.py"),
     os.path.join("simulation", "queues.py"),
+    "cache.py",
 )
 
 #: pinned floor for the pytest-cov backend (line coverage, percent)

@@ -9,8 +9,12 @@ Commands:
 * ``sweep``      — run a scenario grid over the matrix: one ``--param`` is a
   classic single-parameter sweep, several ``--param`` flags form the
   Cartesian product (e.g. a sigma × loss grid); axes include loss, sigma,
-  tick, outage, scale, flows, and tunnelled, and results can be exported
-  as tidy CSV or structured JSON (``--export``, docs/scenarios.md)
+  tick, outage, scale, flows, tunnelled, aqm, qlimit, codel_target, and
+  codel_interval, and results can be exported as tidy CSV or structured
+  JSON (``--export``, docs/scenarios.md).  Every distinct swept model
+  parameter set is built at most once per machine, ever: grid runs prewarm
+  the persistent model-artifact cache before fanning out
+  (docs/performance.md)
 * ``trace``      — generate a synthetic delivery trace file for a modelled link
 * ``list``       — list the available schemes, links, and sweep/grid axes
 """

@@ -28,7 +28,14 @@ from repro.core.packets import (
     parse_data_header,
     parse_feedback,
 )
-from repro.core.rate_model import RateModel, RateModelParams, shared_rate_model
+from repro.core.rate_model import (
+    ModelArtifactCache,
+    RateModel,
+    RateModelParams,
+    configure_model_cache,
+    model_cache,
+    shared_rate_model,
+)
 from repro.core.receiver import SproutReceiver, make_sprout_ewma_receiver, make_sprout_receiver
 from repro.core.sender import SproutSender, saturating_payload_provider
 
@@ -36,8 +43,11 @@ __all__ = [
     "BayesianForecaster",
     "EWMAForecaster",
     "Forecaster",
+    "ModelArtifactCache",
     "RateModel",
     "RateModelParams",
+    "configure_model_cache",
+    "model_cache",
     "shared_rate_model",
     "SproutConfig",
     "SproutConnection",

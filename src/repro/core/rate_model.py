@@ -18,17 +18,47 @@ Everything that does not depend on the observations is precomputed here:
 
 The default parameter values are exactly the paper's frozen values:
 ``sigma = 200``, ``lambda_z = 1``, 256 bins, 20 ms ticks, 8-tick forecasts.
+
+That precomputation — the Monte-Carlo CDF tensor above all — costs on the
+order of seconds per parameter set, which used to be paid per *process*:
+every worker of every sweep rebuilt every swept model from scratch.  It is
+now memoised through a two-level **model-artifact cache** (the generic
+store of :mod:`repro.cache`, the same design as the trace cache): the
+transition matrix, the CDF tensor, and its quantile companions are
+serialised as one versioned ``.npz`` keyed on ``(RateModelParams,
+forecast_paths, FORECAST_SEED, format version)``, so a parameter set is
+built once ever per machine and every later construction — in this process
+or any worker — is a memory or disk hit.  Cached and freshly built models
+are bit-identical (``tests/test_model_cache.py``); see
+docs/performance.md ("Layer 3") for the knobs:
+
+* ``REPRO_MODEL_CACHE=0`` disables the cache entirely (every model
+  rebuilds, the seed behaviour);
+* ``REPRO_MODEL_CACHE_DISK=0`` keeps the in-process layer but skips disk;
+* ``REPRO_MODEL_CACHE_DIR`` relocates the disk layer (default: a per-user
+  directory under the system temp dir);
+* ``REPRO_MODEL_CACHE_MAX`` bounds the in-process artifact layer;
+* ``REPRO_SHARED_MODEL_MAX`` bounds the :func:`shared_rate_model`
+  instance memoiser (the old hard-wired 8 thrashed on wide sweeps).
 """
 
 from __future__ import annotations
 
+import dataclasses
 import math
+import os
+import threading
+import zipfile
+from collections import OrderedDict
+from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Optional
+from typing import Dict, Iterator, Optional
 
 import numpy as np
 from scipy.special import gammainc, gammaln
+
+from repro.cache import ArtifactCache, content_key, default_cache_directory
 
 #: entries kept in each per-model likelihood cache.  Saturator-style traffic
 #: produces byte counts from a small alphabet of packet sizes, so in practice
@@ -78,6 +108,142 @@ class RateModelParams:
             raise ValueError("forecast_ticks must be at least 1")
 
 
+# ------------------------------------------------------ model-artifact cache
+
+#: fixed seed for the offline Monte-Carlo precomputation, so that every
+#: model instance (and therefore every experiment) is reproducible
+FORECAST_SEED = 20130419
+
+#: bump when the precomputation changes so stale disk entries are orphaned
+MODEL_CACHE_FORMAT_VERSION = 1
+
+#: the arrays one cached model artifact carries, in storage order
+_ARTIFACT_FIELDS = (
+    "transition",
+    "cumulative_cdfs",
+    "cdf_matrix",
+    "cdf_cols",
+    "cdf_coarse",
+)
+
+#: every `stride`-th CDF count column feeds the coarse quantile bracket
+_QUANTILE_STRIDE = 16
+
+
+#: in-process artifact entries kept by default.  One paper-size artifact is
+#: ~20 MB of frozen arrays (tensor + companions), an order of magnitude
+#: heavier than a trace-cache entry, so the bound is tighter than the trace
+#: cache's 64 — wide enough for any realistic sweep's distinct parameter
+#: sets, small enough that a pathological grid cannot pin gigabytes.
+DEFAULT_MODEL_ARTIFACTS = 16
+
+
+def default_model_cache_dir() -> str:
+    """The default on-disk location: per-user, under the system temp dir."""
+    return default_cache_directory("REPRO_MODEL_CACHE_DIR", "repro-model-cache")
+
+
+def model_key(params: RateModelParams, forecast_paths: int) -> str:
+    """Content hash identifying one deterministic model precomputation.
+
+    Covers every :class:`RateModelParams` field, the Monte-Carlo ensemble
+    size, the fixed forecast seed, and the artifact format version — the
+    complete set of inputs the precomputed arrays depend on.
+    """
+    fields = tuple(
+        (f.name, repr(getattr(params, f.name))) for f in dataclasses.fields(params)
+    )
+    return content_key(
+        (MODEL_CACHE_FORMAT_VERSION, fields, int(forecast_paths), FORECAST_SEED)
+    )
+
+
+class ModelArtifactCache(ArtifactCache):
+    """Two-level cache of model precomputation artifacts (``.npz`` files).
+
+    One artifact is the dict of arrays named by :data:`_ARTIFACT_FIELDS`.
+    Arrays are published read-only: the memory layer hands the same objects
+    to every :class:`RateModel` with the same parameters, and freezing them
+    makes accidental cross-model mutation impossible.
+    """
+
+    suffix = ".npz"
+
+    def default_directory(self) -> str:
+        return default_model_cache_dir()
+
+    def write_artifact(self, handle, arrays: Dict[str, np.ndarray]) -> None:
+        np.savez(handle, **arrays)
+
+    def read_artifact(self, path: str) -> Dict[str, np.ndarray]:
+        try:
+            with np.load(path, allow_pickle=False) as payload:
+                if set(payload.files) != set(_ARTIFACT_FIELDS):
+                    raise ValueError(f"unexpected model artifact contents: {path}")
+                arrays = {name: payload[name] for name in _ARTIFACT_FIELDS}
+        except zipfile.BadZipFile as error:
+            # A truncated .npz surfaces as a bad zip, not an OSError.
+            raise ValueError(str(error)) from error
+        for array in arrays.values():
+            array.flags.writeable = False
+        return arrays
+
+
+#: the process-wide model-artifact cache consulted by every RateModel
+_MODEL_CACHE = ModelArtifactCache.from_env(
+    "REPRO_MODEL_CACHE", default_max=DEFAULT_MODEL_ARTIFACTS
+)
+
+
+def model_cache() -> ModelArtifactCache:
+    """The process-wide model-artifact cache."""
+    return _MODEL_CACHE
+
+
+def configure_model_cache(
+    directory: Optional[str] = None,
+    use_disk: Optional[bool] = None,
+    enabled: Optional[bool] = None,
+    max_entries: Optional[int] = None,
+) -> ModelArtifactCache:
+    """Reconfigure the process-wide model cache (used by tests and tools).
+
+    Any argument left as ``None`` keeps its current value.  The in-process
+    layer is cleared so stale entries cannot outlive a reconfiguration.
+    """
+    return _MODEL_CACHE.configure(
+        directory=directory,
+        use_disk=use_disk,
+        enabled=enabled,
+        max_entries=max_entries,
+    )
+
+
+@contextmanager
+def model_cache_directory(directory: str) -> Iterator[ModelArtifactCache]:
+    """Temporarily point the model cache at ``directory``.
+
+    Sets ``REPRO_MODEL_CACHE_DIR`` too, so worker processes spawned inside
+    the context resolve the same location regardless of start method.  On
+    exit both the env var and the cache's ``directory`` are restored, and
+    the in-process layer is cleared so artifacts from the temporary
+    location cannot leak past it.  Used by the test and benchmark suites
+    to isolate every run from the per-user disk cache.
+    """
+    previous_env = os.environ.get("REPRO_MODEL_CACHE_DIR")
+    previous_directory = _MODEL_CACHE.directory
+    os.environ["REPRO_MODEL_CACHE_DIR"] = directory
+    try:
+        yield configure_model_cache(directory=directory)
+    finally:
+        if previous_env is None:
+            os.environ.pop("REPRO_MODEL_CACHE_DIR", None)
+        else:
+            os.environ["REPRO_MODEL_CACHE_DIR"] = previous_env
+        _MODEL_CACHE.directory = previous_directory
+        _MODEL_CACHE.clear()
+
+
 class RateModel:
     """Precomputed matrices for Bayesian inference on the link rate.
 
@@ -91,7 +257,7 @@ class RateModel:
 
     #: fixed seed for the offline Monte-Carlo precomputation, so that every
     #: model instance (and therefore every experiment) is reproducible.
-    FORECAST_SEED = 20130419
+    FORECAST_SEED = FORECAST_SEED
 
     def __init__(
         self,
@@ -108,32 +274,38 @@ class RateModel:
         self.rates = np.linspace(0.0, p.max_rate, p.num_bins)
         #: expected packets per tick for each candidate rate
         self.packets_per_tick = self.rates * p.tick
-
-        self.transition = self._build_transition_matrix()
         # Maximum plausible cumulative count over the full forecast horizon,
         # with headroom so the CDF always reaches ~1 inside the grid.
         self._max_count = int(math.ceil(p.max_rate * p.tick * p.forecast_ticks)) + 40
-        self.cumulative_cdfs = self._build_cumulative_cdfs()
+
+        # Everything observation-independent comes from the model-artifact
+        # cache: built here exactly once per (params, paths) key per machine,
+        # then shared in memory and on disk.  A disabled cache builds fresh
+        # every time (the seed behaviour); the arrays are bit-identical
+        # either way (tests/test_model_cache.py).
+        cache = model_cache()
+        if cache.enabled:
+            artifact = cache.get(
+                model_key(p, forecast_paths), self._build_artifact
+            )
+        else:
+            artifact = self._build_artifact()
+        self.transition = artifact["transition"]
+        self.cumulative_cdfs = artifact["cumulative_cdfs"]
         # Flattened (bins, ticks * counts) view of the CDF tensor, contiguous
         # so the forecast mixture for all horizons is one sgemv.
-        self._cdf_matrix = np.ascontiguousarray(
-            self.cumulative_cdfs.transpose(1, 0, 2).reshape(p.num_bins, -1)
-        )
+        self._cdf_matrix = artifact["cdf_matrix"]
         # Column-major companion tensor (ticks, counts, bins): each count
         # column is a contiguous vector, so the quantile refinement can mix
         # a handful of columns without touching the rest of the tensor.
-        self._cdf_cols = np.ascontiguousarray(self.cumulative_cdfs.transpose(0, 2, 1))
+        self._cdf_cols = artifact["cdf_cols"]
         # Coarse subsample of every `stride`-th count column, used to bracket
         # the quantile before the fine window is mixed.  Keeping the working
         # set this small is what makes the per-tick forecast cache-resident.
-        self._quantile_stride = 16
+        self._cdf_coarse = artifact["cdf_coarse"]
+        self._quantile_stride = _QUANTILE_STRIDE
         grid = self._max_count + 1
         self._coarse_cols = int(math.ceil(grid / self._quantile_stride))
-        self._cdf_coarse = np.ascontiguousarray(
-            self._cdf_matrix.reshape(p.num_bins, p.forecast_ticks, grid)[
-                :, :, :: self._quantile_stride
-            ].reshape(p.num_bins, -1)
-        )
         positive = self.packets_per_tick > 0
         self._positive_bins = positive
         self._mu_positive = self.packets_per_tick[positive]
@@ -143,6 +315,38 @@ class RateModel:
         )
 
     # -------------------------------------------------------------- builders
+
+    def _build_artifact(self) -> Dict[str, np.ndarray]:
+        """Build every observation-independent array as one cacheable unit.
+
+        This is the expensive part of model construction (seconds at paper
+        parameters, dominated by the Monte-Carlo CDF ensemble).  The arrays
+        are frozen read-only before publication because the cache shares
+        them between every model instance with the same parameters.
+        """
+        p = self.params
+        transition = self._build_transition_matrix()
+        cumulative_cdfs = self._build_cumulative_cdfs()
+        cdf_matrix = np.ascontiguousarray(
+            cumulative_cdfs.transpose(1, 0, 2).reshape(p.num_bins, -1)
+        )
+        cdf_cols = np.ascontiguousarray(cumulative_cdfs.transpose(0, 2, 1))
+        grid = self._max_count + 1
+        cdf_coarse = np.ascontiguousarray(
+            cdf_matrix.reshape(p.num_bins, p.forecast_ticks, grid)[
+                :, :, ::_QUANTILE_STRIDE
+            ].reshape(p.num_bins, -1)
+        )
+        arrays = {
+            "transition": transition,
+            "cumulative_cdfs": cumulative_cdfs,
+            "cdf_matrix": cdf_matrix,
+            "cdf_cols": cdf_cols,
+            "cdf_coarse": cdf_coarse,
+        }
+        for array in arrays.values():
+            array.flags.writeable = False
+        return arrays
 
     def _brownian_row(self, rate: float) -> np.ndarray:
         """Distribution of the rate one tick later, given its current value."""
@@ -197,6 +401,16 @@ class RateModel:
         Monte-Carlo ensemble of rate paths for every starting bin; at
         runtime the forecast is a deterministic weighted sum of these rows
         under the current belief.
+
+        The ensemble arrays are ~8 MB each at paper parameters, so every
+        per-tick temporary is computed into a preallocated scratch buffer
+        instead of a fresh allocation.  The RNG *call sequence* — which
+        generator methods run, in what order, over what sizes — is exactly
+        the allocating implementation's (``standard_normal`` into a buffer
+        then scaling by ``std`` draws the same stream as
+        ``normal(0, std)``), so the sampled paths, and therefore the CDFs,
+        stay bit-identical; ``tests/test_model_cache.py`` and the golden
+        fixtures hold this.
         """
         p = self.params
         rng = np.random.default_rng(self.FORECAST_SEED)
@@ -208,8 +422,9 @@ class RateModel:
         half_bin = 0.5 * (self.rates[1] - self.rates[0])
 
         # One row of sample paths per starting rate bin.
+        shape = (p.num_bins, paths)
         rates = np.repeat(self.rates[:, None], paths, axis=1)
-        counts = np.zeros((p.num_bins, paths), dtype=np.int64)
+        counts = np.zeros(shape, dtype=np.int64)
         grid_size = self._max_count + 1
         # The tensor is stored float32 and C-contiguous: the forecast only
         # ever compares mixtures of these Monte-Carlo CDFs (resolution
@@ -218,41 +433,65 @@ class RateModel:
         cdfs = np.empty((p.forecast_ticks, p.num_bins, grid_size), dtype=np.float32)
         row_offsets = np.arange(p.num_bins, dtype=np.int64)[:, None] * grid_size
 
-        def brownian_step(current: np.ndarray) -> np.ndarray:
-            """One conditional Brownian step, staying on the [0, max] grid.
+        # Scratch buffers reused across all ticks and resample rounds.
+        noise = np.empty(shape)
+        proposal = np.empty(shape)
+        uniform = np.empty(shape)
+        lam = np.empty(shape)
+        below = np.empty(shape, dtype=bool)
+        above = np.empty(shape, dtype=bool)
+        outside = np.empty(shape, dtype=bool)
+        in_outage = np.empty(shape, dtype=bool)
+        stays = np.empty(shape, dtype=bool)
+        clipped = np.empty(shape, dtype=np.int64)
+
+        def brownian_step(current: np.ndarray) -> None:
+            """One conditional Brownian step into ``proposal``, on-grid.
 
             The discretized transition matrix renormalises each Gaussian row
             over the rate grid, which is equivalent to sampling the Gaussian
             step *conditioned on* landing inside the grid; a few rounds of
-            rejection resampling reproduce that here.
+            rejection resampling reproduce that here, each round redrawing
+            the full ensemble (so the stream matches the reference
+            implementation) but only adopting the redraws for paths still
+            outside the grid.  Rounds stop as soon as no path is outside.
             """
-            proposal = current + rng.normal(0.0, std, size=current.shape)
+            rng.standard_normal(out=noise)
+            np.multiply(noise, std, out=noise)
+            np.add(current, noise, out=proposal)
             for _ in range(6):
-                outside = (proposal < 0.0) | (proposal > p.max_rate)
+                np.less(proposal, 0.0, out=below)
+                np.greater(proposal, p.max_rate, out=above)
+                np.logical_or(below, above, out=outside)
                 if not outside.any():
                     break
-                proposal = np.where(
-                    outside,
-                    current + rng.normal(0.0, std, size=current.shape),
-                    proposal,
-                )
-            return np.clip(proposal, 0.0, p.max_rate)
+                rng.standard_normal(out=noise)
+                np.multiply(noise, std, out=noise)
+                np.add(current, noise, out=noise)
+                np.copyto(proposal, noise, where=outside)
+            np.clip(proposal, 0.0, p.max_rate, out=proposal)
 
         for j in range(p.forecast_ticks):
             # Evolve every path by one tick of the discretized rate dynamics.
-            in_outage = rates < half_bin
-            stepped = brownian_step(rates)
-            stays = in_outage & (rng.random(size=rates.shape) < stay_in_outage)
-            rates = np.where(stays, 0.0, stepped)
-            rates = np.where(rates < half_bin, 0.0, rates)
+            np.less(rates, half_bin, out=in_outage)
+            brownian_step(rates)
+            rng.random(out=uniform)
+            np.less(uniform, stay_in_outage, out=stays)
+            np.logical_and(in_outage, stays, out=stays)
+            np.copyto(proposal, 0.0, where=stays)
+            np.less(proposal, half_bin, out=below)
+            np.copyto(proposal, 0.0, where=below)
+            # Ping-pong the path buffers: `proposal` holds the new rates.
+            rates, proposal = proposal, rates
             # Deliveries during this tick given the (new) instantaneous rate.
-            counts += rng.poisson(rates * p.tick)
-            clipped = np.minimum(counts, self._max_count)
+            np.multiply(rates, p.tick, out=lam)
+            counts += rng.poisson(lam)
+            np.minimum(counts, self._max_count, out=clipped)
             # Empirical CDF over the ensemble, per starting bin: histogram
             # every row in one flat bincount (rows are offset into disjoint
             # ranges), then a cumulative sum along the count axis.
-            flat = (clipped + row_offsets).ravel()
-            histogram = np.bincount(flat, minlength=p.num_bins * grid_size)
+            clipped += row_offsets
+            histogram = np.bincount(clipped.ravel(), minlength=p.num_bins * grid_size)
             histogram = histogram.reshape(p.num_bins, grid_size)
             cdfs[j] = histogram.cumsum(axis=1) / float(paths)
         return cdfs
@@ -476,16 +715,63 @@ class RateModel:
         return float(np.dot(belief, self.rates))
 
 
-@lru_cache(maxsize=8)
-def _shared_model(params: RateModelParams) -> RateModel:
-    return RateModel(params)
+# ----------------------------------------------------- shared-model memoiser
+
+#: shared model instances kept in-process by default.  The old hard-wired
+#: lru_cache(maxsize=8) thrashed on wide sweeps: a grid with more than 8
+#: distinct swept model parameter sets evicted and rebuilt inside one
+#: process.  Rebuilds are cheap now (an artifact-cache memory hit), but
+#: there is no reason to churn model instances at all for any realistic
+#: sweep width.
+DEFAULT_SHARED_MODELS = 32
+
+_SHARED_MODELS: "OrderedDict[RateModelParams, RateModel]" = OrderedDict()
+_SHARED_MODELS_LOCK = threading.Lock()
+
+
+def shared_model_capacity() -> int:
+    """Instances :func:`shared_rate_model` keeps (``REPRO_SHARED_MODEL_MAX``)."""
+    raw = os.environ.get("REPRO_SHARED_MODEL_MAX", "")
+    try:
+        value = int(raw)
+    except ValueError:
+        value = DEFAULT_SHARED_MODELS
+    return max(1, value)
+
+
+def clear_shared_models() -> None:
+    """Drop every memoised shared model (used by tests)."""
+    with _SHARED_MODELS_LOCK:
+        _SHARED_MODELS.clear()
 
 
 def shared_rate_model(params: Optional[RateModelParams] = None) -> RateModel:
     """Return a memoised :class:`RateModel`.
 
-    Building the forecast CDF tensor takes a noticeable fraction of a second;
-    every Sprout connection with the same (frozen) parameters can share one
-    instance because the model itself is immutable after construction.
+    Every Sprout connection with the same (frozen) parameters shares one
+    instance because the model is immutable after construction.  The
+    memoiser is LRU-bounded by :func:`shared_model_capacity` (the capacity
+    is re-read per call, so tests and tools can retune it via
+    ``REPRO_SHARED_MODEL_MAX`` without rebuilding the table), and an
+    evicted entry's rebuild is an artifact-cache hit, not a recomputation.
     """
-    return _shared_model(params if params is not None else RateModelParams())
+    key = params if params is not None else RateModelParams()
+    with _SHARED_MODELS_LOCK:
+        model = _SHARED_MODELS.get(key)
+        if model is not None:
+            _SHARED_MODELS.move_to_end(key)
+            return model
+    # Build outside the lock: construction may cost seconds cold, and a
+    # concurrent builder of the same key produces an interchangeable model
+    # (first publisher wins below).
+    model = RateModel(key)
+    with _SHARED_MODELS_LOCK:
+        existing = _SHARED_MODELS.get(key)
+        if existing is not None:
+            _SHARED_MODELS.move_to_end(key)
+            return existing
+        _SHARED_MODELS[key] = model
+        capacity = shared_model_capacity()
+        while len(_SHARED_MODELS) > capacity:
+            _SHARED_MODELS.popitem(last=False)
+    return model

@@ -9,12 +9,24 @@ link-minor — so every downstream consumer (tables, figures, reports) sees
 bit-identical output regardless of ``jobs``.
 
 Each worker process warms the shared :class:`~repro.core.rate_model.RateModel`
-once at start-up (its Monte-Carlo CDF precomputation costs ~2 s), so the
-per-cell cost is pure emulation.  Because that warm-up is expensive,
-:func:`shared_pool` lets a multi-matrix run (the full report, a parameter
-sweep) open **one** warmed pool and reuse it for every matrix instead of
-paying the warm-up once per matrix; :func:`run_cells` / :func:`run_matrix`
-transparently pick the shared pool up when one is active.
+once at start-up, so the per-cell cost is pure emulation.  Because that
+warm-up used to be expensive (~2 s of Monte-Carlo precomputation; now a
+model-artifact cache hit after the first build — docs/performance.md
+"Layer 3"), :func:`shared_pool` lets a multi-matrix run (the full report, a
+parameter sweep) open **one** warmed pool and reuse it for every matrix
+instead of paying the warm-up once per matrix; :func:`run_cells` /
+:func:`run_matrix` transparently pick the shared pool up when one is
+active.
+
+The cell runner is also *cache-shaped*: before fanning a batch out,
+:func:`run_cells` collects the distinct
+:class:`~repro.core.rate_model.RateModelParams` the cells will request
+(:func:`required_model_params` — swept sigma/tick variants, tunnelled
+scenarios carrying a tuned Sprout, the defaults) and builds each missing
+model artifact exactly once in the parent (:func:`prewarm_models`).
+Workers then load every model from the cache — by inherited memory when
+they fork after the prewarm, from disk otherwise — instead of rebuilding
+it per process.
 
 Cells whose scheme cannot be pickled (ad-hoc :class:`SchemeSpec` instances
 built around closures) are detected up front and run in the parent process
@@ -62,6 +74,87 @@ def _run_cell(
     config: Optional[RunConfig],
 ) -> SchemeResult:
     return run_scheme_on_link(scheme, link, config)
+
+
+# --------------------------------------------------------- model prewarming
+
+
+def _cell_model_params(scheme: Union[str, SchemeSpec]):
+    """The :class:`RateModelParams` the cell's Sprout will request, if any.
+
+    Mirrors the recovery rules of the sweep expanders: registry
+    ``sprout_variant`` specs carry their :class:`SproutConfig`
+    (:func:`~repro.experiments.registry.sprout_variant_config`); tunnelled
+    competing-flows scenarios carry the tunnel's; the plain registry
+    ``Sprout`` uses defaults.  Schemes with no Bayesian model (TCP
+    baselines, Sprout-EWMA, direct scenarios) and ad-hoc specs whose
+    config cannot be recovered return ``None`` — the worker then builds on
+    demand, exactly as before, so prewarming can only ever help.
+    """
+    from repro.core.connection import SproutConfig
+    from repro.core.rate_model import RateModelParams
+    from repro.experiments.competing import competing_scheme_parts
+    from repro.experiments.registry import sprout_variant_config
+
+    spec = SCHEMES.get(scheme) if isinstance(scheme, str) else scheme
+    if not isinstance(spec, SchemeSpec):
+        return None
+    parts = competing_scheme_parts(spec)
+    if parts is not None:
+        _, tunnelled, sprout_config = parts
+        if not tunnelled:
+            return None
+        config = sprout_config if sprout_config is not None else SproutConfig()
+        return config.model_params or RateModelParams()
+    if spec.category != "sprout" or spec.name == "Sprout-EWMA":
+        return None
+    config = sprout_variant_config(spec)
+    if config is not None:
+        if config.use_ewma:
+            return None
+        return config.model_params or RateModelParams()
+    if spec.name == "Sprout":
+        return RateModelParams()
+    return None
+
+
+def required_model_params(cells: Sequence[Cell]) -> List:
+    """Distinct model parameter sets the cells will need, first-use order."""
+    seen = {}
+    for scheme, _, _ in cells:
+        params = _cell_model_params(scheme)
+        if params is not None and params not in seen:
+            seen[params] = None
+    return list(seen)
+
+
+def prewarm_models(cells: Sequence[Cell], pool_started: bool = False) -> List:
+    """Build (or cache-load) every model artifact the cells need, here.
+
+    Called by :func:`run_cells` before fanning a batch out, so each missing
+    artifact is built exactly once in the parent and lands in the shared
+    model-artifact cache; workers fork with the warm memory tier or pull
+    the ``.npz`` from disk, never rebuilding per process.  Only the
+    *artifact* is published — no :class:`RateModel` instance is retained
+    in the parent, so prewarming a wide grid cannot pin model instances
+    past the artifact cache's own LRU bound.  Returns the distinct
+    parameter sets that were warmed.
+
+    Prewarming is skipped when parent-side builds cannot reach the
+    workers: with the model cache disabled (``REPRO_MODEL_CACHE=0``, the
+    uncached seed behaviour), or with the disk tier off while the pool's
+    workers already exist (``pool_started`` — fork inheritance can no
+    longer deliver the memory tier).
+    """
+    from repro.core.rate_model import RateModel, model_cache
+
+    cache = model_cache()
+    if not cache.enabled or (not cache.use_disk and pool_started):
+        return []
+    params_list = required_model_params(cells)
+    for params in params_list:
+        RateModel(params)
+    return params_list
 
 
 def _poolable(value: object) -> object:
@@ -207,10 +300,17 @@ def run_cells(
         return _run_cells_serial(cell_list, progress)
     shared = active_pool()
     if shared is not None:
+        # A shared pool's workers spawn lazily on first submit; once any
+        # exist, fork inheritance cannot deliver new in-memory artifacts.
+        prewarm_models(cell_list, pool_started=bool(getattr(shared, "_processes", None)))
         return _run_cells_on_pool(shared, cell_list, progress)
     workers = min(jobs or 1, len(cell_list))
     if workers <= 1:
         return _run_cells_serial(cell_list, progress)
+    # Build every distinct model artifact once, before the pool exists, so
+    # the workers fork with (or disk-load) warm caches instead of each
+    # rebuilding every swept model.
+    prewarm_models(cell_list)
     with ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker) as pool:
         return _run_cells_on_pool(pool, cell_list, progress)
 

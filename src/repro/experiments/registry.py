@@ -70,6 +70,26 @@ def sprout_variant(name: str, config: SproutConfig) -> SchemeSpec:
     )
 
 
+def sprout_variant_config(spec: SchemeSpec) -> "SproutConfig | None":
+    """The :class:`SproutConfig` behind a :func:`sprout_variant` spec.
+
+    Returns ``None`` for specs built any other way.  This is the one place
+    that knows the variant factory's shape, so the sweep expanders and the
+    model prewarmer recover configs through a checkable contract instead of
+    each pattern-matching ``partial`` internals.
+    """
+    factory = spec.factory
+    if (
+        isinstance(factory, partial)
+        and factory.func is _sprout_pair_from_config
+        and len(factory.args) == 1
+        and isinstance(factory.args[0], SproutConfig)
+        and not factory.keywords
+    ):
+        return factory.args[0]
+    return None
+
+
 def sprout_with_confidence(confidence: float) -> SchemeSpec:
     """Sprout with a non-default forecast confidence (Figure 9's sweep)."""
     return sprout_variant(

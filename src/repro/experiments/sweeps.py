@@ -8,8 +8,12 @@ the Cartesian product of every ``coordinate × scheme × link`` combination
 into an explicit matrix cell and runs the whole flattened batch through
 :func:`repro.experiments.parallel.run_cells` — one warmed worker pool for
 the entire grid, with the shared trace cache (:mod:`repro.traces.cache`)
-deduplicating trace generation across cells.  :class:`SweepSpec` survives as
-the one-axis special case and is implemented on top of the grid engine.
+deduplicating trace generation across cells and the model-artifact cache
+prewarmed for every distinct swept :class:`RateModelParams` before the
+fan-out (:func:`repro.experiments.parallel.prewarm_models`), so a wide
+sigma/tick grid builds each model once ever instead of once per worker.
+:class:`SweepSpec` survives as the one-axis special case and is
+implemented on top of the grid engine.
 
 Sweepable axes (full semantics in ``docs/scenarios.md``):
 
@@ -46,6 +50,15 @@ Sweepable axes (full semantics in ``docs/scenarios.md``):
 ``qlimit``
     Byte limit of the bottleneck queues; ``0`` keeps the deep
     (effectively unbounded) buffer.  Composes with ``aqm`` in either order.
+``codel_target``
+    CoDel's target sojourn time in seconds (the algorithm's 5 ms default);
+    rides :class:`~repro.simulation.queues.QueueConfig` like ``qlimit``,
+    so it takes effect on any cell whose queue resolves to CoDel (the
+    ``aqm = 1`` axis value or a CoDel scheme such as Cubic-CoDel) and is
+    inert on drop-tail cells.
+``codel_interval``
+    CoDel's estimation interval in seconds (100 ms default); same carriage
+    and composition rules as ``codel_target``.
 
 Axes are applied to each cell in the order the spec lists them, so a
 ``sigma × flows`` grid (in that order) carries the swept stochastic model
@@ -58,7 +71,6 @@ are bit-identical to running each expanded cell serially by hand
 from __future__ import annotations
 
 from dataclasses import dataclass, field, replace
-from functools import partial
 from itertools import product
 from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 
@@ -66,7 +78,12 @@ from repro.core.connection import SproutConfig
 from repro.core.rate_model import RateModelParams
 from repro.experiments.competing import competing_scheme, competing_scheme_parts
 from repro.experiments.parallel import Cell, run_cells, shared_pool
-from repro.experiments.registry import SchemeSpec, get_scheme, sprout_variant
+from repro.experiments.registry import (
+    SchemeSpec,
+    get_scheme,
+    sprout_variant,
+    sprout_variant_config,
+)
 from repro.experiments.runner import ProgressCallback, RunConfig
 from repro.metrics.flows import FlowMetrics
 from repro.metrics.summary import SchemeResult
@@ -105,14 +122,9 @@ def _sprout_base(scheme: SchemeLike, parameter: str) -> Tuple[str, SproutConfig]
             f"the {parameter!r} sweep tunes Sprout's stochastic model and does "
             f"not apply to scheme {spec.name!r}; sweep Sprout instead"
         )
-    factory = spec.factory
-    if (
-        isinstance(factory, partial)
-        and len(factory.args) == 1
-        and isinstance(factory.args[0], SproutConfig)
-        and not factory.keywords
-    ):
-        return spec.name, factory.args[0]  # a registry sprout_variant
+    config = sprout_variant_config(spec)
+    if config is not None:
+        return spec.name, config
     if spec.name == "Sprout":
         return spec.name, SproutConfig()  # the registry default scheme
     raise ValueError(
@@ -240,6 +252,28 @@ def _expand_qlimit(
     return (scheme, replace(spec, queue=replace(queue, byte_limit=limit)), config)
 
 
+def _expand_codel_target(
+    scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float
+) -> Cell:
+    if value <= 0:
+        raise ValueError(f"codel_target must be positive seconds, got {value}")
+    spec, queue = _link_queue(link)
+    return (scheme, replace(spec, queue=replace(queue, codel_target=value)), config)
+
+
+def _expand_codel_interval(
+    scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float
+) -> Cell:
+    if value <= 0:
+        raise ValueError(f"codel_interval must be positive seconds, got {value}")
+    spec, queue = _link_queue(link)
+    return (
+        scheme,
+        replace(spec, queue=replace(queue, codel_interval=value)),
+        config,
+    )
+
+
 @dataclass(frozen=True)
 class SweepParameter:
     """One sweepable knob: its name, axis label, and cell expander."""
@@ -269,6 +303,16 @@ SWEEP_PARAMETERS: Dict[str, SweepParameter] = {
         ),
         SweepParameter(
             "qlimit", "bottleneck queue byte limit (0 = deep buffer)", _expand_qlimit
+        ),
+        SweepParameter(
+            "codel_target",
+            "CoDel target sojourn time (s) on CoDel cells, sec. 5.4",
+            _expand_codel_target,
+        ),
+        SweepParameter(
+            "codel_interval",
+            "CoDel estimation interval (s) on CoDel cells, sec. 5.4",
+            _expand_codel_interval,
         ),
     )
 }

@@ -3,17 +3,13 @@
 Every cell of a scheme × link matrix replays the same deterministic trace,
 and before this module each cell regenerated it from scratch — in every
 worker process.  :class:`TraceCache` memoises ``(channel config, duration,
-seed) -> trace`` at two levels:
-
-* an **in-process** table holding each trace as an immutable tuple, guarded
-  by a lock so a concurrent reader can never observe a partially built
-  entry (an entry is published only after it is fully generated);
-* an optional **on-disk** layer shared between worker processes of a run
-  (and across runs on the same machine).  Files are written to a temporary
-  name and published with :func:`os.replace`, which is atomic on POSIX: a
-  concurrent reader sees either the complete file or no file at all, never
-  a torn one.  Unreadable or truncated files are treated as misses and
-  regenerated.
+seed) -> trace`` through the generic two-level keyed-artifact store of
+:mod:`repro.cache` (this cache is where that design was proven before it
+was extracted): a locked in-process table holding each trace as an
+immutable tuple, plus an optional on-disk layer shared between worker
+processes (atomic ``os.replace`` publication, so a concurrent reader sees
+either the complete file or no file at all; unreadable or truncated files
+are treated as misses and regenerated).
 
 Keys are content hashes of the full channel configuration — not the link's
 registry name — so a sweep-modified link (say, double the outage rate) can
@@ -28,24 +24,37 @@ Knobs (also see docs/sweeps.md):
   regenerates, the seed behaviour);
 * ``REPRO_TRACE_CACHE_DISK=0`` keeps the in-process layer but skips disk;
 * ``REPRO_TRACE_CACHE_DIR`` relocates the disk layer (default: a
-  per-user directory under the system temp dir).
+  per-user directory under the system temp dir);
+* ``REPRO_TRACE_CACHE_MAX`` bounds the in-process layer.
+
+The model-artifact cache (:mod:`repro.core.rate_model`,
+docs/performance.md "Layer 3") rides the same generic store with the
+mirror-image ``REPRO_MODEL_CACHE*`` knobs.
 """
 
 from __future__ import annotations
 
 import dataclasses
-import hashlib
-import os
-import tempfile
-import threading
-from collections import OrderedDict
-from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Tuple
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
 
 import numpy as np
 
+from repro.cache import ArtifactCache, CacheStats, content_key, default_cache_directory
 from repro.traces.channel import ChannelConfig
 from repro.traces.synthetic import generate_trace
+
+__all__ = [
+    "CACHE_FORMAT_VERSION",
+    "CacheStats",
+    "DEFAULT_MAX_ENTRIES",
+    "TraceCache",
+    "cached_trace",
+    "configure",
+    "default_cache_dir",
+    "global_cache",
+    "trace_key",
+]
 
 #: bump when trace generation changes so stale disk entries are orphaned
 CACHE_FORMAT_VERSION = 1
@@ -53,11 +62,7 @@ CACHE_FORMAT_VERSION = 1
 
 def default_cache_dir() -> str:
     """The default on-disk location: per-user, under the system temp dir."""
-    override = os.environ.get("REPRO_TRACE_CACHE_DIR")
-    if override:
-        return override
-    uid = os.getuid() if hasattr(os, "getuid") else "any"
-    return os.path.join(tempfile.gettempdir(), f"repro-trace-cache-{uid}")
+    return default_cache_directory("REPRO_TRACE_CACHE_DIR", "repro-trace-cache")
 
 
 def trace_key(config: ChannelConfig, duration: float, seed: int) -> str:
@@ -65,20 +70,7 @@ def trace_key(config: ChannelConfig, duration: float, seed: int) -> str:
     fields = tuple(
         (f.name, repr(getattr(config, f.name))) for f in dataclasses.fields(config)
     )
-    payload = repr((CACHE_FORMAT_VERSION, fields, float(duration), int(seed)))
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()
-
-
-@dataclass
-class CacheStats:
-    """Counters exposed for tests and the benchmark record."""
-
-    memory_hits: int = 0
-    disk_hits: int = 0
-    misses: int = 0
-
-    def as_dict(self) -> Dict[str, int]:
-        return dataclasses.asdict(self)
+    return content_key((CACHE_FORMAT_VERSION, fields, float(duration), int(seed)))
 
 
 #: in-process entries kept per cache (the seed's lru_cache held 64); a 120 s
@@ -88,20 +80,29 @@ DEFAULT_MAX_ENTRIES = 64
 
 
 @dataclass
-class TraceCache:
-    """Two-level (memory, disk) memoiser for synthetic delivery traces."""
+class TraceCache(ArtifactCache):
+    """Two-level (memory, disk) memoiser for synthetic delivery traces.
 
-    directory: Optional[str] = None
-    use_disk: bool = True
-    enabled: bool = True
+    All machinery — locked publication, LRU bound, atomic disk writes,
+    corrupt-entry fallback — lives in :class:`repro.cache.ArtifactCache`;
+    this class supplies only the trace codec (``.npy`` files of float64
+    delivery times) and the trace-flavoured key/lookup API.
+    """
+
     max_entries: int = DEFAULT_MAX_ENTRIES
-    stats: CacheStats = field(default_factory=CacheStats)
 
-    def __post_init__(self) -> None:
-        if self.max_entries < 1:
-            raise ValueError("max_entries must be at least 1")
-        self._lock = threading.Lock()
-        self._memory: "OrderedDict[str, Tuple[float, ...]]" = OrderedDict()
+    suffix = ".npy"
+
+    # ------------------------------------------------------------- the codec
+
+    def default_directory(self) -> str:
+        return default_cache_dir()
+
+    def write_artifact(self, handle, trace: Tuple[float, ...]) -> None:
+        np.save(handle, np.asarray(trace, dtype=np.float64))
+
+    def read_artifact(self, path: str) -> Tuple[float, ...]:
+        return tuple(float(t) for t in np.load(path, allow_pickle=False))
 
     # ---------------------------------------------------------------- lookup
 
@@ -114,89 +115,11 @@ class TraceCache:
         if not self.enabled:
             return tuple(generate_trace(config, duration, seed=seed))
         key = trace_key(config, duration, seed)
-        with self._lock:
-            cached = self._memory.get(key)
-            if cached is not None:
-                self._memory.move_to_end(key)
-                self.stats.memory_hits += 1
-        if cached is not None:
-            return cached
-        trace = self._load(key)
-        if trace is not None:
-            with self._lock:
-                self.stats.disk_hits += 1
-        else:
-            with self._lock:
-                self.stats.misses += 1
-            trace = tuple(generate_trace(config, duration, seed=seed))
-            self._store(key, trace)
-        with self._lock:
-            # Publish only fully built tuples; last writer wins harmlessly
-            # because every writer generated the identical trace.  LRU
-            # eviction bounds the layer (disk entries are never evicted).
-            self._memory[key] = trace
-            self._memory.move_to_end(key)
-            while len(self._memory) > self.max_entries:
-                self._memory.popitem(last=False)
-        return trace
-
-    def clear(self) -> None:
-        """Drop the in-process layer (the disk layer is left alone)."""
-        with self._lock:
-            self._memory.clear()
-
-    # ------------------------------------------------------------ disk layer
-
-    def _path(self, key: str) -> Optional[str]:
-        if not self.use_disk:
-            return None
-        directory = self.directory if self.directory is not None else default_cache_dir()
-        return os.path.join(directory, f"{key}.npy")
-
-    def _load(self, key: str) -> Optional[Tuple[float, ...]]:
-        path = self._path(key)
-        if path is None:
-            return None
-        try:
-            return tuple(float(t) for t in np.load(path, allow_pickle=False))
-        except (OSError, ValueError):
-            # Missing, truncated, or foreign file: regenerate.
-            return None
-
-    def _store(self, key: str, trace: Tuple[float, ...]) -> None:
-        path = self._path(key)
-        if path is None:
-            return
-        try:
-            directory = os.path.dirname(path)
-            os.makedirs(directory, exist_ok=True)
-            fd, tmp_path = tempfile.mkstemp(dir=directory, suffix=".tmp")
-            try:
-                with os.fdopen(fd, "wb") as handle:
-                    np.save(handle, np.asarray(trace, dtype=np.float64))
-                # Atomic publish: readers see the whole file or none of it.
-                os.replace(tmp_path, path)
-            except BaseException:
-                try:
-                    os.unlink(tmp_path)
-                except OSError:
-                    pass
-                raise
-        except OSError:
-            # A read-only or full disk degrades to memory-only caching.
-            pass
-
-
-def _cache_from_env() -> TraceCache:
-    return TraceCache(
-        enabled=os.environ.get("REPRO_TRACE_CACHE", "1") != "0",
-        use_disk=os.environ.get("REPRO_TRACE_CACHE_DISK", "1") != "0",
-        max_entries=int(os.environ.get("REPRO_TRACE_CACHE_MAX", str(DEFAULT_MAX_ENTRIES))),
-    )
+        return self.get(key, lambda: tuple(generate_trace(config, duration, seed=seed)))
 
 
 #: the process-wide cache used by :func:`repro.traces.networks.link_trace`
-_GLOBAL_CACHE = _cache_from_env()
+_GLOBAL_CACHE = TraceCache.from_env("REPRO_TRACE_CACHE", default_max=DEFAULT_MAX_ENTRIES)
 
 
 def global_cache() -> TraceCache:
@@ -214,15 +137,9 @@ def configure(
     Any argument left as ``None`` keeps its current value.  The in-process
     layer is cleared so stale entries cannot outlive a reconfiguration.
     """
-    cache = _GLOBAL_CACHE
-    if directory is not None:
-        cache.directory = directory
-    if use_disk is not None:
-        cache.use_disk = use_disk
-    if enabled is not None:
-        cache.enabled = enabled
-    cache.clear()
-    return cache
+    return _GLOBAL_CACHE.configure(
+        directory=directory, use_disk=use_disk, enabled=enabled
+    )
 
 
 def cached_trace(config: ChannelConfig, duration: float, seed: int) -> List[float]:

@@ -10,11 +10,23 @@ from __future__ import annotations
 
 import pytest
 
-from repro.core.rate_model import RateModel, shared_rate_model
+from repro.core.rate_model import RateModel, model_cache_directory, shared_rate_model
 from repro.experiments.runner import RunConfig, run_scheme_on_link
 from repro.traces.channel import ChannelConfig
 from repro.traces.networks import get_link, link_trace
 from repro.traces.synthetic import generate_trace
+
+
+@pytest.fixture(scope="session", autouse=True)
+def _isolated_model_cache(tmp_path_factory):
+    """Point the model-artifact cache at a per-session temp directory.
+
+    Suite runs must never share (or pollute) the per-user disk cache: a
+    stale artifact from an older code revision could otherwise mask a
+    regression, and parallel suite runs could race each other's entries.
+    """
+    with model_cache_directory(str(tmp_path_factory.mktemp("model-cache"))):
+        yield
 
 
 @pytest.fixture(scope="session")

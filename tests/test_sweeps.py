@@ -44,7 +44,7 @@ LINK = "AT&T LTE uplink"
 def test_sweep_parameter_registry_is_complete():
     assert set(sweep_parameter_names()) == {
         "loss", "sigma", "tick", "outage", "scale", "flows", "tunnelled",
-        "aqm", "qlimit",
+        "aqm", "qlimit", "codel_target", "codel_interval",
     }
     for name in sweep_parameter_names():
         assert get_sweep_parameter(name).description
@@ -190,6 +190,67 @@ def test_aqm_axis_matches_the_registry_codel_scheme():
     assert swept == registry
 
 
+def test_codel_parameter_axes_set_the_link_queue_config():
+    from repro.simulation.queues import AQM_CODEL, CoDelQueue
+
+    # The CoDel knobs ride QueueConfig and compose with aqm in either order.
+    spec = GridSpec(
+        parameters=("aqm", "codel_target", "codel_interval"),
+        values=((1.0,), (0.010,), (0.200,)),
+        links=(LINK,),
+    )
+    ((_, link, _),) = expand_grid(spec, TINY)
+    assert link.queue.aqm == AQM_CODEL
+    assert link.queue.codel_target == 0.010
+    assert link.queue.codel_interval == 0.200
+    assert get_link(LINK).queue is None  # registry untouched
+
+    # Alone, the knobs leave the discipline inherited (drop-tail cells are
+    # inert; a CoDel scheme such as Cubic-CoDel picks the tuning up).
+    spec = GridSpec(parameters=("codel_target",), values=((0.020,),), links=(LINK,))
+    ((_, link, _),) = expand_grid(spec, TINY)
+    assert link.queue.aqm is None
+    assert link.queue.codel_target == 0.020
+    assert link.queue.codel_interval == CoDelQueue.INTERVAL
+
+
+def test_codel_parameter_axes_value_validation():
+    for parameter, bad in (
+        ("codel_target", 0.0),
+        ("codel_target", -0.005),
+        ("codel_interval", 0.0),
+        ("codel_interval", -1.0),
+    ):
+        spec = GridSpec(parameters=(parameter,), values=((bad,),), links=(LINK,))
+        with pytest.raises(ValueError):
+            expand_grid(spec, TINY)
+
+
+def test_codel_target_sweep_changes_codel_cells_only():
+    """A lax target behaves like drop-tail; a strict one drops earlier."""
+    from repro.experiments.runner import run_scheme_on_link
+
+    def measure(parameters, values, scheme):
+        spec = GridSpec(
+            parameters=parameters, values=values, schemes=(scheme,), links=(LINK,)
+        )
+        (cell,) = expand_grid(spec, TINY)
+        return run_scheme_on_link(*cell).as_dict()
+
+    # On a drop-tail cell the knob is inert: bit-identical to the bare cell.
+    assert measure(("codel_target",), ((0.001,),), "Cubic") == measure(
+        ("qlimit",), ((0.0,),), "Cubic"
+    )
+    # On a CoDel cell it is live: strict vs lax targets measure differently,
+    # whether CoDel comes from the aqm axis or from the scheme itself.
+    strict = measure(("aqm", "codel_target"), ((1.0,), (0.001,)), "Cubic")
+    lax = measure(("aqm", "codel_target"), ((1.0,), (10.0,)), "Cubic")
+    assert strict != lax
+    scheme_strict = measure(("codel_target",), ((0.001,),), "Cubic-CoDel")
+    scheme_lax = measure(("codel_target",), ((10.0,),), "Cubic-CoDel")
+    assert scheme_strict != scheme_lax
+
+
 def test_qlimit_bounds_bufferbloat_for_cubic():
     from repro.experiments.runner import run_scheme_on_link
 
@@ -245,6 +306,56 @@ def test_sweep_results_bit_identical_to_uncached_serial_cells(monkeypatch):
                 ),
             )
             assert row.as_dict() == reference.as_dict()
+
+
+def test_grid_cells_report_their_model_params_for_prewarming():
+    """The cache-shaped fan-out: distinct swept model params, found up front."""
+    from repro.core.rate_model import RateModelParams
+    from repro.experiments.parallel import required_model_params
+
+    spec = GridSpec(
+        parameters=("sigma",), values=((120.0, 140.0),), links=(LINK,)
+    )
+    params = required_model_params(expand_grid(spec, TINY))
+    assert [p.sigma for p in params] == [120.0, 140.0]
+
+    # Duplicates collapse: two links per sigma still yield one entry each.
+    two_links = GridSpec(
+        parameters=("sigma",),
+        values=((120.0, 140.0),),
+        links=(LINK, "Verizon LTE uplink"),
+    )
+    assert required_model_params(expand_grid(two_links, TINY)) == params
+
+    # Plain Sprout cells need the default model; non-Sprout cells need none.
+    assert required_model_params([("Sprout", LINK, TINY)]) == [RateModelParams()]
+    assert required_model_params([("Cubic", LINK, TINY)]) == []
+    assert required_model_params([("Sprout-EWMA", LINK, TINY)]) == []
+
+    # A sigma × flows grid carries the swept model into the tunnel's Sprout;
+    # a direct (untunnelled) scenario has no Sprout to warm.
+    tunnelled = GridSpec(
+        parameters=("sigma", "flows"), values=((120.0,), (2.0,)), links=(LINK,)
+    )
+    (tunnel_params,) = required_model_params(expand_grid(tunnelled, TINY))
+    assert tunnel_params.sigma == 120.0
+    direct = GridSpec(
+        parameters=("flows", "tunnelled"), values=((2.0,), (0.0,)), links=(LINK,)
+    )
+    assert required_model_params(expand_grid(direct, TINY)) == []
+
+    # With the model cache disabled, prewarming is a no-op: parent-side
+    # builds could not reach the workers, so the seed behaviour is kept.
+    from repro.core.rate_model import model_cache
+    from repro.experiments.parallel import prewarm_models
+
+    cache = model_cache()
+    saved = cache.enabled
+    cache.enabled = False
+    try:
+        assert prewarm_models([("Sprout", LINK, TINY)]) == []
+    finally:
+        cache.enabled = saved
 
 
 def test_run_sweep_groups_points_by_value():
