@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-fast smoke cov bench docs-check
+.PHONY: test test-fast smoke test-fault cov bench docs-check
 
 ## full suite, including perf benchmarks (the tier-1 gate)
 test:
@@ -17,6 +17,10 @@ test-fast:
 ## fast smoke job: correctness tests only, no perf benchmarks
 smoke:
 	$(PYTHON) -m pytest -q -m "not perf"
+
+## fault-injection recovery suite only (docs/robustness.md)
+test-fault:
+	$(PYTHON) -m pytest -q -m fault
 
 ## coverage gate (requires the [cov] extra; skips cleanly without it)
 cov:

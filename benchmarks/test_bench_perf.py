@@ -19,6 +19,10 @@ root so the performance trajectory is trackable across PRs:
   deep vs bounded buffer, per-flow metrics on) against the same cells run
   one by one with the trace cache off — the discipline swap and per-flow
   collection must stay collection-cost-only, bit-identical physics;
+* ``fault_recovery``: the fault-tolerant scheduler's price (docs/robustness.md)
+  — a clean grid under the ``collect`` error policy vs the fail-fast fast
+  path (bit-identical, overhead bounded), plus a crashing grid's recovery
+  wall-clock;
 * ``model_build``: the model-artifact cache (docs/performance.md Layer 3)
   — cold RateModel build vs warm disk load vs warm memory hit, with a
   bit-identity check between cold and warm arrays, plus a 4-value sigma
@@ -51,6 +55,7 @@ from repro.core.rate_model import (
     shared_rate_model,
 )
 from repro.experiments.parallel import run_matrix
+from repro.experiments.policy import ErrorPolicy
 from repro.experiments.runner import RunConfig, run_scheme_on_link
 from repro.experiments.runner import run_matrix as run_matrix_serial
 from repro.experiments.sweeps import (
@@ -329,6 +334,91 @@ def test_bench_aqm_wallclock():
     )
     print(f"\naqm: fast path {fast_s:.2f}s, uncached serial {reference_s:.2f}s "
           f"({len(cells)} cells, jobs={MATRIX_JOBS})")
+
+
+#: the clean grid used to price the fault-tolerant scheduler against the
+#: historical fail-fast fast path (docs/robustness.md)
+FAULT_GRID_SPEC = GridSpec(
+    parameters=("loss",),
+    values=((0.0, 0.005, 0.01, 0.015, 0.02, 0.025),),
+    schemes=("Vegas", "Skype"),
+    links=("AT&T LTE uplink",),
+)
+#: two workers, so the schedulers genuinely queue (12 cells over 2 slots)
+#: and the wall-clock is emulation-dominated rather than pool-spin-up noise
+FAULT_JOBS = min(MATRIX_JOBS, 2) or 2
+
+
+def test_bench_fault_recovery():
+    """The robustness layer's price tag, on the record.
+
+    Two measurements: a clean grid under ``collect`` vs the fail-fast fast
+    path (bit-identical results, and the resilient scheduler's overhead
+    must stay under 5% — best-of-two, interleaved so drift hits both), and
+    a crashing grid under ``collect`` (one poison cell, the rest finish).
+    """
+    fail_fast = ErrorPolicy()
+    collect = ErrorPolicy(on_error="collect")
+    timings = {"fail_fast": [], "collect": []}
+    outputs = {}
+    for _ in range(2):
+        for name, policy in (("fail_fast", fail_fast), ("collect", collect)):
+            start = time.perf_counter()
+            data = run_grid(
+                FAULT_GRID_SPEC, config=MATRIX_CONFIG, policy=policy, jobs=FAULT_JOBS
+            )
+            timings[name].append(time.perf_counter() - start)
+            outputs[name] = [r.as_dict() for p in data.points for r in p.results]
+
+    # Same cells, same numbers — the policies differ only on failure.
+    assert outputs["collect"] == outputs["fail_fast"]
+    fail_fast_s = min(timings["fail_fast"])
+    collect_s = min(timings["collect"])
+    # The acceptance bar: the resilient scheduler costs < 5% on a clean
+    # grid (small absolute slack so a sub-second grid cannot flake it).
+    assert collect_s <= fail_fast_s * 1.05 + 0.2
+
+    # Recovery run: one always-crashing cell must not sink the grid.
+    spec_env = os.environ.get("REPRO_FAULT_SPEC")
+    os.environ["REPRO_FAULT_SPEC"] = json.dumps([{"kind": "crash", "index": 1}])
+    try:
+        start = time.perf_counter()
+        crashed = run_grid(
+            FAULT_GRID_SPEC, config=MATRIX_CONFIG, policy=collect, jobs=FAULT_JOBS
+        )
+        recovery_s = time.perf_counter() - start
+    finally:
+        if spec_env is None:
+            del os.environ["REPRO_FAULT_SPEC"]
+        else:
+            os.environ["REPRO_FAULT_SPEC"] = spec_env
+    errors = crashed.errors
+    assert len(errors) == 1 and errors[0].error_type == "InjectedFault"
+    survivors = [r.as_dict() for p in crashed.points for r in p.ok_results]
+    assert survivors == [r for i, r in enumerate(outputs["fail_fast"]) if i != 1]
+
+    _record(
+        "fault_recovery",
+        {
+            "parameters": list(FAULT_GRID_SPEC.parameters),
+            "axis_values": [list(axis) for axis in FAULT_GRID_SPEC.values],
+            "cells": len(expand_grid(FAULT_GRID_SPEC, MATRIX_CONFIG)),
+            "duration_s": MATRIX_CONFIG.duration,
+            "jobs": MATRIX_JOBS,
+            "fail_fast_wallclock_s": round(fail_fast_s, 3),
+            "collect_wallclock_s": round(collect_s, 3),
+            "collect_overhead_pct": round(100 * (collect_s / fail_fast_s - 1), 2)
+            if fail_fast_s > 0
+            else None,
+            "crash_recovery_wallclock_s": round(recovery_s, 3),
+            "crash_recovery_failed_cells": len(errors),
+        },
+    )
+    print(
+        f"\nfault_recovery: fail_fast {fail_fast_s:.2f}s, collect {collect_s:.2f}s "
+        f"({100 * (collect_s / fail_fast_s - 1):+.1f}%), "
+        f"crash recovery {recovery_s:.2f}s ({len(errors)} failed cell)"
+    )
 
 
 #: a non-default parameter set no other benchmark touches, so the cold

@@ -35,6 +35,8 @@ SRC_ROOT = os.path.join(REPO_ROOT, "src")
 REQUIRED_MODULES = (
     os.path.join("metrics", "flows.py"),
     os.path.join("simulation", "queues.py"),
+    os.path.join("experiments", "policy.py"),
+    os.path.join("testing", "faults.py"),
     "cache.py",
 )
 

@@ -31,6 +31,7 @@ from __future__ import annotations
 
 import dataclasses
 import hashlib
+import logging
 import os
 import tempfile
 import threading
@@ -40,6 +41,8 @@ from typing import Any, Callable, Dict, Optional
 
 #: in-process entries kept per cache unless the subclass says otherwise
 DEFAULT_MAX_ENTRIES = 64
+
+_LOG = logging.getLogger("repro.cache")
 
 
 def default_cache_directory(env_var: str, name: str) -> str:
@@ -111,6 +114,7 @@ class ArtifactCache:
             raise ValueError("max_entries must be at least 1")
         self._lock = threading.Lock()
         self._memory: "OrderedDict[str, Any]" = OrderedDict()
+        self._disk_write_disabled = False
 
     @classmethod
     def from_env(cls, prefix: str, default_max: int = DEFAULT_MAX_ENTRIES):
@@ -154,6 +158,7 @@ class ArtifactCache:
             if max_entries < 1:
                 raise ValueError("max_entries must be at least 1")
             self.max_entries = max_entries
+        self._disk_write_disabled = False
         self.clear()
         return self
 
@@ -237,7 +242,7 @@ class ArtifactCache:
 
     def _store(self, key: str, value) -> None:
         path = self._path(key)
-        if path is None:
+        if path is None or self._disk_write_disabled:
             return
         try:
             directory = os.path.dirname(path)
@@ -254,6 +259,16 @@ class ArtifactCache:
                 except OSError:
                     pass
                 raise
-        except OSError:
-            # A read-only or full disk degrades to memory-only caching.
-            pass
+        except OSError as error:
+            # A read-only or full disk (EACCES/ENOSPC/...) must not
+            # propagate out of a model or trace build.  Log the first
+            # failure, then stop attempting disk writes for this process —
+            # reads stay on so a shared read-only cache directory keeps
+            # serving hits.  ``configure()`` re-arms the write path.
+            self._disk_write_disabled = True
+            _LOG.warning(
+                "%s: disk cache write failed (%s); disabling disk writes "
+                "for this process (reads remain enabled)",
+                type(self).__name__,
+                error,
+            )

@@ -32,6 +32,7 @@ from repro.experiments.figure2 import render_figure2, run_figure2
 from repro.experiments.figure7 import render_figure7, run_figure7
 from repro.experiments.figure8 import render_figure8, run_figure8
 from repro.experiments.figure9 import render_figure9, run_figure9
+from repro.experiments.policy import ErrorPolicy
 from repro.experiments.registry import scheme_names
 from repro.experiments.report import ReportConfig, generate_report
 from repro.experiments.runner import RunConfig, run_scheme_on_link
@@ -152,6 +153,13 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
     if args.out and not args.export:
         print("--out requires --export (csv or json)", file=sys.stderr)
         return 2
+    if args.retries and args.on_error == "fail_fast":
+        print(
+            "--retries requires --on-error collect or retry "
+            "(fail_fast aborts on the first failure)",
+            file=sys.stderr,
+        )
+        return 2
     links = tuple(args.links) if args.links else ()
     config = _run_config(args)
     try:
@@ -162,13 +170,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             values=tuple(tuple(value_list) for value_list in values),
             schemes=tuple(args.schemes),
             links=links,
+            policy=ErrorPolicy(
+                on_error=args.on_error,
+                retries=args.retries,
+                cell_timeout=args.cell_timeout,
+                checkpoint=args.checkpoint,
+            ),
         )
         # Validate the full expansion up front (it is cheap) so a bad value
         # in a late axis cannot waste the minutes of emulation before it.
         expand_grid(spec, config)
     except ValueError as error:
         # Expander rejections (loss outside [0,1), sigma on a non-Sprout
-        # scheme, ...) are user errors, not tracebacks.
+        # scheme, ...) and bad policy knobs are user errors, not tracebacks.
         print(f"sweep error: {error}", file=sys.stderr)
         return 2
     with shared_pool(args.jobs):
@@ -182,6 +196,14 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"{args.export} export written to {args.out}")
         else:
             print(export_text(data, args.export), end="")
+    failed = len(data.errors)
+    if failed:
+        total = sum(len(point.results) for point in data.points)
+        print(
+            f"warning: {failed} of {total} cells failed "
+            "(see the FAILED lines above; docs/robustness.md)",
+            file=sys.stderr,
+        )
     return 0
 
 
@@ -288,6 +310,40 @@ def build_parser() -> argparse.ArgumentParser:
         choices=link_names(),
         metavar="LINK",
         help="links to measure on (default: all eight)",
+    )
+    sweep_parser.add_argument(
+        "--on-error",
+        choices=["fail_fast", "collect", "retry"],
+        default="fail_fast",
+        dest="on_error",
+        help="what a failing cell does to the grid: fail_fast aborts the "
+        "whole run (default), collect records the failure and keeps going, "
+        "retry re-runs the cell --retries times before recording it "
+        "(docs/robustness.md)",
+    )
+    sweep_parser.add_argument(
+        "--retries",
+        type=int,
+        default=0,
+        metavar="N",
+        help="re-run a failing cell up to N extra times before recording "
+        "the failure (needs --on-error collect or retry)",
+    )
+    sweep_parser.add_argument(
+        "--cell-timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        dest="cell_timeout",
+        help="wall-clock budget per cell when running on a worker pool; an "
+        "overrunning worker is killed and the cell retried or recorded as "
+        "failed per --on-error",
+    )
+    sweep_parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="journal completed cells to PATH (JSONL) and, when re-run with "
+        "the same PATH, skip cells already completed there",
     )
     _add_run_options(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)

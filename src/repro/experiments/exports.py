@@ -11,21 +11,31 @@ column-by-column / key-by-key in ``docs/scenarios.md``:
   metrics — one row per ``(cell, flow)``.  The first column is
   ``schema_version``, then one column per grid axis (named after the axis,
   in grid order), then ``scheme``, ``link``, the metric columns of
-  :data:`METRIC_COLUMNS`, and the per-flow columns of
-  :data:`FLOW_COLUMNS`.  Aggregate rows leave the flow columns empty;
-  per-flow rows leave the aggregate metric columns empty (the discriminator
-  is ``flow_id``).  Floats are written with ``repr`` (shortest round-trip
-  form), so parsing the CSV back recovers bit-identical values.
+  :data:`METRIC_COLUMNS`, the per-flow columns of :data:`FLOW_COLUMNS`,
+  and (schema v3) the trailing ``error`` column.  Aggregate rows leave the
+  flow columns empty; per-flow rows leave the aggregate metric columns
+  empty (the discriminator is ``flow_id``); a *failed* cell — a
+  :class:`~repro.experiments.policy.CellError` collected under the
+  ``collect``/``retry`` error policies (docs/robustness.md) — exports one
+  row with every metric empty and ``error`` holding
+  ``"ErrorType: message"``.  Floats are written with ``repr`` (shortest
+  round-trip form), so parsing the CSV back recovers bit-identical values.
 * **JSON** (:func:`export_json`) — the full grid structure: spec
   (parameters, per-axis values, schemes, links), then one entry per grid
-  point with its coordinates (keyed by axis name) and complete
-  :class:`~repro.metrics.summary.SchemeResult` dictionaries (including the
-  optional per-flow ``flows`` list).
+  point with its coordinates (keyed by axis name), the complete
+  :class:`~repro.metrics.summary.SchemeResult` dictionaries of its
+  successful cells (including the optional per-flow ``flows`` list), and —
+  schema v3, only when the point had failures — an ``errors`` list of
+  structured :class:`~repro.experiments.policy.CellError` records, each
+  carrying the ``index`` of its cell within the point so the interleaved
+  cell order reconstructs exactly.
 
 Both directions are covered: :func:`parse_csv` / :func:`parse_json` read an
-export back — current (v2) **and** v1 exports written before the per-flow
-columns existed — and :func:`grid_data_from_json` rebuilds a full
-``GridData``; the round-trip is exact (``tests/test_exports.py``).
+export back — current (v3) **and** the v1/v2 exports written before the
+per-flow columns and the error channel existed — and
+:func:`grid_data_from_json` rebuilds a full ``GridData`` (failed cells
+come back as ``CellError`` outcomes in their original positions); the
+round-trip is exact (``tests/test_exports.py``).
 """
 
 from __future__ import annotations
@@ -36,15 +46,16 @@ import json
 from dataclasses import fields
 from typing import Dict, List, Sequence, Union
 
+from repro.experiments.policy import CellError, is_cell_error
 from repro.experiments.sweeps import GridData, GridPoint, GridSpec, SweepData
 from repro.metrics.flows import FlowMetrics
 from repro.metrics.summary import SchemeResult
 
 #: bump when a column/key is added, removed, or changes meaning
-EXPORT_SCHEMA_VERSION = 2
+EXPORT_SCHEMA_VERSION = 3
 
 #: schema versions :func:`parse_csv` / :func:`parse_json` understand
-SUPPORTED_SCHEMA_VERSIONS = (1, 2)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
 
 #: metric columns of the CSV export, in order (docs/scenarios.md)
 METRIC_COLUMNS: List[str] = [
@@ -65,6 +76,10 @@ FLOW_COLUMNS: List[str] = [
     "flow_delay_95_s",
 ]
 
+#: the trailing failure column of the CSV export (schema v3): empty on
+#: success rows, ``"ErrorType: message"`` on a failed cell's row
+ERROR_COLUMN = "error"
+
 GridLike = Union[GridData, SweepData]
 
 
@@ -84,6 +99,7 @@ def csv_columns(spec: GridSpec) -> List[str]:
         "link",
         *METRIC_COLUMNS,
         *FLOW_COLUMNS,
+        ERROR_COLUMN,
     ]
 
 
@@ -93,6 +109,8 @@ def export_rows(data: GridLike) -> List[Dict[str, object]]:
     One aggregate row per measured cell (flow columns ``None``) followed by
     one per-flow row per flow the cell recorded (aggregate metric columns
     ``None``, flow columns set) — row kind is discriminated by ``flow_id``.
+    A failed cell contributes one row with every metric and flow column
+    ``None`` and the ``error`` column set.
     """
     grid = as_grid_data(data)
     rows: List[Dict[str, object]] = []
@@ -102,11 +120,19 @@ def export_rows(data: GridLike) -> List[Dict[str, object]]:
             base.update(zip(point.parameters, point.coordinates))
             base["scheme"] = result.scheme
             base["link"] = result.link
+            if is_cell_error(result):
+                failed = dict(base)
+                for column in (*METRIC_COLUMNS, *FLOW_COLUMNS):
+                    failed[column] = None
+                failed[ERROR_COLUMN] = result.summary
+                rows.append(failed)
+                continue
             aggregate = dict(base)
             for column in METRIC_COLUMNS:
                 aggregate[column] = getattr(result, column)
             for column in FLOW_COLUMNS:
                 aggregate[column] = None
+            aggregate[ERROR_COLUMN] = None
             rows.append(aggregate)
             for flow in result.flows or []:
                 flow_row = dict(base)
@@ -115,6 +141,7 @@ def export_rows(data: GridLike) -> List[Dict[str, object]]:
                 flow_row["flow_id"] = flow.flow
                 flow_row["flow_throughput_bps"] = flow.throughput_bps
                 flow_row["flow_delay_95_s"] = flow.delay_95_s
+                flow_row[ERROR_COLUMN] = None
                 rows.append(flow_row)
     return rows
 
@@ -162,15 +189,32 @@ def export_json(data: GridLike) -> str:
         "axis_values": [list(axis) for axis in spec.values],
         "schemes": list(spec.schemes),
         "links": list(spec.links),
-        "points": [
-            {
-                "coordinates": dict(zip(point.parameters, point.coordinates)),
-                "results": [result.as_dict() for result in point.results],
-            }
-            for point in grid.points
-        ],
+        "points": [_point_payload(point) for point in grid.points],
     }
     return json.dumps(_jsonable(payload), indent=2, allow_nan=False) + "\n"
+
+
+def _point_payload(point: GridPoint) -> Dict[str, object]:
+    """One JSON point: coordinates, successful results, and (v3) failures.
+
+    ``errors`` is present only when the point had failures, so an
+    all-green v3 export differs from v2 solely by its version number and
+    parses under the same mental model.  Each error carries the ``index``
+    of its cell within the point's interleaved outcome order, which lets
+    :func:`grid_data_from_json` put it back in its original position.
+    """
+    payload: Dict[str, object] = {
+        "coordinates": dict(zip(point.parameters, point.coordinates)),
+        "results": [result.as_dict() for result in point.ok_results],
+    }
+    errors = [
+        {**outcome.as_dict(), "index": index}
+        for index, outcome in enumerate(point.results)
+        if is_cell_error(outcome)
+    ]
+    if errors:
+        payload["errors"] = errors
+    return payload
 
 
 def export_text(data: GridLike, fmt: str) -> str:
@@ -198,9 +242,11 @@ def parse_csv(text: str) -> List[Dict[str, object]]:
     Axis and metric columns come back as floats, ``schema_version`` as an
     int, ``scheme``/``link`` as strings.  Schema v2 adds the per-flow
     columns: ``flow_id`` is a string (``None`` on aggregate rows) and empty
-    metric cells come back as ``None``.  v1 exports (no flow columns) parse
-    unchanged.  Raises ``ValueError`` on a schema version this code does
-    not understand.
+    metric cells come back as ``None``.  Schema v3 adds the trailing
+    ``error`` column (a string on a failed cell's row, ``None``
+    otherwise).  v1/v2 exports (no flow/error columns) parse unchanged.
+    Raises ``ValueError`` on a schema version this code does not
+    understand.
     """
     reader = csv.reader(io.StringIO(text))
     try:
@@ -224,7 +270,7 @@ def parse_csv(text: str) -> List[Dict[str, object]]:
                 row[column] = _check_schema_version(int(value))
             elif column in ("scheme", "link"):
                 row[column] = value
-            elif column == "flow_id":
+            elif column in ("flow_id", ERROR_COLUMN):
                 row[column] = value if value != "" else None
             elif column in METRIC_COLUMNS or column in FLOW_COLUMNS:
                 row[column] = float(value) if value != "" else None
@@ -284,13 +330,37 @@ def _result_from_dict(row: Dict[str, object]) -> SchemeResult:
     return SchemeResult(**data)  # type: ignore[arg-type]
 
 
+def _point_outcomes(entry: Dict[str, object]) -> List[object]:
+    """One point's interleaved cell outcomes from its JSON entry.
+
+    Successful results are re-slotted around the (v3) ``errors`` records
+    using each error's ``index``, so the rebuilt point preserves the
+    original cell order exactly.  v1/v2 entries have no ``errors`` key and
+    reduce to the plain results list.
+    """
+    results = [_result_from_dict(row) for row in entry["results"]]
+    errors = entry.get("errors") or []
+    if not errors:
+        return results
+    outcomes: List[object] = [None] * (len(results) + len(errors))
+    for record in errors:
+        outcomes[record["index"]] = CellError.from_dict(record)
+    iterator = iter(results)
+    for index, slot in enumerate(outcomes):
+        if slot is None:
+            outcomes[index] = next(iterator)
+    return outcomes
+
+
 def grid_data_from_json(payload: Union[str, dict]) -> GridData:
-    """Rebuild a full :class:`GridData` from a JSON export (v1 or v2).
+    """Rebuild a full :class:`GridData` from a JSON export (v1, v2, or v3).
 
     The reconstruction is exact: every ``SchemeResult`` field (including
     the ``extra`` counters and the optional per-flow list) round-trips
-    bit-identically, so downstream analysis (frontiers, tables) can run
-    from an export alone.
+    bit-identically, and v3 failure records come back as
+    :class:`~repro.experiments.policy.CellError` outcomes in their
+    original cell positions — so downstream analysis (frontiers, tables,
+    failure reports) can run from an export alone.
     """
     if isinstance(payload, str):
         payload = parse_json(payload)
@@ -305,12 +375,11 @@ def grid_data_from_json(payload: Union[str, dict]) -> GridData:
     points = []
     for entry in payload["points"]:
         coordinates = entry["coordinates"]
-        results = [_result_from_dict(row) for row in entry["results"]]
         points.append(
             GridPoint(
                 parameters=spec.parameters,
                 coordinates=tuple(coordinates[name] for name in spec.parameters),
-                results=results,
+                results=_point_outcomes(entry),
             )
         )
     return GridData(spec=spec, points=points)

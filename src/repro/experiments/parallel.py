@@ -33,27 +33,76 @@ built around closures) are detected up front and run in the parent process
 while the pool chews on the rest; the result ordering is unaffected.
 Registry-built sweep variants (:func:`~repro.experiments.registry.sprout_variant`)
 pickle fine and parallelise normally.
+
+Failure handling is governed by an :class:`~repro.experiments.policy.ErrorPolicy`
+(docs/robustness.md).  The default — ``fail_fast`` with no per-cell
+timeout — takes the exact historical code path and stays bit-identical to
+the serial runner.  Under ``collect``/``retry`` (or with a ``cell_timeout``
+or checkpoint), the batch instead runs on a fault-tolerant scheduler that
+records failed cells as structured
+:class:`~repro.experiments.policy.CellError` outcomes in-place, retries
+within the policy's budget, enforces per-cell wall-clock deadlines by
+killing and rebuilding the worker pool, heals a pool broken by a
+hard-dying worker (bounded by ``max_pool_rebuilds``), quarantines a cell
+that breaks the pool twice to a serial in-parent run, and journals
+completed cells for checkpoint/resume.
 """
 
 from __future__ import annotations
 
 import os
 import pickle
-from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
+import time
+from collections import deque
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    wait,
+)
 from contextlib import contextmanager
-from typing import Iterable, Iterator, List, Optional, Sequence, Tuple, Union
+from typing import (
+    Callable,
+    Iterable,
+    Iterator,
+    List,
+    Optional,
+    Sequence,
+    Tuple,
+    Union,
+)
 
+from repro.experiments.policy import (
+    CellError,
+    CellTimeoutError,
+    CheckpointJournal,
+    ErrorPolicy,
+    IncompleteBatchError,
+    cell_key,
+    cell_link_name,
+    cell_scheme_name,
+)
 from repro.experiments.registry import SCHEMES, SchemeSpec
 from repro.experiments.runner import (
-    ProgressCallback,
     RunConfig,
     run_scheme_on_link,
 )
 from repro.metrics.summary import SchemeResult
+from repro.testing.faults import fire_faults
 from repro.traces.networks import LinkSpec
 
 #: one matrix cell: (scheme, link, run parameters)
 Cell = Tuple[Union[str, SchemeSpec], Union[str, LinkSpec], Optional[RunConfig]]
+
+#: one batch outcome: the cell's result, or its failure record under
+#: the ``collect``/``retry`` error policies
+CellOutcome = Union[SchemeResult, CellError]
+
+#: callback invoked with each finished cell outcome of a batch.  Under the
+#: default ``fail_fast`` policy this only ever sees ``SchemeResult``s (the
+#: historical contract); under ``collect``/``retry`` it also receives the
+#: ``CellError`` of each failed cell.
+ProgressCallback = Callable[[CellOutcome], None]
 
 
 def default_jobs() -> int:
@@ -72,7 +121,17 @@ def _run_cell(
     scheme: Union[str, SchemeSpec],
     link: Union[str, LinkSpec],
     config: Optional[RunConfig],
+    attempt: int = 1,
+    index: Optional[int] = None,
 ) -> SchemeResult:
+    """Execute one cell in whichever process hosts it.
+
+    ``attempt`` and ``index`` exist for the fault-injection harness
+    (:mod:`repro.testing.faults`): when ``REPRO_FAULT_SPEC`` is armed the
+    harness can target a specific cell and attempt.  Unarmed, the hook is
+    one environment lookup.
+    """
+    fire_faults(cell_scheme_name(scheme), cell_link_name(link), attempt, index)
     return run_scheme_on_link(scheme, link, config)
 
 
@@ -209,75 +268,371 @@ def shared_pool(jobs: Optional[int] = None) -> Iterator[Optional[ProcessPoolExec
     try:
         yield pool
     finally:
+        # Pool self-healing may have replaced the shared pool since we
+        # opened it; shut down whichever instance is current.
+        current = _SHARED_POOL
         _SHARED_POOL = None
-        pool.shutdown(wait=True)
+        if current is not None:
+            current.shutdown(wait=True)
 
 
 # ------------------------------------------------------------- execution
 
 
-def _run_cells_serial(
-    cells: Sequence[Cell], progress: Optional[ProgressCallback]
-) -> List[SchemeResult]:
-    results: List[SchemeResult] = []
-    for scheme, link, config in cells:
-        result = run_scheme_on_link(scheme, link, config)
-        results.append(result)
-        if progress is not None:
-            progress(result)
-    return results
+#: how long (seconds) to wait for a terminated worker process to reap
+_KILL_JOIN_TIMEOUT = 5.0
 
 
-def _run_cells_on_pool(
+class _PoolHost:
+    """Owns one worker pool on behalf of a batch, replaceable mid-batch.
+
+    The fault-tolerant scheduler kills and rebuilds the pool after a
+    worker dies hard or a cell timeout expires.  When the hosted pool is
+    the :func:`shared_pool` one, a rebuild also swaps the module-level
+    ``_SHARED_POOL`` so later batches (and the context manager's final
+    shutdown) see the live replacement, never the corpse.
+    """
+
+    def __init__(self, pool: ProcessPoolExecutor, workers: int, shared: bool):
+        self.pool = pool
+        self.workers = max(1, workers)
+        self.shared = shared
+
+    def kill(self) -> None:
+        """Terminate the pool's workers and abandon it (non-blocking).
+
+        A graceful ``shutdown(wait=True)`` would block forever behind a
+        hung worker, so the processes are terminated first.
+        """
+        processes = list(getattr(self.pool, "_processes", {}).values())
+        for process in processes:
+            try:
+                process.terminate()
+            except Exception:
+                pass
+        for process in processes:
+            try:
+                process.join(_KILL_JOIN_TIMEOUT)
+            except Exception:
+                pass
+        self.pool.shutdown(wait=False, cancel_futures=True)
+
+    def rebuild(self) -> None:
+        """Kill the current pool and stand up a fresh warmed one."""
+        global _SHARED_POOL
+        replace_shared = self.shared and _SHARED_POOL is self.pool
+        self.kill()
+        self.pool = ProcessPoolExecutor(
+            max_workers=self.workers, initializer=_warm_worker
+        )
+        if replace_shared:
+            _SHARED_POOL = self.pool
+
+
+#: record(index, outcome) — the batch sink the engines feed
+_RecordFn = Callable[[int, CellOutcome], None]
+
+
+def _run_cell_serially(
+    cells: Sequence[Cell],
+    index: int,
+    policy: ErrorPolicy,
+    start_attempt: int = 1,
+) -> CellOutcome:
+    """Run one cell in this process under the policy's retry semantics.
+
+    ``start_attempt`` continues the attempt numbering of earlier pool
+    attempts (quarantine and serial-drain re-runs), which keeps the fault
+    harness's per-attempt clauses deterministic across engine transitions.
+    The per-cell timeout cannot be enforced in-process and is ignored
+    here (docs/robustness.md).
+    """
+    scheme, link, config = cells[index]
+    attempt = start_attempt
+    failures = 0
+    while True:
+        try:
+            return _run_cell(scheme, link, config, attempt=attempt, index=index)
+        except Exception as error:
+            if policy.fail_fast:
+                raise
+            failures += 1
+            if failures > policy.retry_budget:
+                return CellError.from_exception(
+                    cells[index], error, attempts=attempt, kind="error"
+                )
+            attempt += 1
+
+
+def _run_indices_serial(
+    cells: Sequence[Cell],
+    indices: Sequence[int],
+    policy: ErrorPolicy,
+    record: _RecordFn,
+) -> None:
+    for index in indices:
+        record(index, _run_cell_serially(cells, index, policy))
+
+
+def _split_poolable(
+    cells: Sequence[Cell], indices: Sequence[int]
+) -> Tuple[List[Tuple[int, Cell]], List[int]]:
+    """Partition ``indices`` into pool-sendable cells and parent-run ones."""
+    sendable: List[Tuple[int, Cell]] = []
+    local: List[int] = []
+    for index in indices:
+        scheme, link, config = cells[index]
+        poolable_scheme = _poolable(scheme)
+        poolable_link = _poolable(link)
+        poolable_config = _poolable(config) if config is not None else None
+        if poolable_scheme is None or poolable_link is None or (
+            config is not None and poolable_config is None
+        ):
+            local.append(index)
+        else:
+            sendable.append((index, (poolable_scheme, poolable_link, poolable_config)))
+    return sendable, local
+
+
+def _run_indices_fast_pool(
     pool: ProcessPoolExecutor,
     cells: Sequence[Cell],
-    progress: Optional[ProgressCallback],
-) -> List[SchemeResult]:
-    results: List[Optional[SchemeResult]] = [None] * len(cells)
-    local_indices: List[int] = []
+    indices: Sequence[int],
+    record: _RecordFn,
+) -> None:
+    """The historical fail-fast fan-out: submit everything, first error wins.
+
+    This is the path every default-policy batch takes; it is byte-for-byte
+    the pre-robustness behavior (golden fixtures run through here).
+    """
+    sendable, local_indices = _split_poolable(cells, indices)
     future_index = {}
     try:
-        for index, (scheme, link, config) in enumerate(cells):
-            sendable_scheme = _poolable(scheme)
-            sendable_link = _poolable(link)
-            sendable_config = _poolable(config) if config is not None else None
-            if sendable_scheme is None or sendable_link is None or (
-                config is not None and sendable_config is None
-            ):
-                local_indices.append(index)
-                continue
-            future = pool.submit(_run_cell, sendable_scheme, sendable_link, sendable_config)
+        for index, (scheme, link, config) in sendable:
+            future = pool.submit(_run_cell, scheme, link, config, 1, index)
             future_index[future] = index
 
         # Run the unpicklable cells here while the pool works on the rest.
         for index in local_indices:
             scheme, link, config = cells[index]
-            results[index] = run_scheme_on_link(scheme, link, config)
-            if progress is not None:
-                progress(results[index])
+            record(index, run_scheme_on_link(scheme, link, config))
 
         pending = set(future_index)
         while pending:
             done, pending = wait(pending, return_when=FIRST_COMPLETED)
             for future in done:
-                result = future.result()
-                results[future_index[future]] = result
-                if progress is not None:
-                    progress(result)
+                record(future_index[future], future.result())
     except BaseException:
         # Don't let a shared pool (or this pool's shutdown) run the rest of
         # the work to completion behind a propagating error.
         for future in future_index:
             future.cancel()
         raise
-    return [result for result in results if result is not None]
+
+
+def _run_indices_fault_tolerant(
+    host: _PoolHost,
+    cells: Sequence[Cell],
+    indices: Sequence[int],
+    policy: ErrorPolicy,
+    record: _RecordFn,
+) -> None:
+    """The resilient fan-out: retries, deadlines, healing, quarantine.
+
+    Engaged whenever the policy is not plain fail-fast (``collect`` /
+    ``retry``, a ``cell_timeout``, or both).  Submission is bounded to one
+    in-flight cell per worker so a cell's wall-clock deadline can be
+    measured from its submit time; a hung or hard-dying worker is handled
+    by killing and rebuilding the pool (at most ``policy.max_pool_rebuilds``
+    times, after which the remainder of the batch drains serially in the
+    parent); a cell in flight across two pool breaks is quarantined to a
+    serial in-parent run so one pathological cell cannot wedge the batch.
+    """
+    sendable, local_indices = _split_poolable(cells, indices)
+    sendable_cell = dict(sendable)
+    # (index, attempt, suspicion): suspicion counts pool breaks survived
+    # while this cell was in flight — two strikes quarantines it.
+    ready = deque((index, 1, 0) for index, _ in sendable)
+    in_flight = {}
+    quarantined: List[Tuple[int, int]] = []
+    rebuilds = 0
+    drain_serially = False
+
+    def fail_cell(index: int, attempt: int, error: BaseException, kind: str) -> bool:
+        """Record or requeue one failed attempt; True if requeued."""
+        if attempt <= policy.retry_budget:
+            return True
+        record(
+            index,
+            CellError.from_exception(cells[index], error, attempts=attempt, kind=kind),
+        )
+        return False
+
+    def absorb_break(victims) -> None:
+        """Redistribute in-flight cells after the pool died under them.
+
+        Every victim *might* be the killer; certainty is impossible once
+        the workers are gone.  Each gets a suspicion strike — the second
+        strike quarantines — and its attempt number advances so the fault
+        harness's per-attempt clauses see the re-run coming.
+        """
+        nonlocal rebuilds
+        for index, attempt, suspicion in victims:
+            if suspicion + 1 >= 2:
+                quarantined.append((index, attempt + 1))
+            else:
+                ready.append((index, attempt + 1, suspicion + 1))
+        in_flight.clear()
+        rebuilds += 1
+
+    try:
+        # Parent-side (unpicklable) cells first: the pool path below blocks
+        # on its futures, and these cells obey the same retry semantics.
+        for index in local_indices:
+            record(index, _run_cell_serially(cells, index, policy))
+
+        while ready or in_flight:
+            if rebuilds > policy.max_pool_rebuilds:
+                host.kill()
+                drain_serially = True
+                break
+            broken = False
+            try:
+                while ready and len(in_flight) < host.workers:
+                    index, attempt, suspicion = ready.popleft()
+                    scheme, link, config = sendable_cell[index]
+                    future = host.pool.submit(
+                        _run_cell, scheme, link, config, attempt, index
+                    )
+                    deadline = (
+                        time.monotonic() + policy.cell_timeout
+                        if policy.cell_timeout is not None
+                        else None
+                    )
+                    in_flight[future] = (index, attempt, suspicion, deadline)
+            except BrokenExecutor:
+                if policy.fail_fast:
+                    raise
+                ready.append((index, attempt, suspicion))
+                absorb_break(
+                    [(i, a, s) for i, a, s, _ in in_flight.values()]
+                )
+                host.rebuild()
+                continue
+
+            poll = None
+            if policy.cell_timeout is not None:
+                now = time.monotonic()
+                poll = max(
+                    0.05,
+                    min(
+                        deadline - now
+                        for _, _, _, deadline in in_flight.values()
+                    ),
+                )
+            done, _ = wait(in_flight, timeout=poll, return_when=FIRST_COMPLETED)
+
+            for future in done:
+                index, attempt, suspicion, _ = in_flight.pop(future)
+                try:
+                    result = future.result()
+                except BrokenExecutor:
+                    if policy.fail_fast:
+                        raise
+                    broken = True
+                    # The pool died with this cell in flight; it is a
+                    # suspect, not (yet) a failure.
+                    in_flight[future] = (index, attempt, suspicion, None)
+                    continue
+                except Exception as error:
+                    if policy.fail_fast:
+                        raise
+                    if fail_cell(index, attempt, error, "error"):
+                        ready.append((index, attempt + 1, suspicion))
+                    continue
+                record(index, result)
+
+            if broken:
+                absorb_break([(i, a, s) for i, a, s, _ in in_flight.values()])
+                host.rebuild()
+                continue
+
+            if policy.cell_timeout is not None and in_flight:
+                now = time.monotonic()
+                expired = [
+                    (future, info)
+                    for future, info in in_flight.items()
+                    if info[3] is not None and now >= info[3]
+                ]
+                if expired:
+                    if policy.fail_fast:
+                        index = expired[0][1][0]
+                        scheme, link, _ = cells[index]
+                        host.kill()
+                        raise CellTimeoutError(
+                            f"cell ({cell_scheme_name(scheme)}, "
+                            f"{cell_link_name(link)}) exceeded the "
+                            f"{policy.cell_timeout:g}s cell_timeout"
+                        )
+                    expired_futures = {future for future, _ in expired}
+                    for future, (index, attempt, suspicion, _) in expired:
+                        scheme, link, _ = cells[index]
+                        error = CellTimeoutError(
+                            f"cell ({cell_scheme_name(scheme)}, "
+                            f"{cell_link_name(link)}) attempt {attempt} "
+                            f"exceeded the {policy.cell_timeout:g}s cell_timeout"
+                        )
+                        if fail_cell(index, attempt, error, "timeout"):
+                            ready.append((index, attempt + 1, suspicion))
+                    # The hung worker cannot be reclaimed individually;
+                    # innocents in flight go back to the queue unjudged
+                    # (same attempt, no suspicion) and the pool is rebuilt.
+                    for future, (index, attempt, suspicion, _) in in_flight.items():
+                        if future not in expired_futures:
+                            ready.append((index, attempt, suspicion))
+                    in_flight.clear()
+                    rebuilds += 1
+                    host.rebuild()
+
+        if drain_serially:
+            # The rebuild budget is spent: finish in the parent, where no
+            # pool can break.  Quarantined cells join the serial queue.
+            for index, attempt, _ in ready:
+                record(
+                    index,
+                    _run_cell_serially(cells, index, policy, start_attempt=attempt),
+                )
+            ready.clear()
+    except BaseException:
+        for future in in_flight:
+            future.cancel()
+        raise
+
+    for index, attempt in quarantined:
+        record(
+            index, _run_cell_serially(cells, index, policy, start_attempt=attempt)
+        )
+
+
+def _resolve_policy(
+    policy: Optional[ErrorPolicy], cells: Sequence[Cell]
+) -> ErrorPolicy:
+    """Explicit argument first, then the first cell carrying one, else default."""
+    if policy is not None:
+        return policy
+    for _, _, config in cells:
+        carried = getattr(config, "error_policy", None)
+        if carried is not None:
+            return carried
+    return ErrorPolicy()
 
 
 def run_cells(
     cells: Sequence[Cell],
     progress: Optional[ProgressCallback] = None,
     jobs: Optional[int] = None,
-) -> List[SchemeResult]:
+    policy: Optional[ErrorPolicy] = None,
+) -> List[CellOutcome]:
     """Run explicit ``(scheme, link, config)`` cells, preserving their order.
 
     This is the workhorse under :func:`run_matrix` and the sweep engine
@@ -288,6 +643,15 @@ def run_cells(
     ``jobs``: worker processes.  ``1`` always runs serially in-process;
     ``None`` reuses an active :func:`shared_pool` if one is open and runs
     serially otherwise; ``0`` means one worker per CPU.
+
+    ``policy``: the batch's :class:`~repro.experiments.policy.ErrorPolicy`.
+    ``None`` adopts the first policy found on a cell's
+    :attr:`RunConfig.error_policy`, falling back to the fail-fast default.
+    Under ``collect``/``retry`` the returned list holds a
+    :class:`~repro.experiments.policy.CellError` at each failed cell's
+    position (``docs/robustness.md``); every index is always filled —
+    a hole raises :class:`~repro.experiments.policy.IncompleteBatchError`
+    rather than silently shrinking the list.
     """
     if jobs is not None and jobs < 0:
         raise ValueError(f"jobs must be non-negative, got {jobs}")
@@ -296,23 +660,90 @@ def run_cells(
     cell_list = list(cells)
     if not cell_list:
         return []
+    active_policy = _resolve_policy(policy, cell_list)
+
+    results: List[Optional[CellOutcome]] = [None] * len(cell_list)
+    journal: Optional[CheckpointJournal] = None
+    keys: Optional[List[str]] = None
+    if active_policy.checkpoint:
+        journal = CheckpointJournal(active_policy.checkpoint)
+        keys = [cell_key(cell) for cell in cell_list]
+        finished = journal.load()
+        for index, key in enumerate(keys):
+            if key in finished:
+                # Resumed from the journal: no re-run, no progress event.
+                results[index] = finished[key]
+
+    def record(index: int, outcome: CellOutcome) -> None:
+        results[index] = outcome
+        if journal is not None and isinstance(outcome, SchemeResult):
+            journal.record(keys[index], outcome)
+        if progress is not None:
+            progress(outcome)
+
+    pending = [index for index, slot in enumerate(results) if slot is None]
+    try:
+        if pending:
+            _dispatch(cell_list, pending, active_policy, record, jobs)
+    finally:
+        if journal is not None:
+            journal.close()
+
+    missing = [index for index, slot in enumerate(results) if slot is None]
+    if missing:
+        raise IncompleteBatchError(missing, len(cell_list))
+    return results
+
+
+def _dispatch(
+    cells: Sequence[Cell],
+    pending: Sequence[int],
+    policy: ErrorPolicy,
+    record: _RecordFn,
+    jobs: Optional[int],
+) -> None:
+    """Route the pending cells to the serial, fast-pool, or resilient engine."""
     if jobs == 1:
-        return _run_cells_serial(cell_list, progress)
+        _run_indices_serial(cells, pending, policy, record)
+        return
+    pending_cells = [cells[index] for index in pending]
+    fast = policy.fail_fast and policy.cell_timeout is None
     shared = active_pool()
     if shared is not None:
         # A shared pool's workers spawn lazily on first submit; once any
         # exist, fork inheritance cannot deliver new in-memory artifacts.
-        prewarm_models(cell_list, pool_started=bool(getattr(shared, "_processes", None)))
-        return _run_cells_on_pool(shared, cell_list, progress)
-    workers = min(jobs or 1, len(cell_list))
+        prewarm_models(
+            pending_cells, pool_started=bool(getattr(shared, "_processes", None))
+        )
+        if fast:
+            _run_indices_fast_pool(shared, cells, pending, record)
+        else:
+            host = _PoolHost(
+                shared, getattr(shared, "_max_workers", None) or default_jobs(), True
+            )
+            _run_indices_fault_tolerant(host, cells, pending, policy, record)
+        return
+    workers = min(jobs or 1, len(pending))
     if workers <= 1:
-        return _run_cells_serial(cell_list, progress)
+        _run_indices_serial(cells, pending, policy, record)
+        return
     # Build every distinct model artifact once, before the pool exists, so
     # the workers fork with (or disk-load) warm caches instead of each
     # rebuilding every swept model.
-    prewarm_models(cell_list)
-    with ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker) as pool:
-        return _run_cells_on_pool(pool, cell_list, progress)
+    prewarm_models(pending_cells)
+    if fast:
+        with ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker) as pool:
+            _run_indices_fast_pool(pool, cells, pending, record)
+        return
+    host = _PoolHost(
+        ProcessPoolExecutor(max_workers=workers, initializer=_warm_worker),
+        workers,
+        False,
+    )
+    try:
+        _run_indices_fault_tolerant(host, cells, pending, policy, record)
+    finally:
+        host.pool.shutdown(wait=True)
 
 
 def run_matrix(

@@ -17,6 +17,7 @@ from repro.experiments.figure7 import Figure7Data, render_figure7, run_figure7
 from repro.experiments.figure8 import render_figure8, run_figure8
 from repro.experiments.figure9 import render_figure9, run_figure9
 from repro.experiments.parallel import shared_pool
+from repro.experiments.policy import ErrorPolicy
 from repro.experiments.registry import INTRO_TABLE_SCHEMES
 from repro.experiments.runner import RunConfig
 from repro.experiments.sweeps import (
@@ -56,6 +57,9 @@ class ReportConfig:
     #: optional multi-dimensional grids appended to the report, each
     #: followed by its per-link frontier section (docs/scenarios.md)
     grids: Optional[List[GridSpec]] = None
+    #: failure handling for the report's sweep/grid sections
+    #: (docs/robustness.md); ``None`` keeps the fail-fast default
+    error_policy: Optional[ErrorPolicy] = None
 
     def run_config(self) -> RunConfig:
         return RunConfig(duration=self.duration, warmup=self.warmup)
@@ -120,7 +124,11 @@ def _generate_report_sections(cfg: ReportConfig, progress) -> str:
         for spec in cfg.sweeps:
             note(f"running the {spec.parameter} sweep ({len(spec.values)} values)...")
             sections.append(
-                render_sweep(run_sweep(spec, config=run_cfg, jobs=cfg.jobs))
+                render_sweep(
+                    run_sweep(
+                        spec, config=run_cfg, jobs=cfg.jobs, policy=cfg.error_policy
+                    )
+                )
             )
     if cfg.grids and cfg.wants("grids"):
         for grid_spec in cfg.grids:
@@ -129,7 +137,9 @@ def _generate_report_sections(cfg: ReportConfig, progress) -> str:
                 f"running the {axes} grid "
                 f"({len(grid_spec.coordinates())} points)..."
             )
-            data = run_grid(grid_spec, config=run_cfg, jobs=cfg.jobs)
+            data = run_grid(
+                grid_spec, config=run_cfg, jobs=cfg.jobs, policy=cfg.error_policy
+            )
             sections.append(render_grid(data))
             sections.append(render_grid_frontiers(data))
 

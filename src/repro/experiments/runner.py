@@ -7,6 +7,7 @@ from typing import Callable, Dict, Iterable, List, Optional, Sequence, Union
 
 from repro.baselines.omniscient import omniscient_delay
 from repro.cellsim.cellsim import Cellsim, build_cellsim, cellsim_for_link, traces_for_link
+from repro.experiments.policy import ErrorPolicy
 from repro.experiments.registry import SchemeSpec, get_scheme
 from repro.metrics.delay import arrivals_from_log, end_to_end_delay_95, self_inflicted_delay
 from repro.metrics.flows import flow_metrics_from_logs
@@ -27,6 +28,12 @@ class RunConfig:
     client flow (Section 5.7: Skype's delay vs. Cubic's throughput) when the
     receiving endpoint keeps per-flow logs — a multiplexed scenario cell.
     It is pure collection: the emulation's physics are identical either way.
+
+    ``error_policy`` rides along for the batch engines
+    (:func:`repro.experiments.parallel.run_cells` and the sweep/grid
+    runners): how a *batch* containing this cell responds to failures
+    (docs/robustness.md).  It never affects the cell's own emulation or
+    metrics, and a single :func:`run_scheme_on_link` call ignores it.
     """
 
     duration: float = DEFAULT_TRACE_DURATION
@@ -34,6 +41,7 @@ class RunConfig:
     loss_rate: float = 0.0
     queue_byte_limit: Optional[int] = None
     per_flow: bool = False
+    error_policy: Optional[ErrorPolicy] = None
 
     def __post_init__(self) -> None:
         if self.duration <= 0:

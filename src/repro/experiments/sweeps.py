@@ -77,7 +77,8 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple, Union
 from repro.core.connection import SproutConfig
 from repro.core.rate_model import RateModelParams
 from repro.experiments.competing import competing_scheme, competing_scheme_parts
-from repro.experiments.parallel import Cell, run_cells, shared_pool
+from repro.experiments.parallel import Cell, CellOutcome, run_cells, shared_pool
+from repro.experiments.policy import CellError, ErrorPolicy, is_cell_error
 from repro.experiments.registry import (
     SchemeSpec,
     get_scheme,
@@ -355,6 +356,11 @@ class GridSpec:
     values: Tuple[Tuple[float, ...], ...]
     schemes: Tuple[str, ...] = ("Sprout",)
     links: Tuple[str, ...] = ()
+    #: failure handling for the whole grid (docs/robustness.md); ``None``
+    #: leaves the choice to ``run_grid``'s caller / the fail-fast default.
+    #: Excluded from equality: two grids over the same cells are the same
+    #: grid however their failures are handled.
+    policy: Optional[ErrorPolicy] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         object.__setattr__(self, "parameters", tuple(self.parameters))
@@ -405,11 +411,27 @@ class GridSpec:
 
 @dataclass
 class GridPoint:
-    """All matrix results measured at one grid coordinate."""
+    """All matrix results measured at one grid coordinate.
+
+    Under the ``collect``/``retry`` error policies ``results`` may hold a
+    :class:`~repro.experiments.policy.CellError` in a failed cell's
+    position; :attr:`ok_results` and :attr:`errors` split the two.  Under
+    the default fail-fast policy every entry is a ``SchemeResult``.
+    """
 
     parameters: Tuple[str, ...]
     coordinates: Tuple[float, ...]
-    results: List[SchemeResult]
+    results: List[CellOutcome]
+
+    @property
+    def ok_results(self) -> List[SchemeResult]:
+        """The point's successful results, in cell order."""
+        return [row for row in self.results if not is_cell_error(row)]
+
+    @property
+    def errors(self) -> List[CellError]:
+        """The point's failed cells, in cell order."""
+        return [row for row in self.results if is_cell_error(row)]
 
     def coordinate(self, parameter: str) -> float:
         """This point's value on one named axis."""
@@ -447,6 +469,11 @@ class GridData:
         self.spec.axis_values(parameter)  # validate the axis name
         return [point for point in self.points if point.coordinate(parameter) == value]
 
+    @property
+    def errors(self) -> List[CellError]:
+        """Every failed cell across the grid, point-major cell order."""
+        return [error for point in self.points for error in point.errors]
+
 
 def expand_grid(spec: GridSpec, config: Optional[RunConfig] = None) -> List[Cell]:
     """Flatten a grid spec into explicit matrix cells, value-major.
@@ -475,15 +502,23 @@ def run_grid(
     config: Optional[RunConfig] = None,
     progress: Optional[ProgressCallback] = None,
     jobs: Optional[int] = None,
+    policy: Optional[ErrorPolicy] = None,
 ) -> GridData:
     """Run one grid through the (shared-pool-aware) cell runner.
 
     The entire flattened batch is submitted at once, so a multi-point grid
     saturates the worker pool instead of draining between points, and every
     cell that shares a channel pulls its trace from the shared cache.
+
+    ``policy`` (explicit argument, else ``spec.policy``, else the config's,
+    else fail-fast — docs/robustness.md) governs failure handling; under
+    ``collect``/``retry`` each failed cell surfaces as a
+    :class:`~repro.experiments.policy.CellError` in its point's results.
     """
     cells = expand_grid(spec, config)
-    results = run_cells(cells, progress=progress, jobs=jobs)
+    results = run_cells(
+        cells, progress=progress, jobs=jobs, policy=policy or spec.policy
+    )
     chunk = spec.cells_per_point
     points = [
         GridPoint(
@@ -512,6 +547,9 @@ class SweepSpec:
     values: Tuple[float, ...]
     schemes: Tuple[str, ...] = ("Sprout",)
     links: Tuple[str, ...] = ()
+    #: failure handling for the sweep (docs/robustness.md); like
+    #: :attr:`GridSpec.policy`, excluded from equality
+    policy: Optional[ErrorPolicy] = field(default=None, compare=False)
 
     def __post_init__(self) -> None:
         get_sweep_parameter(self.parameter)
@@ -536,6 +574,7 @@ class SweepSpec:
             values=(self.values,),
             schemes=self.schemes,
             links=self.links,
+            policy=self.policy,
         )
 
 
@@ -545,7 +584,17 @@ class SweepPoint:
 
     parameter: str
     value: float
-    results: List[SchemeResult]
+    results: List[CellOutcome]
+
+    @property
+    def ok_results(self) -> List[SchemeResult]:
+        """The point's successful results, in cell order."""
+        return [row for row in self.results if not is_cell_error(row)]
+
+    @property
+    def errors(self) -> List[CellError]:
+        """The point's failed cells, in cell order."""
+        return [row for row in self.results if is_cell_error(row)]
 
 
 @dataclass
@@ -586,9 +635,12 @@ def run_sweep(
     config: Optional[RunConfig] = None,
     progress: Optional[ProgressCallback] = None,
     jobs: Optional[int] = None,
+    policy: Optional[ErrorPolicy] = None,
 ) -> SweepData:
     """Run one parameter sweep (a one-axis grid) through the cell runner."""
-    grid = run_grid(spec.to_grid(), config=config, progress=progress, jobs=jobs)
+    grid = run_grid(
+        spec.to_grid(), config=config, progress=progress, jobs=jobs, policy=policy
+    )
     points = [
         SweepPoint(parameter=spec.parameter, value=point.coordinates[0], results=point.results)
         for point in grid.points
@@ -625,26 +677,45 @@ def _result_line(row: SchemeResult) -> str:
     )
 
 
-def render_sweep(data: SweepData) -> str:
-    """Plain-text rendering: one block per swept value."""
-    parameter = get_sweep_parameter(data.spec.parameter)
-    lines: List[str] = [
-        f"Sweep — {parameter.name} ({parameter.description})",
-        "",
+def _error_line(row: CellError) -> str:
+    return (
+        f"  {row.scheme:22s} {row.link:30s} FAILED "
+        f"[{row.kind}, {row.attempts} attempt(s)] {row.summary}"
+    )
+
+
+def _outcome_lines(rows: Sequence[CellOutcome]) -> List[str]:
+    return [
+        _error_line(row) if is_cell_error(row) else _result_line(row) for row in rows
     ]
-    for point in data.points:
-        lines.append(f"{parameter.name} = {point.value:g}")
-        lines.append(_RESULT_HEADER)
-        lines.extend(_result_line(row) for row in point.results)
-        lines.append("")
-    return "\n".join(lines)
+
+
+def _failure_footer(points: Sequence) -> List[str]:
+    """The trailing "N cells failed" section, empty on all-green runs."""
+    failed = sum(len(point.errors) for point in points)
+    if not failed:
+        return []
+    total = sum(len(point.results) for point in points)
+    return [f"{failed} of {total} cells failed", ""]
+
+
+def render_sweep(data: SweepData) -> str:
+    """Plain-text rendering: one block per swept value.
+
+    Failed cells (``collect``/``retry`` error policies) render as
+    ``FAILED`` lines in place, and a trailing "N cells failed" section is
+    appended; all-green output is byte-identical to the fail-fast era.
+    """
+    return render_grid(data.to_grid_data())
 
 
 def render_grid(data: GridData) -> str:
     """Plain-text rendering: one block per grid point, value-major.
 
     One-axis grids render in the sweep format (``Sweep — loss (...)``) so
-    ``repro sweep`` output is unchanged for single-parameter runs.
+    ``repro sweep`` output is unchanged for single-parameter runs.  Failed
+    cells render as ``FAILED`` lines in their cell's position, plus a
+    trailing "N cells failed" section (docs/robustness.md).
     """
     spec = data.spec
     if len(spec.parameters) == 1:
@@ -658,8 +729,9 @@ def render_grid(data: GridData) -> str:
     for point in data.points:
         lines.append(point.label)
         lines.append(_RESULT_HEADER)
-        lines.extend(_result_line(row) for row in point.results)
+        lines.extend(_outcome_lines(point.results))
         lines.append("")
+    lines.extend(_failure_footer(data.points))
     return "\n".join(lines)
 
 
@@ -752,12 +824,17 @@ def render_grid_frontiers(data: GridData) -> str:
     spec = data.spec
     axes = " × ".join(spec.parameters)
     lines: List[str] = [f"Frontier — throughput vs delay across the {axes} grid", ""]
+    failed = len(data.errors)
+    if failed:
+        # Failed cells have no operating point; the frontier is computed
+        # over the cells that finished (the grid listing itemises failures).
+        lines[1:1] = [f"({failed} failed cells excluded)", ""]
     for link in spec.links:
         link_name = link if isinstance(link, str) else link.name
         entries = [
             (point, row)
             for point in data.points
-            for row in point.results
+            for row in point.ok_results
             if row.link == link_name
         ]
         if not entries:

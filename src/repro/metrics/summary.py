@@ -9,8 +9,8 @@ self-inflicted delay.
 
 from __future__ import annotations
 
-from dataclasses import asdict, dataclass, field
-from typing import Dict, Iterable, List, Optional
+from dataclasses import asdict, dataclass, field, fields
+from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
@@ -54,6 +54,24 @@ class SchemeResult:
         data["throughput_kbps"] = self.throughput_kbps
         data["self_inflicted_delay_ms"] = self.self_inflicted_delay_ms
         return data
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "SchemeResult":
+        """Rebuild a result from :meth:`as_dict` output.
+
+        Derived keys (``throughput_kbps``, ``self_inflicted_delay_ms``) and
+        anything unknown are ignored; ``flows`` dicts are rehydrated into
+        :class:`~repro.metrics.flows.FlowMetrics`.
+        """
+        known = {f.name for f in fields(cls)}
+        payload = {k: v for k, v in data.items() if k in known}
+        flows = payload.get("flows")
+        if flows is not None:
+            payload["flows"] = [
+                flow if isinstance(flow, FlowMetrics) else FlowMetrics(**flow)
+                for flow in flows
+            ]
+        return cls(**payload)
 
 
 @dataclass

@@ -1,0 +1,27 @@
+"""Test-support utilities shipped with the package.
+
+Currently home to the deterministic fault-injection harness
+(:mod:`repro.testing.faults`) that the robustness test suite uses to
+exercise the experiment engine's recovery paths end-to-end.  Nothing in
+here runs unless explicitly armed (``REPRO_FAULT_SPEC``), so shipping it
+inside the package — where forked and spawned worker processes can reach
+it — costs the production path nothing.
+"""
+
+from repro.testing.faults import (
+    FAULT_SPEC_ENV,
+    FaultClause,
+    InjectedCorruptArtifact,
+    InjectedFault,
+    fire_faults,
+    parse_fault_spec,
+)
+
+__all__ = [
+    "FAULT_SPEC_ENV",
+    "FaultClause",
+    "InjectedCorruptArtifact",
+    "InjectedFault",
+    "fire_faults",
+    "parse_fault_spec",
+]

@@ -18,6 +18,7 @@ from pathlib import Path
 import pytest
 
 from repro.experiments.exports import (
+    ERROR_COLUMN,
     EXPORT_SCHEMA_VERSION,
     FLOW_COLUMNS,
     METRIC_COLUMNS,
@@ -47,6 +48,9 @@ GOLDEN_JSON = FIXTURES / "golden_grid_export.json"
 #: schema-v1 exports written before the per-flow columns existed
 GOLDEN_CSV_V1 = FIXTURES / "golden_grid_export_v1.csv"
 GOLDEN_JSON_V1 = FIXTURES / "golden_grid_export_v1.json"
+#: schema-v2 exports written before the error channel existed
+GOLDEN_CSV_V2 = FIXTURES / "golden_grid_export_v2.csv"
+GOLDEN_JSON_V2 = FIXTURES / "golden_grid_export_v2.json"
 
 #: the tiny grid frozen in the golden fixtures
 GOLDEN_SPEC = GridSpec(
@@ -130,7 +134,7 @@ def test_csv_column_order_is_documented_shape(grid_data):
     assert header[1:3] == ["loss", "scale"]
     assert header[3:5] == ["scheme", "link"]
     assert header[5 : 5 + len(METRIC_COLUMNS)] == METRIC_COLUMNS
-    assert header[5 + len(METRIC_COLUMNS) :] == FLOW_COLUMNS
+    assert header[5 + len(METRIC_COLUMNS) :] == [*FLOW_COLUMNS, ERROR_COLUMN]
 
 
 def test_aggregate_rows_leave_flow_columns_empty(grid_data):
@@ -139,6 +143,14 @@ def test_aggregate_rows_leave_flow_columns_empty(grid_data):
         assert row["flow_throughput_bps"] is None
         assert row["flow_delay_95_s"] is None
         assert row["throughput_bps"] is not None
+
+
+def test_success_rows_leave_error_column_empty(grid_data):
+    for row in parse_csv(export_csv(grid_data)):
+        assert row[ERROR_COLUMN] is None
+    payload = parse_json(export_json(grid_data))
+    for point in payload["points"]:
+        assert "errors" not in point  # all-green exports carry no error key
 
 
 # ------------------------------------------------- v1 backward compatibility
@@ -164,16 +176,36 @@ def test_v1_json_fixture_still_rebuilds_grid_data():
             assert "flows" not in result.as_dict()
 
 
-def test_v1_and_v2_goldens_carry_identical_metrics():
-    """The schema bump is additive: the measured numbers did not move."""
+def test_v2_csv_fixture_still_parses():
+    rows = parse_csv(GOLDEN_CSV_V2.read_text())
+    assert rows, "v2 fixture parsed to no rows"
+    for row in rows:
+        assert row["schema_version"] == 2
+        assert ERROR_COLUMN not in row  # v2 had no error column
+        assert row["flow_id"] is None  # the golden grid has no per-flow rows
+
+
+def test_v2_json_fixture_still_rebuilds_grid_data():
+    payload = parse_json(GOLDEN_JSON_V2.read_text())
+    assert payload["schema_version"] == 2
+    rebuilt = grid_data_from_json(GOLDEN_JSON_V2.read_text())
+    assert rebuilt.spec.parameters == ("loss", "scale")
+    for point in rebuilt.points:
+        assert point.errors == []  # v2 exports carry no failures
+
+
+def test_v1_v2_v3_goldens_carry_identical_metrics():
+    """The schema bumps are additive: the measured numbers did not move."""
     v1 = parse_csv(GOLDEN_CSV_V1.read_text())
-    v2 = [row for row in parse_csv(GOLDEN_CSV.read_text()) if row["flow_id"] is None]
-    assert len(v1) == len(v2)
-    ignored = {"schema_version", *FLOW_COLUMNS}
-    for old, new in zip(v1, v2):
-        assert {k: v for k, v in old.items() if k not in ignored} == {
-            k: v for k, v in new.items() if k not in ignored
-        }
+    v2 = [
+        row for row in parse_csv(GOLDEN_CSV_V2.read_text()) if row["flow_id"] is None
+    ]
+    v3 = [row for row in parse_csv(GOLDEN_CSV.read_text()) if row["flow_id"] is None]
+    assert len(v1) == len(v2) == len(v3)
+    ignored = {"schema_version", *FLOW_COLUMNS, ERROR_COLUMN}
+    for old, mid, new in zip(v1, v2, v3):
+        stripped = lambda row: {k: v for k, v in row.items() if k not in ignored}
+        assert stripped(old) == stripped(mid) == stripped(new)
 
 
 def test_sweep_data_exports_as_one_axis_grid():
