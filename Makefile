@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-fast smoke test-fault cov bench docs-check
+.PHONY: test test-fast smoke test-fault cov bench bench-batched docs-check
 
 ## full suite, including perf benchmarks (the tier-1 gate)
 test:
@@ -29,6 +29,10 @@ cov:
 ## performance benchmarks, refreshing BENCH_PERF.json
 bench:
 	$(PYTHON) -m pytest benchmarks/test_bench_perf.py -q -s
+
+## batched cross-cell engine benchmark only (the BENCH_PERF.json `batched` section)
+bench-batched:
+	$(PYTHON) -m pytest benchmarks/test_bench_perf.py::test_bench_batched_cells_per_sec -q -s
 
 ## docs gate: validate markdown cross-links, smoke-run examples/*.py
 docs-check:

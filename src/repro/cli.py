@@ -185,8 +185,10 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # scheme, ...) and bad policy knobs are user errors, not tracebacks.
         print(f"sweep error: {error}", file=sys.stderr)
         return 2
-    with shared_pool(args.jobs):
-        data = run_grid(spec, config=config, jobs=args.jobs)
+    # The batched backend runs in-process; don't stand up a worker pool
+    # that would never receive a cell.
+    with shared_pool(args.jobs if args.backend == "processes" else None):
+        data = run_grid(spec, config=config, jobs=args.jobs, backend=args.backend)
     print(render_grid(data))
     if len(spec.parameters) > 1 or args.per_flow:
         print(render_grid_frontiers(data))
@@ -344,6 +346,15 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="journal completed cells to PATH (JSONL) and, when re-run with "
         "the same PATH, skip cells already completed there",
+    )
+    sweep_parser.add_argument(
+        "--backend",
+        choices=["processes", "batched"],
+        default="processes",
+        help="cell execution engine: worker processes (default) or the "
+        "in-process batched cross-cell engine, which vectorizes the Sprout "
+        "forecaster across cells (bit-identical results; "
+        "docs/performance.md)",
     )
     _add_run_options(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)

@@ -96,8 +96,66 @@ class BayesianForecaster(Forecaster):
         # ticks (e.g. feedback retransmits) cost one quantile extraction.
         self._belief_dirty = True
         self._cached_forecast_bytes: Optional[np.ndarray] = None
+        # Batched-engine hook (install_step): a pre-computed result for the
+        # *next* tick, plus hit/fallback counters for observability.
+        self._installed: Optional[tuple] = None
+        self.batched_steps = 0
+        self.batched_fallbacks = 0
+
+    def install_step(
+        self,
+        observed_bytes: Optional[float],
+        at_least: bool,
+        belief: np.ndarray,
+        forecast_bytes: Optional[np.ndarray] = None,
+    ) -> None:
+        """Pre-load the result of the next :meth:`tick` call.
+
+        The batched cross-cell engine (``repro.experiments.batched``)
+        computes many cells' belief updates — and optionally their
+        forecasts — in one vectorized kernel, then installs each cell's row
+        here.  The installed step only applies if the next ``tick()`` call
+        arrives with exactly the predicted observation; any mismatch falls
+        back to the ordinary per-cell computation, so a driver mis-prediction
+        can cost speed but never correctness.  ``belief`` (and
+        ``forecast_bytes`` if given) are kept by reference — row views of a
+        batch matrix are fine, as long as the caller never mutates them
+        afterwards; the forecaster itself only reads them (``forecast()``
+        hands out copies).
+        """
+        self._installed = (observed_bytes, at_least, belief, forecast_bytes)
+
+    def _consume_installed(
+        self, observed_bytes: Optional[float], at_least: bool
+    ) -> bool:
+        installed = self._installed
+        if installed is None:
+            return False
+        self._installed = None
+        expected_bytes, expected_at_least, belief, forecast_bytes = installed
+        matches = (
+            expected_bytes == observed_bytes
+            if expected_bytes is not None and observed_bytes is not None
+            else expected_bytes is None and observed_bytes is None
+        )
+        if not matches or bool(expected_at_least) != bool(at_least):
+            self.batched_fallbacks += 1
+            return False
+        self.belief = belief
+        if forecast_bytes is not None:
+            self._cached_forecast_bytes = forecast_bytes
+            self._belief_dirty = False
+        else:
+            self._belief_dirty = True
+        self.batched_steps += 1
+        return True
 
     def tick(self, observed_bytes: Optional[float], at_least: bool = False) -> None:
+        if self._consume_installed(observed_bytes, at_least):
+            if observed_bytes is not None:
+                self.observations += 1
+            self.ticks_processed += 1
+            return
         if observed_bytes is None:
             self.belief = self.model.evolve(self.belief)
         else:

@@ -53,7 +53,7 @@ from collections import OrderedDict
 from contextlib import contextmanager
 from dataclasses import dataclass
 from functools import lru_cache
-from typing import Dict, Iterator, Optional
+from typing import Dict, Iterator, Optional, Sequence
 
 import numpy as np
 from scipy.special import gammainc, gammaln
@@ -713,6 +713,110 @@ class RateModel:
     def expected_rate(self, belief: np.ndarray) -> float:
         """Posterior-mean link rate in packets per second."""
         return float(np.dot(belief, self.rates))
+
+    # ------------------------------------------------- batched entry points
+    #
+    # The cross-cell engine (repro.experiments.batched, docs/performance.md
+    # "Layer 4") steps many independent cells that share this model on one
+    # tick lattice.  These kernels compute every cell's tick in a handful of
+    # numpy calls while staying *bitwise identical* to the per-cell methods
+    # above.  The identity rests on three facts, each pinned by the test
+    # suite:
+    #
+    # * a stacked ``np.matmul`` whose batch entries are single gemv products
+    #   (``(n, 1, bins) @ (bins, m)`` or a broadcast ``(w, bins) @
+    #   (n, bins, 1)``) runs the same BLAS gemv per entry as the per-cell
+    #   call, so each row is the identical reduction — unlike a plain 2-D
+    #   gemm, which blocks across rows and rounds differently;
+    # * elementwise ops (multiply, divide, astype, compare) are rounded per
+    #   element, so batching rows cannot change any value;
+    # * ``searchsorted(row, key, side="left")`` on a non-decreasing row
+    #   equals ``(row < key).sum()``, and the mixture rows are non-decreasing
+    #   even in float arithmetic (non-negative weights times non-decreasing
+    #   CDF columns, combined by monotone float adds).
+
+    def batched_tick(
+        self,
+        beliefs: np.ndarray,
+        packets_observed: Sequence[Optional[float]],
+        censored: Sequence[bool],
+    ) -> np.ndarray:
+        """Advance many beliefs one tick each, in one batch.
+
+        Args:
+            beliefs: ``(n, num_bins)`` stack of belief rows.
+            packets_observed: per row, the tick's observation in packets —
+                or ``None`` to skip the observation (evolve only), exactly
+                like :meth:`evolve` vs :meth:`update`.
+            censored: per row, whether the observation is only a lower bound.
+
+        Returns:
+            ``(n, num_bins)`` array whose row ``i`` is bitwise identical to
+            ``self.update(beliefs[i], packets_observed[i], censored[i])``
+            (or ``self.evolve(beliefs[i])`` for a ``None`` observation).
+        """
+        n = beliefs.shape[0]
+        evolved = np.matmul(beliefs[:, None, :], self.transition)[:, 0, :]
+        observing = [i for i in range(n) if packets_observed[i] is not None]
+        if not observing:
+            return evolved
+        likelihoods = np.stack(
+            [
+                self._likelihood(packets_observed[i], censored=bool(censored[i]))
+                for i in observing
+            ]
+        )
+        sel = np.asarray(observing)
+        posterior = evolved[sel] * likelihoods
+        totals = posterior.sum(axis=1)
+        good = (totals > 0.0) & np.isfinite(totals)
+        posterior[good] /= totals[good, None]
+        # Annihilated rows fall back to the evolved prior, as update() does.
+        out = evolved
+        out[sel[good]] = posterior[good]
+        return out
+
+    def batched_cumulative_quantile(
+        self, beliefs: np.ndarray, percentiles: Sequence[float]
+    ) -> np.ndarray:
+        """Full-horizon :meth:`cumulative_quantile` for many beliefs at once.
+
+        Row ``i`` of the result is bitwise identical to
+        ``self.cumulative_quantile(beliefs[i], percentiles[i])``.  The
+        coarse bracketing runs as one stacked gemv per cell; the bracketed
+        window mixtures are bucketed by ``(horizon, bracket)`` — cells whose
+        crossing lands in the same window share one stacked gemv against the
+        identical CDF block, so the per-round call count is bounded by the
+        number of coarse brackets, not by the number of cells.
+        """
+        n = beliefs.shape[0]
+        ticks = self.params.forecast_ticks
+        stride = self._quantile_stride
+        for percentile in percentiles:
+            self._validate_quantile_args(float(percentile), None)
+        b32 = beliefs.astype(np.float32, copy=False)
+        keys = np.array([np.float32(p) for p in percentiles], dtype=np.float32)
+        coarse = np.matmul(b32[:, None, :], self._cdf_coarse)[:, 0, :].reshape(
+            n, ticks, self._coarse_cols
+        )
+        brackets = (coarse < keys[:, None, None]).sum(axis=2)
+        lo = np.maximum(0, (brackets - 1) * stride + 1)
+        # Window mixtures, padded to the stride with +inf so the vectorized
+        # "count below key" never sees a pad (every real CDF value is finite).
+        windows = np.full((n, ticks, stride), np.inf, dtype=np.float32)
+        for j in range(ticks):
+            for k in np.unique(brackets[:, j]):
+                sel = np.flatnonzero(brackets[:, j] == k)
+                k = int(k)
+                l = max(0, (k - 1) * stride + 1)
+                h = min(k * stride, self._max_count) if k > 0 else 0
+                block = self._cdf_cols[j, l : h + 1]
+                mixed = np.matmul(block, b32[sel][:, :, None])
+                windows[sel, j, : h - l + 1] = mixed[:, :, 0]
+        forecast = (lo + (windows < keys[:, None, None]).sum(axis=2)).astype(float)
+        np.minimum(forecast, self._max_count, out=forecast)
+        np.maximum.accumulate(forecast, axis=1, out=forecast)
+        return forecast
 
 
 # ----------------------------------------------------- shared-model memoiser

@@ -114,31 +114,45 @@ class SproutReceiver(Protocol):
 
     # ----------------------------------------------------------------- tick
 
-    def on_tick(self, now: float) -> None:
+    def peek_observation(self, now: float) -> Tuple[Optional[float], bool]:
+        """The ``(observed_bytes, at_least)`` the next tick will feed the forecaster.
+
+        Pure read of the tick-decision rules — nothing is consumed, so the
+        batched cross-cell engine can pre-read every paused cell's pending
+        observation, compute the belief updates in one kernel, and install
+        the results before the tick events fire.  :meth:`on_tick` routes
+        through the same decision, keeping the two in lockstep by
+        construction.
+        """
         observed = self._bytes_this_tick
         heartbeat_bytes = self._heartbeat_bytes_this_tick
-        self._bytes_this_tick = 0
-        self._heartbeat_bytes_this_tick = 0
-
         if observed > 0:
             # If the newest arrival announced a pause (nonzero time-to-next),
             # the queue ran dry because the sender stopped, so this tick's
             # count is only a lower bound on what the link could deliver.
-            sender_limited = self._last_time_to_next > 0.0
-            self.forecaster.tick(float(observed + heartbeat_bytes), at_least=sender_limited)
-        elif heartbeat_bytes > 0:
+            return float(observed + heartbeat_bytes), self._last_time_to_next > 0.0
+        if heartbeat_bytes > 0:
             # Only a heartbeat arrived: the sender is idle or window-limited,
             # so this says nothing about how fast a backlog would drain — but
             # it does prove the link is not in an outage ("even one tiny
             # packet does much to dispel this ambiguity", Section 3.2).
             # Treat it as a lower-bound observation.
-            self.forecaster.tick(float(heartbeat_bytes), at_least=True)
-        elif now < self._expect_next_by + self.observation_grace:
+            return float(heartbeat_bytes), True
+        if now < self._expect_next_by + self.observation_grace:
             # The sender told us not to expect anything yet: an empty tick is
             # indistinguishable from an empty queue, so skip the observation.
-            self.forecaster.tick(None)
-        else:
-            self.forecaster.tick(0.0)
+            return None, False
+        return 0.0, False
+
+    def will_send_feedback(self) -> bool:
+        """Whether the next tick ends a feedback interval (and needs a forecast)."""
+        return self._ticks_since_feedback + 1 >= self.feedback_interval_ticks
+
+    def on_tick(self, now: float) -> None:
+        observed_bytes, at_least = self.peek_observation(now)
+        self._bytes_this_tick = 0
+        self._heartbeat_bytes_this_tick = 0
+        self.forecaster.tick(observed_bytes, at_least=at_least)
 
         if self.record_history:
             self.rate_history.append(

@@ -108,7 +108,7 @@ class SproutSender(Protocol):
         self._send_history: Deque[Tuple[float, int]] = deque()
 
         # Forecast state.
-        self._forecast: Optional[np.ndarray] = None
+        self._forecast: Optional[Tuple[float, ...]] = None
         self._forecast_base_time = 0.0
         self._forecast_time = -1.0
         self._ticks_drained = 0
@@ -132,7 +132,10 @@ class SproutSender(Protocol):
         if feedback.forecast_time <= self._forecast_time:
             return  # stale or duplicate forecast
         self._forecast_time = feedback.forecast_time
-        self._forecast = np.asarray(feedback.forecast_bytes, dtype=float)
+        # Kept as a tuple of Python floats: the window math only ever
+        # indexes single entries, and scalar indexing into an ndarray costs
+        # ~10x a tuple access on this per-tick path.  Values are unchanged.
+        self._forecast = tuple(float(v) for v in feedback.forecast_bytes)
         self._forecast_base_time = now
         self._ticks_drained = 0
         self._queue_estimate = max(0.0, float(self.bytes_sent - feedback.received_or_lost_bytes))

@@ -19,7 +19,9 @@ column-by-column / key-by-key in ``docs/scenarios.md``:
   ``collect``/``retry`` error policies (docs/robustness.md) — exports one
   row with every metric empty and ``error`` holding
   ``"ErrorType: message"``.  Floats are written with ``repr`` (shortest
-  round-trip form), so parsing the CSV back recovers bit-identical values.
+  round-trip form), so parsing the CSV back recovers bit-identical values —
+  including non-finite ones, which ``repr`` writes as ``nan`` / ``inf`` /
+  ``-inf`` and ``float()`` reads straight back.
 * **JSON** (:func:`export_json`) — the full grid structure: spec
   (parameters, per-axis values, schemes, links), then one entry per grid
   point with its coordinates (keyed by axis name), the complete
@@ -81,6 +83,8 @@ FLOW_COLUMNS: List[str] = [
 ERROR_COLUMN = "error"
 
 GridLike = Union[GridData, SweepData]
+
+_INF = float("inf")
 
 
 def as_grid_data(data: GridLike) -> GridData:
@@ -160,16 +164,26 @@ def export_csv(data: GridLike) -> str:
 
 
 def _jsonable(value: object) -> object:
-    """``value`` with every nan float replaced by ``None``.
+    """``value`` with every non-finite float replaced by a JSON-safe stand-in.
 
-    ``json.dumps`` would otherwise emit the bare token ``NaN`` — accepted by
-    Python's own parser but invalid RFC 8259, so jq / JavaScript / pandas
-    reject the whole file.  nan is reachable (a flow with no delay-signal
-    segments inside the window); it exports as ``null`` and parses back to
-    nan (:func:`_result_from_dict`).
+    ``json.dumps`` would otherwise emit the bare tokens ``NaN`` /
+    ``Infinity`` — accepted by Python's own parser but invalid RFC 8259, so
+    jq / JavaScript / pandas reject the whole file (and with
+    ``allow_nan=False`` the dump itself raises).  Both are reachable: nan
+    from a flow with no delay-signal segments inside the window, inf from
+    failed-cell-adjacent ratio metrics.  nan exports as ``null`` (the v3
+    convention, kept for fixture compatibility) and infinities as the
+    strings ``"Infinity"`` / ``"-Infinity"``; all three parse back to the
+    original float (:func:`_result_from_dict`).
     """
-    if isinstance(value, float) and value != value:
-        return None
+    if isinstance(value, float):
+        if value != value:
+            return None
+        if value == _INF:
+            return "Infinity"
+        if value == -_INF:
+            return "-Infinity"
+        return value
     if isinstance(value, dict):
         return {key: _jsonable(item) for key, item in value.items()}
     if isinstance(value, list):
@@ -179,7 +193,8 @@ def _jsonable(value: object) -> object:
 
 def export_json(data: GridLike) -> str:
     """Serialise a grid/sweep as structured JSON (exact floats via repr;
-    nan values as ``null`` so the output stays strict RFC 8259)."""
+    nan as ``null`` and infinities as ``"Infinity"`` / ``"-Infinity"``
+    strings so the output stays strict RFC 8259)."""
     grid = as_grid_data(data)
     spec = grid.spec
     payload = {
@@ -310,22 +325,35 @@ _FLOW_FLOAT_FIELDS = {
 }
 
 
-def _nan_floats(data: Dict[str, object], float_fields) -> Dict[str, object]:
-    """Restore ``null``-exported nan values on known float fields."""
-    return {
-        key: float("nan") if value is None and key in float_fields else value
-        for key, value in data.items()
-    }
+#: JSON stand-ins for non-finite floats (see :func:`_jsonable`); nan's
+#: stand-in is ``None``, handled separately because it doubles as "missing"
+_NONFINITE_TOKENS = {"Infinity": float("inf"), "-Infinity": float("-inf")}
+
+
+def _restore_floats(data: Dict[str, object], float_fields) -> Dict[str, object]:
+    """Undo :func:`_jsonable` on known float fields: ``null`` back to nan,
+    ``"Infinity"`` / ``"-Infinity"`` back to the infinities."""
+    restored = dict(data)
+    for key in float_fields:
+        value = restored.get(key, _MISSING)
+        if value is None:
+            restored[key] = float("nan")
+        elif isinstance(value, str) and value in _NONFINITE_TOKENS:
+            restored[key] = _NONFINITE_TOKENS[value]
+    return restored
+
+
+_MISSING = object()
 
 
 def _result_from_dict(row: Dict[str, object]) -> SchemeResult:
-    data = _nan_floats(
+    data = _restore_floats(
         {k: v for k, v in row.items() if k in _RESULT_FIELDS}, _RESULT_FLOAT_FIELDS
     )
     flows = data.get("flows")
     if flows is not None:
         data["flows"] = [
-            FlowMetrics(**_nan_floats(flow, _FLOW_FLOAT_FIELDS)) for flow in flows
+            FlowMetrics(**_restore_floats(flow, _FLOW_FLOAT_FIELDS)) for flow in flows
         ]
     return SchemeResult(**data)  # type: ignore[arg-type]
 

@@ -627,11 +627,16 @@ def _resolve_policy(
     return ErrorPolicy()
 
 
+#: the cell-execution backends ``run_cells`` accepts
+BACKENDS = ("processes", "batched")
+
+
 def run_cells(
     cells: Sequence[Cell],
     progress: Optional[ProgressCallback] = None,
     jobs: Optional[int] = None,
     policy: Optional[ErrorPolicy] = None,
+    backend: str = "processes",
 ) -> List[CellOutcome]:
     """Run explicit ``(scheme, link, config)`` cells, preserving their order.
 
@@ -652,9 +657,24 @@ def run_cells(
     position (``docs/robustness.md``); every index is always filled —
     a hole raises :class:`~repro.experiments.policy.IncompleteBatchError`
     rather than silently shrinking the list.
+
+    ``backend``: ``"processes"`` (the default) fans out over worker
+    processes as described above; ``"batched"`` runs eligible Sprout cells
+    through the in-process batched cross-cell engine
+    (:mod:`repro.experiments.batched`, docs/performance.md "Layer 4"),
+    which steps many cells' event loops in lockstep and vectorizes the
+    forecaster math across them — bit-identical results, no worker pool.
+    Ineligible cells (scenarios, Sprout-EWMA, CoDel, ad-hoc endpoints)
+    fall back to the per-cell loop.  A ``cell_timeout`` needs preemptable
+    workers, so such batches route to the pooled fault-tolerant engine
+    regardless of ``backend``.
     """
     if jobs is not None and jobs < 0:
         raise ValueError(f"jobs must be non-negative, got {jobs}")
+    if backend not in BACKENDS:
+        raise ValueError(
+            f"backend must be one of {', '.join(BACKENDS)}; got {backend!r}"
+        )
     if jobs == 0:
         jobs = default_jobs()
     cell_list = list(cells)
@@ -684,7 +704,12 @@ def run_cells(
     pending = [index for index, slot in enumerate(results) if slot is None]
     try:
         if pending:
-            _dispatch(cell_list, pending, active_policy, record, jobs)
+            if backend == "batched" and active_policy.cell_timeout is None:
+                from repro.experiments.batched import run_indices_batched
+
+                run_indices_batched(cell_list, pending, active_policy, record)
+            else:
+                _dispatch(cell_list, pending, active_policy, record, jobs)
     finally:
         if journal is not None:
             journal.close()

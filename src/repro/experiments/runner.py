@@ -10,7 +10,7 @@ from repro.cellsim.cellsim import Cellsim, build_cellsim, cellsim_for_link, trac
 from repro.experiments.policy import ErrorPolicy
 from repro.experiments.registry import SchemeSpec, get_scheme
 from repro.metrics.delay import arrivals_from_log, end_to_end_delay_95, self_inflicted_delay
-from repro.metrics.flows import flow_metrics_from_logs
+from repro.metrics.flows import attach_uplink_deliveries, flow_metrics_from_logs
 from repro.metrics.summary import SchemeResult
 from repro.metrics.throughput import average_throughput_bps, link_capacity_bps, utilization
 from repro.traces.networks import DEFAULT_TRACE_DURATION, LinkSpec, get_link
@@ -85,6 +85,7 @@ def collect_metrics(
     scheme_name: str,
     link_name: str,
     config: RunConfig,
+    baseline_cache: Optional[dict] = None,
 ) -> SchemeResult:
     """Compute the paper's metrics from a finished emulation.
 
@@ -92,22 +93,40 @@ def collect_metrics(
     (:class:`~repro.simulation.mux.MultiplexProtocol`, whose log the tunnel
     egress also feeds), the result additionally carries one
     :class:`~repro.metrics.flows.FlowMetrics` per client flow.
+
+    ``baseline_cache`` (used by the batched cross-cell engine) memoizes the
+    trace-only baselines — link capacity and the omniscient delay bound —
+    across cells sharing a delivery trace and measurement window.  Both are
+    deterministic pure functions of the trace, so the memo returns the
+    identical values; the cache entry pins the trace object it was keyed
+    on, so an ``id`` can never be recycled within one batch.
     """
     start = config.warmup
     end = config.duration
 
     received_log = sim.receiver_host.received_log
     throughput = average_throughput_bps(received_log, start, end)
-    capacity = link_capacity_bps(sim.forward_trace, start, end)
 
     arrivals = arrivals_from_log(received_log)
     delay_95 = end_to_end_delay_95(arrivals, start, end)
-    base_delay = omniscient_delay(
-        sim.forward_trace,
-        propagation_delay=sim.path.config.propagation_delay,
-        start_time=start,
-        end_time=end,
-    )
+
+    propagation = sim.path.config.propagation_delay
+    cached = None
+    if baseline_cache is not None:
+        key = (id(sim.forward_trace), propagation, start, end)
+        cached = baseline_cache.get(key)
+    if cached is None:
+        capacity = link_capacity_bps(sim.forward_trace, start, end)
+        base_delay = omniscient_delay(
+            sim.forward_trace,
+            propagation_delay=propagation,
+            start_time=start,
+            end_time=end,
+        )
+        if baseline_cache is not None:
+            baseline_cache[key] = (sim.forward_trace, capacity, base_delay)
+    else:
+        _, capacity, base_delay = cached
     inflicted = self_inflicted_delay(delay_95, base_delay)
 
     flows = None
@@ -115,6 +134,14 @@ def collect_metrics(
         flow_logs = getattr(sim.receiver_host.protocol, "received_by_flow", None)
         if flow_logs is not None:
             flows = flow_metrics_from_logs(flow_logs, start, end) or None
+        if flows is not None:
+            # Downlink-first contract (repro.metrics.flows): the measured
+            # numbers come from the receiver side; when the sender side is
+            # also a mux, its log has already seen the feedback direction,
+            # so tally those deliveries into the diagnostic uplink counters.
+            uplink_logs = getattr(sim.sender_host.protocol, "received_by_flow", None)
+            if uplink_logs is not None:
+                attach_uplink_deliveries(flows, uplink_logs, start, end)
 
     return SchemeResult(
         scheme=scheme_name,

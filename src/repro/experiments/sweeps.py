@@ -503,6 +503,7 @@ def run_grid(
     progress: Optional[ProgressCallback] = None,
     jobs: Optional[int] = None,
     policy: Optional[ErrorPolicy] = None,
+    backend: str = "processes",
 ) -> GridData:
     """Run one grid through the (shared-pool-aware) cell runner.
 
@@ -514,10 +515,18 @@ def run_grid(
     else fail-fast — docs/robustness.md) governs failure handling; under
     ``collect``/``retry`` each failed cell surfaces as a
     :class:`~repro.experiments.policy.CellError` in its point's results.
+
+    ``backend="batched"`` runs the grid's Sprout cells through the batched
+    cross-cell engine instead of a worker pool (docs/performance.md
+    "Layer 4"); results are bit-identical either way.
     """
     cells = expand_grid(spec, config)
     results = run_cells(
-        cells, progress=progress, jobs=jobs, policy=policy or spec.policy
+        cells,
+        progress=progress,
+        jobs=jobs,
+        policy=policy or spec.policy,
+        backend=backend,
     )
     chunk = spec.cells_per_point
     points = [
@@ -636,10 +645,16 @@ def run_sweep(
     progress: Optional[ProgressCallback] = None,
     jobs: Optional[int] = None,
     policy: Optional[ErrorPolicy] = None,
+    backend: str = "processes",
 ) -> SweepData:
     """Run one parameter sweep (a one-axis grid) through the cell runner."""
     grid = run_grid(
-        spec.to_grid(), config=config, progress=progress, jobs=jobs, policy=policy
+        spec.to_grid(),
+        config=config,
+        progress=progress,
+        jobs=jobs,
+        policy=policy,
+        backend=backend,
     )
     points = [
         SweepPoint(parameter=spec.parameter, value=point.coordinates[0], results=point.results)

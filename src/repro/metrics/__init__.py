@@ -8,8 +8,10 @@ from repro.metrics.delay import (
     self_inflicted_delay,
 )
 from repro.metrics.flows import (
+    EXPORTED_FLOW_FIELDS,
     FlowAccumulator,
     FlowMetrics,
+    attach_uplink_deliveries,
     flow_metrics_from_arrivals,
     flow_metrics_from_logs,
 )
@@ -33,8 +35,10 @@ __all__ = [
     "end_to_end_delay_95",
     "percentile_of_delay_signal",
     "self_inflicted_delay",
+    "EXPORTED_FLOW_FIELDS",
     "FlowAccumulator",
     "FlowMetrics",
+    "attach_uplink_deliveries",
     "flow_metrics_from_arrivals",
     "flow_metrics_from_logs",
     "RelativeComparison",

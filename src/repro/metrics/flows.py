@@ -14,6 +14,17 @@ measurement window; :func:`flow_metrics_from_logs` is the one-shot helper
 the experiment runner uses.  Delay uses the same instantaneous-delay-signal
 percentile as the aggregate metrics (:mod:`repro.metrics.delay`), so a
 flow's tail delay is directly comparable with the scheme-level numbers.
+
+The accounting contract is **downlink-first**: throughput, the delay tail,
+and ``packets``/``bytes`` describe the client-facing (receiver-side)
+direction only, which is the direction the Section 5.7 comparison is
+about.  The feedback direction (TCP ACKs, receiver reports, Sprout
+forecasts) is *not* mixed into those numbers — but where a sender-side mux
+log already sees its deliveries, they are counted into the diagnostic
+``uplink_packets`` / ``uplink_bytes`` fields by
+:func:`attach_uplink_deliveries`.  Flows seen only on the uplink gain no
+entry of their own, and the uplink counters stay out of the export schema
+(:mod:`repro.experiments.exports` serialises the downlink fields only).
 """
 
 from __future__ import annotations
@@ -28,15 +39,36 @@ from repro.simulation.packet import Packet
 FlowLog = Sequence[Tuple[float, Packet]]
 
 
+#: the FlowMetrics fields that enter :meth:`SchemeResult.as_dict` and the
+#: export schema — the downlink (client-facing) view only, by contract
+EXPORTED_FLOW_FIELDS: Tuple[str, ...] = (
+    "throughput_bps",
+    "delay_95_s",
+    "flow",
+    "packets",
+    "bytes",
+)
+
+
 @dataclass
 class FlowMetrics:
-    """Metrics of one client flow over a measurement window."""
+    """Metrics of one client flow over a measurement window.
+
+    The measured fields (throughput, delay tail, ``packets``/``bytes``)
+    cover the downlink direction only.  ``uplink_packets`` /
+    ``uplink_bytes`` count the flow's feedback-direction deliveries when a
+    sender-side mux log recorded them (:func:`attach_uplink_deliveries`);
+    they are diagnostic and excluded from serialisation
+    (:data:`EXPORTED_FLOW_FIELDS`).
+    """
 
     throughput_bps: float
     delay_95_s: float
     flow: str = ""
     packets: int = 0
     bytes: int = 0
+    uplink_packets: int = 0
+    uplink_bytes: int = 0
 
     @property
     def throughput_kbps(self) -> float:
@@ -114,3 +146,31 @@ def flow_metrics_from_logs(
     accumulator = FlowAccumulator()
     accumulator.extend(logs)
     return accumulator.metrics(start_time, end_time)
+
+
+def attach_uplink_deliveries(
+    flows: Sequence[FlowMetrics],
+    logs: Mapping[str, Iterable[Tuple[float, Packet]]],
+    start_time: float,
+    end_time: float,
+) -> None:
+    """Count feedback-direction deliveries into already-measured flows.
+
+    ``logs`` is the *sender-side* mux's ``received_by_flow``: every packet
+    it saw arrive travelled the uplink/feedback direction (ACKs, receiver
+    reports, Sprout forecasts).  For each flow that already has a downlink
+    :class:`FlowMetrics` entry, the deliveries inside ``[start_time,
+    end_time]`` are tallied into ``uplink_packets`` / ``uplink_bytes`` —
+    in place, never touching the downlink numbers.  Flows appearing only
+    in ``logs`` are ignored: the downlink-first contract (module
+    docstring) is that the uplink annotates measured flows, it does not
+    create them.
+    """
+    by_name = {metrics.flow: metrics for metrics in flows}
+    for flow, entries in logs.items():
+        metrics = by_name.get(flow)
+        if metrics is None:
+            continue
+        in_window = [p for t, p in entries if start_time <= t <= end_time]
+        metrics.uplink_packets += len(in_window)
+        metrics.uplink_bytes += sum(p.size for p in in_window)

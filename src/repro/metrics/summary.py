@@ -14,7 +14,7 @@ from typing import Any, Dict, Iterable, List, Optional
 
 import numpy as np
 
-from repro.metrics.flows import FlowMetrics
+from repro.metrics.flows import EXPORTED_FLOW_FIELDS, FlowMetrics
 
 
 @dataclass
@@ -51,6 +51,15 @@ class SchemeResult:
         data = asdict(self)
         if self.flows is None:
             del data["flows"]
+        else:
+            # Flow dicts carry the downlink fields only: the diagnostic
+            # uplink counters stay out of the (v3) export schema, so the
+            # serialised shape is stable whether or not a sender-side mux
+            # log was available to count the feedback direction.
+            data["flows"] = [
+                {key: flow[key] for key in EXPORTED_FLOW_FIELDS}
+                for flow in data["flows"]
+            ]
         data["throughput_kbps"] = self.throughput_kbps
         data["self_inflicted_delay_ms"] = self.self_inflicted_delay_ms
         return data

@@ -37,7 +37,11 @@ class _Batch:
         self.events = events
 
     def __lt__(self, other: "_Batch") -> bool:
-        return (self.time, self.order) < (other.time, other.order)
+        # Equivalent to comparing (time, order) tuples, without building
+        # them: this comparison runs once per heap sift on the hot path.
+        if self.time != other.time:
+            return self.time < other.time
+        return self.order < other.order
 
 
 class EventLoop:
@@ -86,20 +90,26 @@ class EventLoop:
 
         Scheduling in the past raises ``ValueError`` — a component asking for
         that has a logic error that would otherwise silently corrupt timing.
+        Scheduling at exactly the current instant is allowed and the event
+        always fires: if the bucket for this instant is mid-drain (or was
+        already drained), the event lands in a fresh batch that the loop has
+        not popped yet, never in a dead one (``_close`` evicts a bucket from
+        ``_open`` the moment it is popped).
         """
-        if time < self.clock.now():
+        time = float(time)
+        if time < self.clock._now:
             raise ValueError(
                 f"cannot schedule event in the past: now={self.clock.now():.9f}, "
                 f"requested={time:.9f}"
             )
-        time = float(time)
-        event = Event(time=time, sequence=self._sequence, callback=callback, args=args)
+        event = Event(time, self._sequence, callback, args)
         self._sequence += 1
-        batch = self._open.get(time)
+        open_batches = self._open
+        batch = open_batches.get(time)
         if batch is None:
             batch = _Batch(time, self._batch_order, [event])
             self._batch_order += 1
-            self._open[time] = batch
+            open_batches[time] = batch
             heapq.heappush(self._heap, batch)
         else:
             batch.events.append(event)
@@ -110,7 +120,7 @@ class EventLoop:
         """Schedule ``callback(*args)`` to run ``delay`` seconds from now."""
         if delay < 0:
             raise ValueError(f"delay must be non-negative, got {delay}")
-        return self.schedule_at(self.clock.now() + delay, callback, *args)
+        return self.schedule_at(self.clock._now + delay, callback, *args)
 
     # --------------------------------------------------------------- running
 
@@ -138,48 +148,92 @@ class EventLoop:
         if batch.time not in self._open:
             self._open[batch.time] = rest
 
-    def _fire_batch(self, batch: _Batch, limit: Optional[int] = None) -> int:
-        """Fire a popped batch's events in FIFO order; return the count fired.
+    def _fire_batch(
+        self,
+        batch: _Batch,
+        limit: Optional[int] = None,
+        stop_before: Optional[Event] = None,
+    ) -> tuple:
+        """Fire a popped batch's events in FIFO order.
 
-        Stops after ``limit`` fired events, re-queueing the rest.  A callback
-        that raises also leaves the unfired tail queued (and ``pending_events``
-        exact), matching the unbatched loop where those events were never
-        popped — the caller may catch the error and keep running.
+        Returns ``(fired, stopped)``.  Stops after ``limit`` fired events, or
+        immediately *before* firing ``stop_before`` (identity comparison; a
+        cancelled target is skipped like any cancelled event), re-queueing the
+        rest either way.  A callback that raises also leaves the unfired tail
+        queued (and ``pending_events`` exact), matching the unbatched loop
+        where those events were never popped — the caller may catch the error
+        and keep running.
         """
+        events = batch.events
+        count = len(events)
         fired = 0
         index = 0
+        stopped = False
+        advanced = False
         try:
-            while index < len(batch.events):
+            while index < count:
                 if limit is not None and fired >= limit:
                     break
-                event = batch.events[index]
+                event = events[index]
+                # `event is stop_before` is never true for a None target,
+                # so the explicit None check is folded into the identity
+                # comparison on this per-event path.
+                if event is stop_before and not event.cancelled:
+                    stopped = True
+                    break
                 index += 1
-                self._pending -= 1
                 if event.cancelled:
                     continue
-                self.clock.advance_to(batch.time)
-                event.fire()
-                self._processed += 1
+                if not advanced:
+                    # One clock move covers the whole batch: every event in
+                    # it shares batch.time, and callbacks never move the
+                    # clock themselves.
+                    self.clock.advance_to(batch.time)
+                    advanced = True
+                event.callback(*event.args)
                 fired += 1
         finally:
-            self._requeue_tail(batch, index)
-        return fired
+            # Bookkeeping settles once per batch; on a raising callback the
+            # counts cover exactly the events popped so far, matching the
+            # unbatched loop where the tail was never popped.
+            self._pending -= index
+            self._processed += fired
+            if index < count:
+                self._requeue_tail(batch, index)
+        return fired, stopped
 
-    def run_until(self, end_time: float) -> None:
+    def run_until(self, end_time: float, stop_before: Optional[Event] = None) -> bool:
         """Run all events with ``time <= end_time`` and advance the clock.
 
         The clock finishes exactly at ``end_time`` even if the last event
         fires earlier, so periodic observers see a consistent end of run.
+
+        With ``stop_before`` set, the loop pauses exactly before firing that
+        event (leaving it and everything after it queued, the clock untouched)
+        and returns ``True``; every event ordered ahead of it has fired, so a
+        caller can inspect — or pre-compute work for — the paused instant and
+        resume with another ``run_until`` call.  Returns ``False`` when the
+        run reached ``end_time`` (the target was absent, cancelled, already
+        fired, or scheduled later than ``end_time``).
         """
-        if end_time < self.clock.now():
+        if end_time < self.clock._now:
             raise ValueError(
                 f"end_time {end_time:.9f} is before current time {self.clock.now():.9f}"
             )
-        while self._heap and self._heap[0].time <= end_time:
-            batch = heapq.heappop(self._heap)
-            self._close(batch)
-            self._fire_batch(batch)
+        heap = self._heap
+        open_batches = self._open
+        pop = heapq.heappop
+        fire = self._fire_batch
+        while heap and heap[0].time <= end_time:
+            batch = pop(heap)
+            # _close(), inlined on the hot path.
+            if open_batches.get(batch.time) is batch:
+                del open_batches[batch.time]
+            _, stopped = fire(batch, stop_before=stop_before)
+            if stopped:
+                return True
         self.clock.advance_to(end_time)
+        return False
 
     def run_all(self, max_events: Optional[int] = None) -> None:
         """Run until the queue is empty (or ``max_events`` events have fired)."""
@@ -190,4 +244,5 @@ class EventLoop:
             batch = heapq.heappop(self._heap)
             self._close(batch)
             remaining = None if max_events is None else max_events - fired
-            fired += self._fire_batch(batch, limit=remaining)
+            count, _ = self._fire_batch(batch, limit=remaining)
+            fired += count

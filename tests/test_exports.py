@@ -13,6 +13,8 @@ Three lines of defence, per docs/scenarios.md:
 
 from __future__ import annotations
 
+import json
+import math
 from pathlib import Path
 
 import pytest
@@ -36,11 +38,15 @@ from repro.experiments.exports import (
 from repro.experiments.runner import RunConfig, run_scheme_on_link
 from repro.experiments.sweeps import (
     SWEEP_PARAMETERS,
+    GridData,
+    GridPoint,
     GridSpec,
     SweepSpec,
     run_grid,
     run_sweep,
 )
+from repro.metrics.flows import FlowMetrics
+from repro.metrics.summary import SchemeResult
 
 FIXTURES = Path(__file__).parent / "fixtures"
 GOLDEN_CSV = FIXTURES / "golden_grid_export.csv"
@@ -221,6 +227,87 @@ def test_sweep_data_exports_as_one_axis_grid():
     assert rows[0]["scheme"] == "Vegas"
     # the sweep and its grid form serialise identically
     assert export_json(data) == export_json(grid)
+
+
+# ------------------------------------------------------- non-finite floats
+
+
+def _nonfinite_grid() -> GridData:
+    """A one-cell grid whose metrics are all three non-finite floats.
+
+    nan is reachable in practice (a flow with no delay-signal segments in
+    the window); the infinities appear in failed-cell-adjacent ratio
+    metrics.  Either way the export layer must carry them losslessly.
+    """
+    spec = GridSpec(
+        parameters=("loss",),
+        values=((0.0,),),
+        schemes=("Sprout",),
+        links=("AT&T LTE uplink",),
+    )
+    result = SchemeResult(
+        scheme="Sprout",
+        link="AT&T LTE uplink",
+        throughput_bps=float("inf"),
+        delay_95_s=float("nan"),
+        self_inflicted_delay_s=float("-inf"),
+        utilization=0.5,
+        capacity_bps=1e6,
+        omniscient_delay_95_s=0.1,
+        flows=[
+            FlowMetrics(
+                throughput_bps=float("inf"),
+                delay_95_s=float("nan"),
+                flow="client",
+                packets=3,
+                bytes=4200,
+            )
+        ],
+    )
+    point = GridPoint(parameters=("loss",), coordinates=(0.0,), results=[result])
+    return GridData(spec=spec, points=[point])
+
+
+def test_csv_round_trip_preserves_nonfinite_metrics():
+    text = export_csv(_nonfinite_grid())
+    aggregate, flow_row = parse_csv(text)
+    assert aggregate["throughput_bps"] == float("inf")
+    assert aggregate["throughput_kbps"] == float("inf")
+    assert math.isnan(aggregate["delay_95_s"])
+    assert aggregate["self_inflicted_delay_s"] == float("-inf")
+    assert aggregate["self_inflicted_delay_ms"] == float("-inf")
+    assert aggregate["utilization"] == 0.5
+    assert flow_row["flow_id"] == "client"
+    assert flow_row["flow_throughput_bps"] == float("inf")
+    assert math.isnan(flow_row["flow_delay_95_s"])
+
+
+def test_json_export_of_nonfinite_values_stays_strict_rfc8259():
+    """No bare NaN/Infinity tokens: jq / JavaScript must accept the file."""
+    text = export_json(_nonfinite_grid())
+
+    def reject(token):  # json only calls this on non-RFC tokens
+        raise AssertionError(f"export emitted bare token {token!r}")
+
+    payload = json.loads(text, parse_constant=reject)
+    exported = payload["points"][0]["results"][0]
+    assert exported["delay_95_s"] is None  # nan -> null, the v3 convention
+    assert exported["throughput_bps"] == "Infinity"
+    assert exported["self_inflicted_delay_s"] == "-Infinity"
+
+
+def test_json_round_trip_restores_nonfinite_metrics():
+    rebuilt = grid_data_from_json(export_json(_nonfinite_grid()))
+    (result,) = rebuilt.points[0].results
+    assert result.throughput_bps == float("inf")
+    assert math.isnan(result.delay_95_s)
+    assert result.self_inflicted_delay_s == float("-inf")
+    assert result.utilization == 0.5
+    (flow,) = result.flows
+    assert flow.flow == "client"
+    assert flow.packets == 3 and flow.bytes == 4200
+    assert flow.throughput_bps == float("inf")
+    assert math.isnan(flow.delay_95_s)
 
 
 # -------------------------------------------------------------- validation

@@ -21,8 +21,10 @@ from repro.experiments.competing import competing_scheme
 from repro.experiments.runner import RunConfig, run_scheme_on_link
 from repro.metrics.delay import percentile_of_delay_signal
 from repro.metrics.flows import (
+    EXPORTED_FLOW_FIELDS,
     FlowAccumulator,
     FlowMetrics,
+    attach_uplink_deliveries,
     flow_metrics_from_arrivals,
     flow_metrics_from_logs,
 )
@@ -109,6 +111,64 @@ class TestFlowAccumulator:
     def test_flows_with_no_observations_are_omitted(self):
         metrics = flow_metrics_from_logs({"quiet": []}, 0.0, 1.0)
         assert metrics == []
+
+
+# ------------------------------------------------- uplink/feedback direction
+
+
+class TestUplinkAccounting:
+    """The downlink-first contract (module docstring of repro.metrics.flows).
+
+    Throughput, the delay tail, and ``packets``/``bytes`` describe the
+    receiver-side (downlink) direction only; the feedback direction is
+    counted — where a sender-side mux log already sees it — into the
+    diagnostic ``uplink_packets`` / ``uplink_bytes``, and nowhere else.
+    """
+
+    def test_uplink_deliveries_annotate_without_touching_downlink(self):
+        metrics = FlowMetrics(
+            throughput_bps=8000.0, delay_95_s=0.1, flow="cubic", packets=2, bytes=2000
+        )
+        uplink_logs = {
+            "cubic": [
+                (0.5, _packet(40, 0.45)),   # before the window: ignored
+                (1.5, _packet(40, 1.45)),
+                (2.5, _packet(40, 2.45)),
+                (3.5, _packet(40, 3.45)),   # after the window: ignored
+            ]
+        }
+        attach_uplink_deliveries([metrics], uplink_logs, 1.0, 3.0)
+        assert metrics.uplink_packets == 2
+        assert metrics.uplink_bytes == 80
+        # The downlink numbers are untouched.
+        assert metrics.throughput_bps == 8000.0
+        assert metrics.packets == 2
+        assert metrics.bytes == 2000
+
+    def test_uplink_only_flows_gain_no_entry(self):
+        measured = [FlowMetrics(throughput_bps=1.0, delay_95_s=0.1, flow="skype")]
+        attach_uplink_deliveries(
+            measured, {"ack-only": [(1.0, _packet(40, 0.9))]}, 0.0, 2.0
+        )
+        assert [m.flow for m in measured] == ["skype"]
+        assert measured[0].uplink_packets == 0
+
+    def test_uplink_counters_stay_out_of_the_export_schema(self):
+        assert "uplink_packets" not in EXPORTED_FLOW_FIELDS
+        assert "uplink_bytes" not in EXPORTED_FLOW_FIELDS
+
+    def test_direct_scenario_counts_feedback_into_uplink_fields(self):
+        """End to end: Cubic's ACK stream arrives at the sender-side mux and
+        lands in the uplink counters — not in the flow's throughput."""
+        scheme = competing_scheme(2, False)
+        result = run_scheme_on_link(scheme, LINK, TINY)
+        cubic = next(m for m in result.flows if m.flow == "cubic-1")
+        assert cubic.uplink_packets > 0
+        assert cubic.uplink_bytes > 0
+        # Serialisation documents the downlink-only contract: the flow dict
+        # in as_dict() (and hence every export) has no uplink keys.
+        flow_dicts = result.as_dict()["flows"]
+        assert all(set(d) == set(EXPORTED_FLOW_FIELDS) for d in flow_dicts)
 
 
 # -------------------------------------------------------------- collection

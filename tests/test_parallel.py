@@ -87,3 +87,38 @@ def test_jobs_validation(tiny_config):
 
 def test_default_jobs_positive():
     assert default_jobs() >= 1
+
+
+def test_shared_pool_exit_shuts_down_rebuilt_pool():
+    """Kill→rebuild→context-exit leaves no orphaned worker processes.
+
+    The fault-tolerant scheduler may kill and replace the shared pool in
+    place mid-batch (``_PoolHost.rebuild``); the ``shared_pool()`` context
+    exit must then shut down the *current* swapped-in pool, not the dead
+    original it opened.
+    """
+    import time as _time
+
+    from repro.experiments.parallel import _PoolHost, active_pool, shared_pool
+
+    with shared_pool(2) as original:
+        assert active_pool() is original
+        host = _PoolHost(original, workers=2, shared=True)
+        host.rebuild()
+        replacement = host.pool
+        assert replacement is not original
+        # The swap is visible module-wide: later batches get the live pool.
+        assert active_pool() is replacement
+        # The replacement genuinely works.
+        assert replacement.submit(int, "7").result(timeout=60) == 7
+        workers = list(replacement._processes.values())
+        assert workers
+    # Context exit: no shared pool remains, the replacement is shut down
+    # (no new work accepted) and its workers are reaped, not orphaned.
+    assert active_pool() is None
+    with pytest.raises(RuntimeError):
+        replacement.submit(int, "8")
+    deadline = _time.time() + 30
+    for process in workers:
+        process.join(max(0.0, deadline - _time.time()))
+        assert not process.is_alive()
