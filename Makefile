@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-fast smoke test-fault cov bench bench-batched docs-check
+.PHONY: test test-fast smoke test-fault test-oracle cov bench bench-batched bench-analytic docs-check
 
 ## full suite, including perf benchmarks (the tier-1 gate)
 test:
@@ -22,6 +22,10 @@ smoke:
 test-fault:
 	$(PYTHON) -m pytest -q -m fault
 
+## standing differential-validation oracle only (docs/analytic.md)
+test-oracle:
+	$(PYTHON) -m pytest -q -m oracle
+
 ## coverage gate (requires the [cov] extra; skips cleanly without it)
 cov:
 	$(PYTHON) scripts/coverage_gate.py
@@ -33,6 +37,10 @@ bench:
 ## batched cross-cell engine benchmark only (the BENCH_PERF.json `batched` section)
 bench-batched:
 	$(PYTHON) -m pytest benchmarks/test_bench_perf.py::test_bench_batched_cells_per_sec -q -s
+
+## analytic screening benchmark only (the BENCH_PERF.json `analytic` section)
+bench-analytic:
+	$(PYTHON) -m pytest benchmarks/test_bench_perf.py::test_bench_analytic_screening_rate -q -s
 
 ## docs gate: validate markdown cross-links, smoke-run examples/*.py
 docs-check:

@@ -37,6 +37,7 @@ REQUIRED_MODULES = (
     os.path.join("simulation", "queues.py"),
     os.path.join("experiments", "policy.py"),
     os.path.join("experiments", "batched.py"),
+    os.path.join("experiments", "analytic.py"),
     os.path.join("testing", "faults.py"),
     "cache.py",
 )

@@ -21,6 +21,11 @@ from repro.simulation.packet import MTU_BYTES, Packet
 #: size of a pure acknowledgment packet (bytes)
 ACK_BYTES = 60
 
+#: data segments covered per acknowledgment: :class:`AckingReceiver` acks
+#: every segment (no delayed ACKs), which is the ``b = 1`` the analytic
+#: tier's PFTK/CSA formulas assume (:mod:`repro.experiments.analytic`)
+SEGMENTS_PER_ACK = 1
+
 HEADER_SEQ = "tcp_seq"
 HEADER_IS_RETRANSMIT = "tcp_retx"
 HEADER_ACK = "tcp_ack"

@@ -14,7 +14,19 @@ from repro.baselines.base import WindowedSender
 
 
 class RenoSender(WindowedSender):
-    """Classic AIMD: slow start to ``ssthresh``, then +1 MSS per RTT."""
+    """Classic AIMD: slow start to ``ssthresh``, then +1 MSS per RTT.
+
+    The AIMD constants are class attributes so the analytic tier
+    (:mod:`repro.experiments.analytic`) can assert its closed-form PFTK
+    model matches the implementation: ``ALPHA`` is the additive increase
+    per round trip in segments, ``BETA`` the multiplicative decrease on a
+    congestion event — the ``1/2`` baked into PFTK's ``sqrt(2bp/3)`` term.
+    """
+
+    #: additive increase per RTT, in segments
+    ALPHA = 1.0
+    #: multiplicative decrease factor on loss
+    BETA = 0.5
 
     def __init__(self, initial_cwnd: float = 3.0, **kwargs) -> None:
         super().__init__(initial_cwnd=initial_cwnd, **kwargs)
@@ -24,12 +36,12 @@ class RenoSender(WindowedSender):
             if self.cwnd < self.ssthresh:
                 self.cwnd += 1.0  # slow start: one segment per ACKed segment
             else:
-                self.cwnd += 1.0 / self.cwnd  # congestion avoidance
+                self.cwnd += self.ALPHA / self.cwnd  # congestion avoidance
 
     def on_loss(self, now: float) -> None:
-        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.ssthresh = max(2.0, self.cwnd * self.BETA)
         self.cwnd = self.ssthresh
 
     def on_timeout(self, now: float) -> None:
-        self.ssthresh = max(2.0, self.cwnd / 2.0)
+        self.ssthresh = max(2.0, self.cwnd * self.BETA)
         self.cwnd = 1.0

@@ -106,12 +106,19 @@ def traces_for_link(
 
     The data direction uses the link under test; feedback travels over the
     same network's other direction, as in the paper's testbed where both
-    directions of the device under test run through Cellsim.
+    directions of the device under test run through Cellsim.  A custom link
+    whose network is not in the registry (e.g. the analytic oracle's steady
+    test channel) uses an independent realisation of its own channel for
+    feedback instead.
     """
-    network = get_network(link.network)
-    other = network.uplink if link.direction == "downlink" else network.downlink
     data_trace = link_trace(link, duration)
-    feedback_trace = link_trace(other, duration)
+    try:
+        network = get_network(link.network)
+    except KeyError:
+        feedback_trace = link_trace(link, duration, seed_offset=1)
+    else:
+        other = network.uplink if link.direction == "downlink" else network.downlink
+        feedback_trace = link_trace(other, duration)
     return data_trace, feedback_trace
 
 
@@ -129,16 +136,23 @@ def cellsim_for_link(
 
     When the link spec itself carries a queue configuration (a sweep-built
     variant from the ``aqm``/``qlimit`` axes), it is used unless ``queue``
-    overrides it explicitly.
+    overrides it explicitly; a link-spec propagation delay (the ``rtt``
+    sweep axis) likewise replaces the emulator default.
     """
     data_trace, feedback_trace = traces_for_link(link, duration)
     if queue is None:
         queue = link.queue
+    propagation = (
+        link.propagation_delay
+        if link.propagation_delay is not None
+        else DEFAULT_PROPAGATION_DELAY
+    )
     return build_cellsim(
         sender=sender,
         receiver=receiver,
         forward_trace=data_trace,
         reverse_trace=feedback_trace,
+        propagation_delay=propagation,
         loss_rate=loss_rate,
         use_codel=use_codel,
         queue_byte_limit=queue_byte_limit,

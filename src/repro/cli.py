@@ -26,6 +26,7 @@ import os
 import sys
 from typing import List, Optional
 
+from repro.experiments.analytic import ScreenConfig, render_divergences, validate_grid
 from repro.experiments.competing import render_competing
 from repro.experiments.figure1 import render_figure1, run_figure1
 from repro.experiments.figure2 import render_figure2, run_figure2
@@ -185,10 +186,19 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
         # scheme, ...) and bad policy knobs are user errors, not tracebacks.
         print(f"sweep error: {error}", file=sys.stderr)
         return 2
+    screen = None
+    if args.screen:
+        try:
+            screen = ScreenConfig(margin=args.screen_margin)
+        except ValueError as error:
+            print(f"sweep error: {error}", file=sys.stderr)
+            return 2
     # The batched backend runs in-process; don't stand up a worker pool
     # that would never receive a cell.
     with shared_pool(args.jobs if args.backend == "processes" else None):
-        data = run_grid(spec, config=config, jobs=args.jobs, backend=args.backend)
+        data = run_grid(
+            spec, config=config, jobs=args.jobs, backend=args.backend, screen=screen
+        )
     print(render_grid(data))
     if len(spec.parameters) > 1 or args.per_flow:
         print(render_grid_frontiers(data))
@@ -206,6 +216,12 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "(see the FAILED lines above; docs/robustness.md)",
             file=sys.stderr,
         )
+    if args.validate:
+        divergences = validate_grid(data, config, tolerance=args.tolerance)
+        print(render_divergences(divergences))
+        if divergences:
+            # The differential oracle is a CI gate: divergence is a failure.
+            return 1
     return 0
 
 
@@ -346,6 +362,41 @@ def build_parser() -> argparse.ArgumentParser:
         metavar="PATH",
         help="journal completed cells to PATH (JSONL) and, when re-run with "
         "the same PATH, skip cells already completed there",
+    )
+    sweep_parser.add_argument(
+        "--screen",
+        action="store_true",
+        help="analytic screening: predict every cell with the closed-form "
+        "tier and emulate only cells near the predicted frontier or with "
+        "high model uncertainty; screened-out cells export as predictions "
+        "(schema v4 screened/predicted_* fields; docs/analytic.md)",
+    )
+    sweep_parser.add_argument(
+        "--screen-margin",
+        type=float,
+        default=ScreenConfig.margin,
+        metavar="FRACTION",
+        dest="screen_margin",
+        help="screening dominance margin: a cell is screened out only when "
+        "another cell's predicted throughput beats it by this fraction "
+        "(default %(default)s; larger = more conservative, more cells "
+        "emulated)",
+    )
+    sweep_parser.add_argument(
+        "--validate",
+        action="store_true",
+        help="differential validation: after the run, compare simulated "
+        "Reno/Cubic throughput against the analytic prediction and report "
+        "divergences beyond the calibrated tolerance; exits 1 on any "
+        "divergence (docs/analytic.md)",
+    )
+    sweep_parser.add_argument(
+        "--tolerance",
+        type=float,
+        default=None,
+        metavar="FRACTION",
+        help="relative-error tolerance for --validate (default: the "
+        "calibrated ORACLE_TOLERANCE, docs/analytic.md)",
     )
     sweep_parser.add_argument(
         "--backend",

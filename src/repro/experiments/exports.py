@@ -11,14 +11,20 @@ column-by-column / key-by-key in ``docs/scenarios.md``:
   metrics — one row per ``(cell, flow)``.  The first column is
   ``schema_version``, then one column per grid axis (named after the axis,
   in grid order), then ``scheme``, ``link``, the metric columns of
-  :data:`METRIC_COLUMNS`, the per-flow columns of :data:`FLOW_COLUMNS`,
+  :data:`METRIC_COLUMNS`, (schema v4) the screening columns of
+  :data:`SCREEN_COLUMNS`, the per-flow columns of :data:`FLOW_COLUMNS`,
   and (schema v3) the trailing ``error`` column.  Aggregate rows leave the
   flow columns empty; per-flow rows leave the aggregate metric columns
   empty (the discriminator is ``flow_id``); a *failed* cell — a
   :class:`~repro.experiments.policy.CellError` collected under the
   ``collect``/``retry`` error policies (docs/robustness.md) — exports one
   row with every metric empty and ``error`` holding
-  ``"ErrorType: message"``.  Floats are written with ``repr`` (shortest
+  ``"ErrorType: message"``.  A *screened* cell — an analytic prediction
+  standing in for an emulation (docs/analytic.md) — exports one row with
+  every measured metric empty, ``screened = 1``, and the prediction in the
+  ``predicted_*`` / ``prediction_uncertainty`` columns; measured aggregate
+  rows carry ``screened = 0``, so a reader can never mistake a prediction
+  for a measurement.  Floats are written with ``repr`` (shortest
   round-trip form), so parsing the CSV back recovers bit-identical values —
   including non-finite ones, which ``repr`` writes as ``nan`` / ``inf`` /
   ``-inf`` and ``float()`` reads straight back.
@@ -26,18 +32,25 @@ column-by-column / key-by-key in ``docs/scenarios.md``:
   (parameters, per-axis values, schemes, links), then one entry per grid
   point with its coordinates (keyed by axis name), the complete
   :class:`~repro.metrics.summary.SchemeResult` dictionaries of its
-  successful cells (including the optional per-flow ``flows`` list), and —
+  successful cells (including the optional per-flow ``flows`` list), —
   schema v3, only when the point had failures — an ``errors`` list of
   structured :class:`~repro.experiments.policy.CellError` records, each
   carrying the ``index`` of its cell within the point so the interleaved
-  cell order reconstructs exactly.
+  cell order reconstructs exactly, and — schema v4, only when the grid was
+  screened — a ``screened`` list of
+  :class:`~repro.metrics.summary.ScreenedResult` records with the same
+  ``index`` convention.
 
 Both directions are covered: :func:`parse_csv` / :func:`parse_json` read an
-export back — current (v3) **and** the v1/v2 exports written before the
-per-flow columns and the error channel existed — and
-:func:`grid_data_from_json` rebuilds a full ``GridData`` (failed cells
-come back as ``CellError`` outcomes in their original positions); the
-round-trip is exact (``tests/test_exports.py``).
+export back — current (v4) **and** the v1/v2/v3 exports written before the
+per-flow columns, the error channel, and the screening tier existed — and
+:func:`grid_data_from_json` rebuilds a full ``GridData`` (failed cells come
+back as ``CellError`` outcomes, screened cells as ``ScreenedResult``
+records, each in its original position); the round-trip is exact
+(``tests/test_exports.py``).  A v4 file that marks a row/record *both*
+screened and per-flow is self-contradictory — screened cells were never
+emulated, so they cannot have measured flows — and is rejected rather than
+silently merged.
 """
 
 from __future__ import annotations
@@ -51,13 +64,13 @@ from typing import Dict, List, Sequence, Union
 from repro.experiments.policy import CellError, is_cell_error
 from repro.experiments.sweeps import GridData, GridPoint, GridSpec, SweepData
 from repro.metrics.flows import FlowMetrics
-from repro.metrics.summary import SchemeResult
+from repro.metrics.summary import SchemeResult, ScreenedResult, is_screened
 
 #: bump when a column/key is added, removed, or changes meaning
-EXPORT_SCHEMA_VERSION = 3
+EXPORT_SCHEMA_VERSION = 4
 
 #: schema versions :func:`parse_csv` / :func:`parse_json` understand
-SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3)
+SUPPORTED_SCHEMA_VERSIONS = (1, 2, 3, 4)
 
 #: metric columns of the CSV export, in order (docs/scenarios.md)
 METRIC_COLUMNS: List[str] = [
@@ -69,6 +82,17 @@ METRIC_COLUMNS: List[str] = [
     "utilization",
     "capacity_bps",
     "omniscient_delay_95_s",
+]
+
+#: screening columns of the CSV export (schema v4), after the metric
+#: columns: ``screened`` is 1 on a predicted (never-emulated) row, 0 on a
+#: measured aggregate row, empty on flow/error rows; the ``predicted_*`` /
+#: ``prediction_uncertainty`` columns are set only when ``screened`` is 1
+SCREEN_COLUMNS: List[str] = [
+    "screened",
+    "predicted_throughput_bps",
+    "predicted_delay_s",
+    "prediction_uncertainty",
 ]
 
 #: per-flow columns of the CSV export (schema v2), after the metric columns
@@ -102,6 +126,7 @@ def csv_columns(spec: GridSpec) -> List[str]:
         "scheme",
         "link",
         *METRIC_COLUMNS,
+        *SCREEN_COLUMNS,
         *FLOW_COLUMNS,
         ERROR_COLUMN,
     ]
@@ -110,11 +135,14 @@ def csv_columns(spec: GridSpec) -> List[str]:
 def export_rows(data: GridLike) -> List[Dict[str, object]]:
     """The tidy long-format rows of an export.
 
-    One aggregate row per measured cell (flow columns ``None``) followed by
-    one per-flow row per flow the cell recorded (aggregate metric columns
-    ``None``, flow columns set) — row kind is discriminated by ``flow_id``.
-    A failed cell contributes one row with every metric and flow column
-    ``None`` and the ``error`` column set.
+    One aggregate row per measured cell (flow columns ``None``,
+    ``screened = 0``) followed by one per-flow row per flow the cell
+    recorded (aggregate metric columns ``None``, flow columns set) — row
+    kind is discriminated by ``flow_id``.  A failed cell contributes one
+    row with every metric and flow column ``None`` and the ``error`` column
+    set.  A screened cell (docs/analytic.md) contributes one row with every
+    measured metric ``None``, ``screened = 1``, and the prediction in the
+    ``predicted_*`` / ``prediction_uncertainty`` columns.
     """
     grid = as_grid_data(data)
     rows: List[Dict[str, object]] = []
@@ -126,21 +154,37 @@ def export_rows(data: GridLike) -> List[Dict[str, object]]:
             base["link"] = result.link
             if is_cell_error(result):
                 failed = dict(base)
-                for column in (*METRIC_COLUMNS, *FLOW_COLUMNS):
+                for column in (*METRIC_COLUMNS, *SCREEN_COLUMNS, *FLOW_COLUMNS):
                     failed[column] = None
                 failed[ERROR_COLUMN] = result.summary
                 rows.append(failed)
                 continue
+            if is_screened(result):
+                screened = dict(base)
+                for column in METRIC_COLUMNS:
+                    screened[column] = None
+                screened["screened"] = 1
+                screened["predicted_throughput_bps"] = result.throughput_bps
+                screened["predicted_delay_s"] = result.self_inflicted_delay_s
+                screened["prediction_uncertainty"] = result.prediction_uncertainty
+                for column in FLOW_COLUMNS:
+                    screened[column] = None
+                screened[ERROR_COLUMN] = None
+                rows.append(screened)
+                continue
             aggregate = dict(base)
             for column in METRIC_COLUMNS:
                 aggregate[column] = getattr(result, column)
+            aggregate["screened"] = 0
+            for column in SCREEN_COLUMNS[1:]:
+                aggregate[column] = None
             for column in FLOW_COLUMNS:
                 aggregate[column] = None
             aggregate[ERROR_COLUMN] = None
             rows.append(aggregate)
             for flow in result.flows or []:
                 flow_row = dict(base)
-                for column in METRIC_COLUMNS:
+                for column in (*METRIC_COLUMNS, *SCREEN_COLUMNS):
                     flow_row[column] = None
                 flow_row["flow_id"] = flow.flow
                 flow_row["flow_throughput_bps"] = flow.throughput_bps
@@ -203,19 +247,23 @@ def export_json(data: GridLike) -> str:
         "parameters": list(spec.parameters),
         "axis_values": [list(axis) for axis in spec.values],
         "schemes": list(spec.schemes),
-        "links": list(spec.links),
+        # ad-hoc LinkSpec entries (not in the registry) export by name, the
+        # same identifier every result row carries
+        "links": [link if isinstance(link, str) else link.name for link in spec.links],
         "points": [_point_payload(point) for point in grid.points],
     }
     return json.dumps(_jsonable(payload), indent=2, allow_nan=False) + "\n"
 
 
 def _point_payload(point: GridPoint) -> Dict[str, object]:
-    """One JSON point: coordinates, successful results, and (v3) failures.
+    """One JSON point: coordinates, results, (v3) failures, (v4) screening.
 
-    ``errors`` is present only when the point had failures, so an
-    all-green v3 export differs from v2 solely by its version number and
-    parses under the same mental model.  Each error carries the ``index``
-    of its cell within the point's interleaved outcome order, which lets
+    ``errors`` is present only when the point had failures, and
+    ``screened`` only when the grid was run under analytic screening
+    (docs/analytic.md) — so an all-green unscreened v4 export differs from
+    v3 solely by its version number and parses under the same mental
+    model.  Each error/screened record carries the ``index`` of its cell
+    within the point's interleaved outcome order, which lets
     :func:`grid_data_from_json` put it back in its original position.
     """
     payload: Dict[str, object] = {
@@ -229,6 +277,13 @@ def _point_payload(point: GridPoint) -> Dict[str, object]:
     ]
     if errors:
         payload["errors"] = errors
+    screened = [
+        {**outcome.as_dict(), "index": index}
+        for index, outcome in enumerate(point.results)
+        if is_screened(outcome)
+    ]
+    if screened:
+        payload["screened"] = screened
     return payload
 
 
@@ -259,9 +314,14 @@ def parse_csv(text: str) -> List[Dict[str, object]]:
     columns: ``flow_id`` is a string (``None`` on aggregate rows) and empty
     metric cells come back as ``None``.  Schema v3 adds the trailing
     ``error`` column (a string on a failed cell's row, ``None``
-    otherwise).  v1/v2 exports (no flow/error columns) parse unchanged.
+    otherwise).  Schema v4 adds the screening columns: ``screened`` is an
+    int (1 on a predicted row, 0 on a measured aggregate row, ``None`` on
+    flow/error rows) and the ``predicted_*`` / ``prediction_uncertainty``
+    columns are floats or ``None``.  v1–v3 exports parse unchanged.
     Raises ``ValueError`` on a schema version this code does not
-    understand.
+    understand, and on a self-contradictory v4 row that is both screened
+    and per-flow (a screened cell was never emulated, so it cannot carry a
+    measured flow section).
     """
     reader = csv.reader(io.StringIO(text))
     try:
@@ -287,24 +347,61 @@ def parse_csv(text: str) -> List[Dict[str, object]]:
                 row[column] = value
             elif column in ("flow_id", ERROR_COLUMN):
                 row[column] = value if value != "" else None
-            elif column in METRIC_COLUMNS or column in FLOW_COLUMNS:
+            elif column == "screened":
+                row[column] = int(value) if value != "" else None
+            elif (
+                column in METRIC_COLUMNS
+                or column in FLOW_COLUMNS
+                or column in SCREEN_COLUMNS
+            ):
                 row[column] = float(value) if value != "" else None
             else:
                 row[column] = float(value)  # a grid-axis coordinate
+        if row.get("screened") == 1 and row.get("flow_id") is not None:
+            raise ValueError(
+                f"malformed v4 export: line {line} marks a screened "
+                "(never-emulated) cell but carries a per-flow section "
+                f"(flow_id={row['flow_id']!r}); refusing to merge "
+                "predictions with measurements"
+            )
         rows.append(row)
     return rows
 
 
 def parse_json(text: str) -> dict:
-    """Parse a JSON export, validating its schema version."""
+    """Parse a JSON export, validating its schema version.
+
+    v4 payloads are additionally checked for the screened/per-flow
+    contradiction (a never-emulated cell carrying measured flows), so a
+    malformed export fails at parse time rather than deep inside
+    :func:`grid_data_from_json`.
+    """
     payload = json.loads(text)
     _check_schema_version(payload.get("schema_version"))
     if payload.get("kind") != "grid":
         raise ValueError(f"not a grid export: kind={payload.get('kind')!r}")
+    for point in payload.get("points") or []:
+        for record in point.get("screened") or []:
+            if record.get("flows"):
+                raise ValueError(
+                    "malformed v4 export: a screened (never-emulated) record "
+                    f"for scheme={record.get('scheme')!r} "
+                    f"link={record.get('link')!r} carries a per-flow section; "
+                    "refusing to merge predictions with measurements"
+                )
+        for record in point.get("results") or []:
+            if record.get("screened") and record.get("flows"):
+                raise ValueError(
+                    "malformed v4 export: a result marked screened for "
+                    f"scheme={record.get('scheme')!r} "
+                    f"link={record.get('link')!r} carries a per-flow section; "
+                    "refusing to merge predictions with measurements"
+                )
     return payload
 
 
 _RESULT_FIELDS = {f.name for f in fields(SchemeResult)}
+_SCREENED_FIELDS = {f.name for f in fields(ScreenedResult)}
 
 
 def _check_schema_version(version: object) -> int:
@@ -323,6 +420,7 @@ _RESULT_FLOAT_FIELDS = {
 _FLOW_FLOAT_FIELDS = {
     f.name for f in fields(FlowMetrics) if f.type in ("float", float)
 }
+_SCREENED_FLOAT_FIELDS = _RESULT_FLOAT_FIELDS | {"prediction_uncertainty"}
 
 
 #: JSON stand-ins for non-finite floats (see :func:`_jsonable`); nan's
@@ -347,6 +445,13 @@ _MISSING = object()
 
 
 def _result_from_dict(row: Dict[str, object]) -> SchemeResult:
+    if row.get("screened") and row.get("flows"):
+        raise ValueError(
+            "malformed v4 export: a result marked screened for "
+            f"scheme={row.get('scheme')!r} link={row.get('link')!r} "
+            "carries a per-flow section; refusing to merge predictions "
+            "with measurements"
+        )
     data = _restore_floats(
         {k: v for k, v in row.items() if k in _RESULT_FIELDS}, _RESULT_FLOAT_FIELDS
     )
@@ -358,21 +463,52 @@ def _result_from_dict(row: Dict[str, object]) -> SchemeResult:
     return SchemeResult(**data)  # type: ignore[arg-type]
 
 
+def _screened_from_dict(record: Dict[str, object]) -> ScreenedResult:
+    """Rebuild one v4 ``screened`` record as a :class:`ScreenedResult`.
+
+    A screened cell was never emulated, so a record that nonetheless
+    carries a populated per-flow section is self-contradictory — it would
+    silently merge predictions with measurements — and is rejected.
+    """
+    if record.get("flows"):
+        raise ValueError(
+            "malformed v4 export: a screened (never-emulated) record for "
+            f"scheme={record.get('scheme')!r} link={record.get('link')!r} "
+            "carries a per-flow section; refusing to merge predictions "
+            "with measurements"
+        )
+    data = _restore_floats(
+        {k: v for k, v in record.items() if k in _SCREENED_FIELDS},
+        _SCREENED_FLOAT_FIELDS,
+    )
+    data.pop("flows", None)
+    return ScreenedResult(**data)  # type: ignore[arg-type]
+
+
 def _point_outcomes(entry: Dict[str, object]) -> List[object]:
     """One point's interleaved cell outcomes from its JSON entry.
 
-    Successful results are re-slotted around the (v3) ``errors`` records
-    using each error's ``index``, so the rebuilt point preserves the
-    original cell order exactly.  v1/v2 entries have no ``errors`` key and
-    reduce to the plain results list.
+    Successful results are re-slotted around the (v3) ``errors`` and (v4)
+    ``screened`` records using each record's ``index``, so the rebuilt
+    point preserves the original cell order exactly.  v1/v2 entries have
+    neither key and reduce to the plain results list.
     """
     results = [_result_from_dict(row) for row in entry["results"]]
     errors = entry.get("errors") or []
-    if not errors:
+    screened = entry.get("screened") or []
+    if not errors and not screened:
         return results
-    outcomes: List[object] = [None] * (len(results) + len(errors))
+    outcomes: List[object] = [None] * (len(results) + len(errors) + len(screened))
     for record in errors:
         outcomes[record["index"]] = CellError.from_dict(record)
+    for record in screened:
+        index = record["index"]
+        if outcomes[index] is not None:
+            raise ValueError(
+                f"malformed v4 export: cell index {index} appears in both "
+                "the errors and screened lists of one point"
+            )
+        outcomes[index] = _screened_from_dict(record)
     iterator = iter(results)
     for index, slot in enumerate(outcomes):
         if slot is None:
@@ -381,14 +517,16 @@ def _point_outcomes(entry: Dict[str, object]) -> List[object]:
 
 
 def grid_data_from_json(payload: Union[str, dict]) -> GridData:
-    """Rebuild a full :class:`GridData` from a JSON export (v1, v2, or v3).
+    """Rebuild a full :class:`GridData` from a JSON export (v1–v4).
 
     The reconstruction is exact: every ``SchemeResult`` field (including
     the ``extra`` counters and the optional per-flow list) round-trips
-    bit-identically, and v3 failure records come back as
-    :class:`~repro.experiments.policy.CellError` outcomes in their
-    original cell positions — so downstream analysis (frontiers, tables,
-    failure reports) can run from an export alone.
+    bit-identically, v3 failure records come back as
+    :class:`~repro.experiments.policy.CellError` outcomes, and v4
+    screening records as :class:`~repro.metrics.summary.ScreenedResult`
+    predictions, each in its original cell position — so downstream
+    analysis (frontiers, tables, failure reports, differential
+    validation) can run from an export alone.
     """
     if isinstance(payload, str):
         payload = parse_json(payload)

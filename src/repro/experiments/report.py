@@ -60,6 +60,11 @@ class ReportConfig:
     #: failure handling for the report's sweep/grid sections
     #: (docs/robustness.md); ``None`` keeps the fail-fast default
     error_policy: Optional[ErrorPolicy] = None
+    #: analytic screening for the report's grid sections: ``None`` emulates
+    #: every cell; a :class:`~repro.experiments.analytic.ScreenConfig` (or
+    #: ``True`` for the defaults) emulates only cells near the predicted
+    #: frontier and reports the rest as predictions (docs/analytic.md)
+    screen: Optional[object] = None
 
     def run_config(self) -> RunConfig:
         return RunConfig(duration=self.duration, warmup=self.warmup)
@@ -138,7 +143,11 @@ def _generate_report_sections(cfg: ReportConfig, progress) -> str:
                 f"({len(grid_spec.coordinates())} points)..."
             )
             data = run_grid(
-                grid_spec, config=run_cfg, jobs=cfg.jobs, policy=cfg.error_policy
+                grid_spec,
+                config=run_cfg,
+                jobs=cfg.jobs,
+                policy=cfg.error_policy,
+                screen=cfg.screen,
             )
             sections.append(render_grid(data))
             sections.append(render_grid_frontiers(data))

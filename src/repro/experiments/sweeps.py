@@ -50,6 +50,11 @@ Sweepable axes (full semantics in ``docs/scenarios.md``):
 ``qlimit``
     Byte limit of the bottleneck queues; ``0`` keeps the deep
     (effectively unbounded) buffer.  Composes with ``aqm`` in either order.
+``rtt``
+    Round-trip propagation delay of the emulated path in seconds (the
+    emulator default is 40 ms); carried on a copy of the link spec like
+    ``aqm``/``qlimit``, so every RTT variant of one link shares the
+    identical delivery trace.
 ``codel_target``
     CoDel's target sojourn time in seconds (the algorithm's 5 ms default);
     rides :class:`~repro.simulation.queues.QueueConfig` like ``qlimit``,
@@ -87,7 +92,7 @@ from repro.experiments.registry import (
 )
 from repro.experiments.runner import ProgressCallback, RunConfig
 from repro.metrics.flows import FlowMetrics
-from repro.metrics.summary import SchemeResult
+from repro.metrics.summary import SchemeResult, is_screened
 from repro.simulation.queues import AQM_CODEL, AQM_DROP_TAIL, QueueConfig
 from repro.traces.networks import LinkSpec, get_link, link_names
 
@@ -253,6 +258,15 @@ def _expand_qlimit(
     return (scheme, replace(spec, queue=replace(queue, byte_limit=limit)), config)
 
 
+def _expand_rtt(scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float) -> Cell:
+    if value <= 0:
+        raise ValueError(f"rtt must be positive seconds, got {value}")
+    spec = _resolve_link(link)
+    # The axis value is the round-trip propagation; the emulator takes the
+    # one-way wire delay.
+    return (scheme, replace(spec, propagation_delay=value / 2.0), config)
+
+
 def _expand_codel_target(
     scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float
 ) -> Cell:
@@ -304,6 +318,9 @@ SWEEP_PARAMETERS: Dict[str, SweepParameter] = {
         ),
         SweepParameter(
             "qlimit", "bottleneck queue byte limit (0 = deep buffer)", _expand_qlimit
+        ),
+        SweepParameter(
+            "rtt", "round-trip propagation delay of the path (s)", _expand_rtt
         ),
         SweepParameter(
             "codel_target",
@@ -415,8 +432,13 @@ class GridPoint:
 
     Under the ``collect``/``retry`` error policies ``results`` may hold a
     :class:`~repro.experiments.policy.CellError` in a failed cell's
-    position; :attr:`ok_results` and :attr:`errors` split the two.  Under
-    the default fail-fast policy every entry is a ``SchemeResult``.
+    position; :attr:`ok_results` and :attr:`errors` split the two.  A
+    screened run (``run_grid(screen=...)``, docs/analytic.md) may likewise
+    hold a :class:`~repro.metrics.summary.ScreenedResult` — a predicted,
+    never-emulated cell — in place; :attr:`ok_results` carries *measured*
+    results only, with :attr:`screened_results` holding the predictions.
+    Under the default fail-fast unscreened run every entry is a measured
+    ``SchemeResult``.
     """
 
     parameters: Tuple[str, ...]
@@ -425,8 +447,17 @@ class GridPoint:
 
     @property
     def ok_results(self) -> List[SchemeResult]:
-        """The point's successful results, in cell order."""
-        return [row for row in self.results if not is_cell_error(row)]
+        """The point's successful *measured* results, in cell order."""
+        return [
+            row
+            for row in self.results
+            if not is_cell_error(row) and not is_screened(row)
+        ]
+
+    @property
+    def screened_results(self) -> List[SchemeResult]:
+        """The point's screened-out (predicted-only) cells, in cell order."""
+        return [row for row in self.results if is_screened(row)]
 
     @property
     def errors(self) -> List[CellError]:
@@ -474,6 +505,11 @@ class GridData:
         """Every failed cell across the grid, point-major cell order."""
         return [error for point in self.points for error in point.errors]
 
+    @property
+    def screened(self) -> List[SchemeResult]:
+        """Every screened-out cell across the grid, point-major cell order."""
+        return [row for point in self.points for row in point.screened_results]
+
 
 def expand_grid(spec: GridSpec, config: Optional[RunConfig] = None) -> List[Cell]:
     """Flatten a grid spec into explicit matrix cells, value-major.
@@ -497,6 +533,31 @@ def expand_grid(spec: GridSpec, config: Optional[RunConfig] = None) -> List[Cell
     return cells
 
 
+def grid_points(spec: GridSpec, results: Sequence[CellOutcome]) -> List[GridPoint]:
+    """Slice a flattened outcome list back into value-major grid points.
+
+    ``results`` must be in :func:`expand_grid` cell order (one outcome per
+    cell); this is the one place that knows how a flat batch folds back
+    into :class:`GridPoint` chunks, shared by the plain and screened
+    (:mod:`repro.experiments.analytic`) grid runners.
+    """
+    chunk = spec.cells_per_point
+    expected = chunk * len(spec.coordinates())
+    if len(results) != expected:
+        raise ValueError(
+            f"grid outcome count mismatch: got {len(results)} results for "
+            f"{expected} cells"
+        )
+    return [
+        GridPoint(
+            parameters=spec.parameters,
+            coordinates=coordinate,
+            results=list(results[i * chunk : (i + 1) * chunk]),
+        )
+        for i, coordinate in enumerate(spec.coordinates())
+    ]
+
+
 def run_grid(
     spec: GridSpec,
     config: Optional[RunConfig] = None,
@@ -504,6 +565,7 @@ def run_grid(
     jobs: Optional[int] = None,
     policy: Optional[ErrorPolicy] = None,
     backend: str = "processes",
+    screen: Optional[object] = None,
 ) -> GridData:
     """Run one grid through the (shared-pool-aware) cell runner.
 
@@ -519,7 +581,28 @@ def run_grid(
     ``backend="batched"`` runs the grid's Sprout cells through the batched
     cross-cell engine instead of a worker pool (docs/performance.md
     "Layer 4"); results are bit-identical either way.
+
+    ``screen`` (a :class:`repro.experiments.analytic.ScreenConfig`) turns
+    on analytic screening: every cell is predicted in closed form and only
+    cells near the predicted frontier — or with high model uncertainty —
+    are emulated; the rest land as
+    :class:`~repro.metrics.summary.ScreenedResult` records
+    (docs/analytic.md).  Emulated cells are bit-identical to an unscreened
+    run's.
     """
+    if screen is not None:
+        # Imported lazily: the analytic module builds on this one.
+        from repro.experiments.analytic import run_grid_screened
+
+        return run_grid_screened(
+            spec,
+            config=config,
+            progress=progress,
+            jobs=jobs,
+            policy=policy,
+            backend=backend,
+            screen=screen,
+        )
     cells = expand_grid(spec, config)
     results = run_cells(
         cells,
@@ -528,16 +611,7 @@ def run_grid(
         policy=policy or spec.policy,
         backend=backend,
     )
-    chunk = spec.cells_per_point
-    points = [
-        GridPoint(
-            parameters=spec.parameters,
-            coordinates=coordinate,
-            results=results[i * chunk : (i + 1) * chunk],
-        )
-        for i, coordinate in enumerate(spec.coordinates())
-    ]
-    return GridData(spec=spec, points=points)
+    return GridData(spec=spec, points=grid_points(spec, results))
 
 
 # ------------------------------------------------------------------ sweeps
@@ -686,10 +760,14 @@ _RESULT_HEADER = (
 
 
 def _result_line(row: SchemeResult) -> str:
-    return (
+    line = (
         f"  {row.scheme:22s} {row.link:30s} {row.throughput_kbps:12.0f} "
         f"{row.self_inflicted_delay_ms:12.0f} {100 * row.utilization:8.1f}"
     )
+    if is_screened(row):
+        # Predicted, never emulated (docs/analytic.md) — say so in place.
+        line += "  (screened: predicted)"
+    return line
 
 
 def _error_line(row: CellError) -> str:
@@ -712,6 +790,19 @@ def _failure_footer(points: Sequence) -> List[str]:
         return []
     total = sum(len(point.results) for point in points)
     return [f"{failed} of {total} cells failed", ""]
+
+
+def _screened_footer(points: Sequence) -> List[str]:
+    """The trailing screening note, empty on unscreened runs."""
+    screened = sum(len(point.screened_results) for point in points)
+    if not screened:
+        return []
+    total = sum(len(point.results) for point in points)
+    return [
+        f"{screened} of {total} cells screened analytically "
+        "(predicted, not emulated; docs/analytic.md)",
+        "",
+    ]
 
 
 def render_sweep(data: SweepData) -> str:
@@ -746,6 +837,7 @@ def render_grid(data: GridData) -> str:
         lines.append(_RESULT_HEADER)
         lines.extend(_outcome_lines(point.results))
         lines.append("")
+    lines.extend(_screened_footer(data.points))
     lines.extend(_failure_footer(data.points))
     return "\n".join(lines)
 
@@ -839,6 +931,13 @@ def render_grid_frontiers(data: GridData) -> str:
     spec = data.spec
     axes = " × ".join(spec.parameters)
     lines: List[str] = [f"Frontier — throughput vs delay across the {axes} grid", ""]
+    screened = len(data.screened)
+    if screened:
+        # Screened cells are predictions, not measurements; the frontier is
+        # a claim about measured operating points only, and the screening
+        # heuristic's job (docs/analytic.md) is to emulate every cell that
+        # could plausibly appear on it.
+        lines[1:1] = [f"({screened} screened cells excluded — predictions only)", ""]
     failed = len(data.errors)
     if failed:
         # Failed cells have no operating point; the frontier is computed

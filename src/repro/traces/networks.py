@@ -48,6 +48,12 @@ class LinkSpec:
     the channel config alone, so all queue variants of one link share the
     identical delivery trace, exactly as the paper's Section 5.4 comparison
     requires.
+
+    ``propagation_delay`` is the one-way wire delay in seconds; ``None``
+    uses the emulator's default (the paper's 20 ms each way).  The ``rtt``
+    sweep axis sets it on a copy of the link spec, and — like the queue —
+    it does not participate in the trace-cache key, so all RTT variants of
+    one link see the identical delivery schedule.
     """
 
     network: str
@@ -55,6 +61,7 @@ class LinkSpec:
     config: ChannelConfig
     seed: int
     queue: Optional[QueueConfig] = None
+    propagation_delay: Optional[float] = None
 
     @property
     def name(self) -> str:

@@ -24,6 +24,7 @@ from repro.experiments.exports import (
     EXPORT_SCHEMA_VERSION,
     FLOW_COLUMNS,
     METRIC_COLUMNS,
+    SCREEN_COLUMNS,
     as_grid_data,
     csv_columns,
     export_csv,
@@ -57,6 +58,9 @@ GOLDEN_JSON_V1 = FIXTURES / "golden_grid_export_v1.json"
 #: schema-v2 exports written before the error channel existed
 GOLDEN_CSV_V2 = FIXTURES / "golden_grid_export_v2.csv"
 GOLDEN_JSON_V2 = FIXTURES / "golden_grid_export_v2.json"
+#: schema-v3 exports written before the screening columns existed
+GOLDEN_CSV_V3 = FIXTURES / "golden_grid_export_v3.csv"
+GOLDEN_JSON_V3 = FIXTURES / "golden_grid_export_v3.json"
 
 #: the tiny grid frozen in the golden fixtures
 GOLDEN_SPEC = GridSpec(
@@ -140,7 +144,11 @@ def test_csv_column_order_is_documented_shape(grid_data):
     assert header[1:3] == ["loss", "scale"]
     assert header[3:5] == ["scheme", "link"]
     assert header[5 : 5 + len(METRIC_COLUMNS)] == METRIC_COLUMNS
-    assert header[5 + len(METRIC_COLUMNS) :] == [*FLOW_COLUMNS, ERROR_COLUMN]
+    assert header[5 + len(METRIC_COLUMNS) :] == [
+        *SCREEN_COLUMNS,
+        *FLOW_COLUMNS,
+        ERROR_COLUMN,
+    ]
 
 
 def test_aggregate_rows_leave_flow_columns_empty(grid_data):
@@ -200,18 +208,83 @@ def test_v2_json_fixture_still_rebuilds_grid_data():
         assert point.errors == []  # v2 exports carry no failures
 
 
-def test_v1_v2_v3_goldens_carry_identical_metrics():
+def test_v3_csv_fixture_still_parses():
+    rows = parse_csv(GOLDEN_CSV_V3.read_text())
+    assert rows, "v3 fixture parsed to no rows"
+    for row in rows:
+        assert row["schema_version"] == 3
+        assert "screened" not in row  # v3 had no screening columns
+        assert isinstance(row["throughput_bps"], float)
+
+
+def test_v3_json_fixture_still_rebuilds_grid_data():
+    payload = parse_json(GOLDEN_JSON_V3.read_text())
+    assert payload["schema_version"] == 3
+    rebuilt = grid_data_from_json(GOLDEN_JSON_V3.read_text())
+    assert rebuilt.spec.parameters == ("loss", "scale")
+    for point in rebuilt.points:
+        assert point.errors == []
+        assert point.screened_results == []  # v3 exports carry no screened cells
+
+
+def test_v4_csv_rejects_screened_row_with_flow_section():
+    """A screened cell was never emulated: measured flows are contradictory."""
+    lines = GOLDEN_CSV.read_text().splitlines()
+    header = lines[0].split(",")
+    row = lines[1].split(",")
+    row[header.index("screened")] = "1"
+    row[header.index("predicted_throughput_bps")] = "500000.0"
+    row[header.index("predicted_delay_s")] = "0.05"
+    row[header.index("prediction_uncertainty")] = "0.25"
+    row[header.index("flow_id")] = "0"
+    row[header.index("flow_throughput_bps")] = "250000.0"
+    row[header.index("flow_delay_95_s")] = "0.1"
+    malformed = "\n".join([lines[0], ",".join(row)]) + "\n"
+    with pytest.raises(ValueError, match="screened"):
+        parse_csv(malformed)
+
+
+def test_v4_json_rejects_screened_record_with_flow_section():
+    payload = json.loads(GOLDEN_JSON.read_text())
+    payload["points"][0]["screened"] = [
+        {
+            "scheme": "Vegas",
+            "link": "AT&T LTE uplink",
+            "index": 0,
+            "screened": True,
+            "flows": [{"flow_id": 0, "throughput_bps": 1.0}],
+        }
+    ]
+    with pytest.raises(ValueError, match="screened"):
+        parse_json(json.dumps(payload))
+
+
+def test_v4_json_rejects_result_marked_screened_with_flow_section():
+    payload = json.loads(GOLDEN_JSON.read_text())
+    result = payload["points"][0]["results"][0]
+    result["screened"] = True
+    result["flows"] = [{"flow_id": 0, "throughput_bps": 1.0}]
+    with pytest.raises(ValueError, match="screened"):
+        parse_json(json.dumps(payload))
+
+
+def test_v1_v2_v3_v4_goldens_carry_identical_metrics():
     """The schema bumps are additive: the measured numbers did not move."""
     v1 = parse_csv(GOLDEN_CSV_V1.read_text())
     v2 = [
         row for row in parse_csv(GOLDEN_CSV_V2.read_text()) if row["flow_id"] is None
     ]
-    v3 = [row for row in parse_csv(GOLDEN_CSV.read_text()) if row["flow_id"] is None]
-    assert len(v1) == len(v2) == len(v3)
-    ignored = {"schema_version", *FLOW_COLUMNS, ERROR_COLUMN}
-    for old, mid, new in zip(v1, v2, v3):
-        stripped = lambda row: {k: v for k, v in row.items() if k not in ignored}
-        assert stripped(old) == stripped(mid) == stripped(new)
+    v3 = [
+        row for row in parse_csv(GOLDEN_CSV_V3.read_text()) if row["flow_id"] is None
+    ]
+    v4 = [row for row in parse_csv(GOLDEN_CSV.read_text()) if row["flow_id"] is None]
+    assert len(v1) == len(v2) == len(v3) == len(v4)
+    ignored = {"schema_version", *SCREEN_COLUMNS, *FLOW_COLUMNS, ERROR_COLUMN}
+    for rows in zip(v1, v2, v3, v4):
+        stripped = [
+            {k: v for k, v in row.items() if k not in ignored} for row in rows
+        ]
+        assert all(row == stripped[0] for row in stripped[1:])
 
 
 def test_sweep_data_exports_as_one_axis_grid():

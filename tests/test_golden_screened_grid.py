@@ -1,0 +1,138 @@
+"""Golden-fixture suite for the analytic screening tier (schema v4).
+
+Mirrors ``test_golden_aqm_grid.py`` for the screened-grid layer: the exact
+CSV and JSON bytes of a small ``loss × scale`` Reno grid run *with
+screening enabled* — two cells emulated, six reported as closed-form
+predictions — are checked in under ``tests/fixtures/`` and must be
+reproduced bit-for-bit by the serial runner, the ``jobs=2`` process-pool
+runner, and the batched cross-cell engine.  Any drift in the predictors,
+the screening plan, the emulation, or the v4 export encoding shows up as
+an exact-compare failure.
+
+The fidelity bar rides along: the cells the screen *does* emulate must be
+bit-identical to the same cells of an unscreened run — screening may skip
+work, never change it.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+
+import pytest
+
+from repro.experiments.analytic import ScreenConfig
+from repro.experiments.exports import (
+    export_csv,
+    export_json,
+    export_rows,
+    grid_data_from_json,
+    parse_csv,
+)
+from repro.experiments.runner import RunConfig
+from repro.experiments.sweeps import GridSpec, run_grid
+from repro.metrics.summary import is_screened
+from repro.traces.channel import ChannelConfig
+from repro.traces.networks import LinkSpec
+
+pytestmark = pytest.mark.golden
+
+FIXTURES = Path(__file__).parent / "fixtures"
+GOLDEN_CSV = FIXTURES / "golden_screened_grid.csv"
+GOLDEN_JSON = FIXTURES / "golden_screened_grid.json"
+
+#: the same noise-free link the oracle suite polices: on a steady channel
+#: the predictions are trustworthy enough that the default screen keeps
+#: only the frontier candidates (here the lowest-loss column)
+STEADY_LINK = LinkSpec(
+    network="Steady 9.6 Mbit/s",
+    direction="downlink",
+    config=ChannelConfig(
+        mean_rate=800.0,
+        volatility=0.0,
+        outage_rate=0.0,
+        fade_depth=0.0,
+        max_rate=4000.0,
+    ),
+    seed=77,
+)
+
+GOLDEN_SPEC = GridSpec(
+    parameters=("loss", "scale"),
+    values=((0.002, 0.01, 0.05, 0.2), (1.0, 0.5)),
+    schemes=("Reno",),
+    links=(STEADY_LINK,),
+)
+GOLDEN_CONFIG = RunConfig(duration=6.0, warmup=1.0)
+GOLDEN_SCREEN = ScreenConfig()
+
+
+@pytest.fixture(scope="module")
+def screened_data():
+    return run_grid(
+        GOLDEN_SPEC, config=GOLDEN_CONFIG, jobs=1, screen=GOLDEN_SCREEN
+    )
+
+
+def test_csv_export_matches_golden_fixture(screened_data):
+    assert export_csv(screened_data) == GOLDEN_CSV.read_text()
+
+
+def test_json_export_matches_golden_fixture(screened_data):
+    assert export_json(screened_data) == GOLDEN_JSON.read_text()
+
+
+def test_fixture_actually_mixes_screened_and_simulated(screened_data):
+    """Guard against a vacuous golden: both outcome kinds must be present."""
+    rows = [row for point in screened_data.points for row in point.results]
+    screened = [row for row in rows if is_screened(row)]
+    simulated = [row for row in rows if not is_screened(row)]
+    assert len(screened) == 6
+    assert len(simulated) == 2
+    for row in screened:
+        assert row.prediction_uncertainty > 0.0
+        assert row.flows is None  # a screened cell was never emulated
+
+
+def test_parallel_screened_grid_reproduces_golden_exactly():
+    data = run_grid(
+        GOLDEN_SPEC, config=GOLDEN_CONFIG, jobs=2, screen=GOLDEN_SCREEN
+    )
+    assert export_csv(data) == GOLDEN_CSV.read_text()
+    assert export_json(data) == GOLDEN_JSON.read_text()
+
+
+def test_batched_screened_grid_reproduces_golden_exactly():
+    data = run_grid(
+        GOLDEN_SPEC, config=GOLDEN_CONFIG, backend="batched", screen=GOLDEN_SCREEN
+    )
+    assert export_csv(data) == GOLDEN_CSV.read_text()
+    assert export_json(data) == GOLDEN_JSON.read_text()
+
+
+def test_screening_never_changes_the_cells_it_simulates(screened_data):
+    """The fidelity bar: screening skips work, it must not perturb it —
+    every emulated cell is bit-identical to the unscreened run's cell."""
+    unscreened = run_grid(GOLDEN_SPEC, config=GOLDEN_CONFIG, jobs=1)
+    compared = 0
+    for mine, theirs in zip(screened_data.points, unscreened.points):
+        assert mine.label == theirs.label
+        for row, reference in zip(mine.results, theirs.results):
+            if is_screened(row):
+                continue
+            assert row.as_dict() == reference.as_dict()
+            compared += 1
+    assert compared == 2
+
+
+def test_golden_fixture_round_trips(screened_data):
+    rows = parse_csv(GOLDEN_CSV.read_text())
+    assert rows == export_rows(screened_data)
+    rebuilt = grid_data_from_json(GOLDEN_JSON.read_text())
+    assert rebuilt.spec.parameters == screened_data.spec.parameters
+    for mine, theirs in zip(screened_data.points, rebuilt.points):
+        assert [r.as_dict() for r in mine.results] == [
+            r.as_dict() for r in theirs.results
+        ]
+        assert [is_screened(r) for r in mine.results] == [
+            is_screened(r) for r in theirs.results
+        ]

@@ -44,7 +44,7 @@ LINK = "AT&T LTE uplink"
 def test_sweep_parameter_registry_is_complete():
     assert set(sweep_parameter_names()) == {
         "loss", "sigma", "tick", "outage", "scale", "flows", "tunnelled",
-        "aqm", "qlimit", "codel_target", "codel_interval",
+        "aqm", "qlimit", "codel_target", "codel_interval", "rtt",
     }
     for name in sweep_parameter_names():
         assert get_sweep_parameter(name).description
