@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-fast smoke test-fault test-oracle cov bench bench-batched bench-analytic docs-check
+.PHONY: test test-fast smoke test-fault test-oracle test-live cov bench bench-batched bench-analytic docs-check
 
 ## full suite, including perf benchmarks (the tier-1 gate)
 test:
@@ -25,6 +25,11 @@ test-fault:
 ## standing differential-validation oracle only (docs/analytic.md)
 test-oracle:
 	$(PYTHON) -m pytest -q -m oracle
+
+## live loopback-socket transfers only (docs/transport.md; skips cleanly
+## where the environment forbids even 127.0.0.1 UDP sockets)
+test-live:
+	$(PYTHON) -m pytest -q -m transport
 
 ## coverage gate (requires the [cov] extra; skips cleanly without it)
 cov:

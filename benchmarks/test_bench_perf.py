@@ -26,6 +26,10 @@ root so the performance trajectory is trackable across PRs:
 * ``batched``: the batched cross-cell engine (docs/performance.md Layer 4)
   on a 256-cell single-scheme grid — cells/sec against the pooled serial
   engine on the same cells, bit-identical results required;
+* ``live_loopback``: the real-socket transport (docs/transport.md) — one
+  ``repro live`` harness transfer over clean loopback UDP, recording
+  throughput and per-packet delay percentiles with deliberately loose
+  gates (loopback timing wobbles on loaded runners);
 * ``model_build``: the model-artifact cache (docs/performance.md Layer 3)
   — cold RateModel build vs warm disk load vs warm memory hit, with a
   bit-identity check between cold and warm arrays, plus a 4-value sigma
@@ -700,4 +704,46 @@ def test_bench_analytic_screening_rate():
         f"\nanalytic: predicted {predicted_rate:,.0f} cells/s, emulated "
         f"{simulated_rate:.2f} cells/s ({ratio:,.0f}x), "
         f"{plan.n_screened}/{len(cells)} cells screened out"
+    )
+
+
+def test_bench_live_loopback():
+    """Real-socket transport throughput/latency (docs/transport.md).
+
+    One sized transfer of the ``repro live`` harness over loopback UDP —
+    clean channel, so the number tracks the transport implementation's
+    overhead (codec, selective repeat, wall-clock ticking), not loss
+    recovery.  The gates are deliberately loose: loopback timing on a
+    loaded CI runner wobbles, and the record, not the gate, carries the
+    trajectory.  Skips where the environment forbids 127.0.0.1 sockets.
+    """
+    from repro.transport import LiveConfig, run_live_transfer, sockets_available
+
+    if not sockets_available():
+        pytest.skip("loopback UDP sockets unavailable")
+
+    result = run_live_transfer(LiveConfig(transfer_bytes=128 * 1024, repeats=1))
+    assert result.completed and result.lost_forever == 0
+    p95_ms = 1000 * result.delay_percentiles_s.get("p95", float("nan"))
+    # Loose gates: an order of magnitude under/over any measured value.
+    assert result.throughput_bps > 100_000, "loopback transport under 100 kbps"
+    assert p95_ms < 1000, f"loopback p95 delay {p95_ms:.1f} ms"
+
+    _record(
+        "live_loopback",
+        {
+            "transfer_bytes": result.transfer_bytes,
+            "throughput_bps": round(result.throughput_bps),
+            "delay_p50_ms": round(
+                1000 * result.delay_percentiles_s.get("p50", float("nan")), 3
+            ),
+            "delay_p95_ms": round(p95_ms, 3),
+            "datagrams_sent": result.datagrams_sent,
+            "retransmits": result.total_retransmits,
+            "duration_s": round(result.duration_s, 4),
+        },
+    )
+    print(
+        f"\nlive_loopback: {result.throughput_bps / 1e6:.2f} Mbit/s, "
+        f"p95 delay {p95_ms:.2f} ms over {result.datagrams_sent} datagrams"
     )

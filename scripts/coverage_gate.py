@@ -39,6 +39,10 @@ REQUIRED_MODULES = (
     os.path.join("experiments", "batched.py"),
     os.path.join("experiments", "analytic.py"),
     os.path.join("testing", "faults.py"),
+    os.path.join("transport", "wire.py"),
+    os.path.join("transport", "reliable.py"),
+    os.path.join("transport", "endpoint.py"),
+    os.path.join("transport", "harness.py"),
     "cache.py",
 )
 

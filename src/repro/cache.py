@@ -45,6 +45,35 @@ DEFAULT_MAX_ENTRIES = 64
 _LOG = logging.getLogger("repro.cache")
 
 
+def env_positive_int(name: str, default: int) -> int:
+    """Read a positive-integer env knob, warning and defaulting on bad input.
+
+    Cache-sizing knobs (``REPRO_MODEL_CACHE_MAX``, ``REPRO_SHARED_MODEL_MAX``,
+    ...) are read at import or on hot paths, so a typo must never crash — but
+    it must not silently clamp either: ``REPRO_MODEL_CACHE_MAX=-5`` clamping
+    to 1 looks like a mysterious perf cliff.  Unparseable or non-positive
+    values log one warning naming the variable and fall back to ``default``.
+    An unset/empty variable is not a misconfiguration and returns ``default``
+    silently.
+    """
+    raw = os.environ.get(name)
+    if raw is None or raw == "":
+        return default
+    try:
+        value = int(raw)
+    except ValueError:
+        _LOG.warning(
+            "ignoring unparseable %s=%r; using default %d", name, raw, default
+        )
+        return default
+    if value < 1:
+        _LOG.warning(
+            "ignoring non-positive %s=%d; using default %d", name, value, default
+        )
+        return default
+    return value
+
+
 def default_cache_directory(env_var: str, name: str) -> str:
     """Per-user default disk location, overridable through ``env_var``.
 
@@ -123,17 +152,15 @@ class ArtifactCache:
         ``<prefix>=0`` disables the cache, ``<prefix>_DISK=0`` skips the
         disk layer, ``<prefix>_MAX`` bounds the in-process layer.  (The
         ``<prefix>_DIR`` knob is read by the subclass's
-        :meth:`default_directory`.)  A malformed ``_MAX`` value falls back
-        to ``default_max`` rather than failing the package import.
+        :meth:`default_directory`.)  A malformed or non-positive ``_MAX``
+        value logs a warning and falls back to ``default_max`` rather than
+        failing the package import or silently clamping
+        (:func:`env_positive_int`).
         """
-        try:
-            max_entries = int(os.environ.get(f"{prefix}_MAX", ""))
-        except ValueError:
-            max_entries = default_max
         return cls(
             enabled=os.environ.get(prefix, "1") != "0",
             use_disk=os.environ.get(f"{prefix}_DISK", "1") != "0",
-            max_entries=max(1, max_entries),
+            max_entries=env_positive_int(f"{prefix}_MAX", default_max),
         )
 
     def configure(

@@ -15,6 +15,11 @@ Commands:
   parameter set is built at most once per machine, ever: grid runs prewarm
   the persistent model-artifact cache before fanning out
   (docs/performance.md)
+* ``live``       — run sized transfers over the real-socket loopback
+  transport (``repro.transport``, docs/transport.md): Sprout over actual
+  UDP datagrams with selective repeat and adaptive RTO, reporting
+  throughput and per-packet delay percentiles; results export through the
+  same schema-v4 CSV/JSON stack as simulated sweeps
 * ``trace``      — generate a synthetic delivery trace file for a modelled link
 * ``list``       — list the available schemes, links, and sweep/grid axes
 """
@@ -208,6 +213,7 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             print(f"{args.export} export written to {args.out}")
         else:
             print(export_text(data, args.export), end="")
+    exit_code = 0
     failed = len(data.errors)
     if failed:
         total = sum(len(point.results) for point in data.points)
@@ -216,12 +222,70 @@ def _cmd_sweep(args: argparse.Namespace) -> int:
             "(see the FAILED lines above; docs/robustness.md)",
             file=sys.stderr,
         )
+        if failed == total:
+            # Under --on-error collect/retry a fully-failed grid still
+            # renders and exports (every row a FAILED line), but reporting
+            # success for a run that measured nothing would let CI green-
+            # light an all-red grid.
+            print(
+                "error: every cell failed; no measurements were produced",
+                file=sys.stderr,
+            )
+            exit_code = 1
     if args.validate:
         divergences = validate_grid(data, config, tolerance=args.tolerance)
         print(render_divergences(divergences))
         if divergences:
             # The differential oracle is a CI gate: divergence is a failure.
-            return 1
+            exit_code = 1
+    return exit_code
+
+
+def _cmd_live(args: argparse.Namespace) -> int:
+    # Imported lazily: the transport stack is only needed by this command,
+    # and keeping it out of module import keeps `repro list` etc. light.
+    from repro.transport import LiveConfig, run_live_suite, sockets_available
+    from repro.transport.harness import render_live_results
+
+    if args.out and not args.export:
+        print("--out requires --export (csv or json)", file=sys.stderr)
+        return 2
+    try:
+        config = LiveConfig(
+            transfer_bytes=args.bytes,
+            repeats=args.repeats,
+            loss_rate=args.loss,
+            loss_seed=args.loss_seed,
+            deadline=args.deadline,
+            ewma=args.ewma,
+        )
+    except ValueError as error:
+        print(f"live error: {error}", file=sys.stderr)
+        return 2
+    if not sockets_available():
+        print(
+            "live error: loopback UDP sockets are unavailable in this "
+            "environment (docs/transport.md)",
+            file=sys.stderr,
+        )
+        return 2
+    grid, results = run_live_suite(config)
+    print(render_live_results(results))
+    print(render_grid(grid))
+    if args.export:
+        if args.out:
+            write_export(grid, args.export, args.out)
+            print(f"{args.export} export written to {args.out}")
+        else:
+            print(export_text(grid, args.export), end="")
+    incomplete = [r for r in results if not r.completed]
+    if incomplete:
+        print(
+            f"error: {len(incomplete)} of {len(results)} transfer(s) did not "
+            "complete within the deadline (unacked packets remained)",
+            file=sys.stderr,
+        )
+        return 1
     return 0
 
 
@@ -409,6 +473,63 @@ def build_parser() -> argparse.ArgumentParser:
     )
     _add_run_options(sweep_parser)
     sweep_parser.set_defaults(func=_cmd_sweep)
+
+    live_parser = sub.add_parser(
+        "live",
+        help="run sized transfers over the real-socket loopback transport "
+        "(docs/transport.md)",
+    )
+    live_parser.add_argument(
+        "--bytes",
+        type=int,
+        default=256 * 1024,
+        help="payload bytes per transfer (default %(default)s)",
+    )
+    live_parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="how many transfers to run (default %(default)s)",
+    )
+    live_parser.add_argument(
+        "--loss",
+        type=float,
+        default=0.0,
+        metavar="PROBABILITY",
+        help="deterministic injected datagram-loss probability in [0, 1) "
+        "(selective repeat must recover everything; default %(default)s)",
+    )
+    live_parser.add_argument(
+        "--loss-seed",
+        type=int,
+        default=0,
+        dest="loss_seed",
+        help="seed of the deterministic loss gate (default %(default)s)",
+    )
+    live_parser.add_argument(
+        "--deadline",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="wall-clock budget per transfer (default %(default)s)",
+    )
+    live_parser.add_argument(
+        "--ewma",
+        action="store_true",
+        help="use the Sprout-EWMA forecaster instead of the Bayesian one",
+    )
+    live_parser.add_argument(
+        "--export",
+        choices=["csv", "json"],
+        help="also emit the results as schema-v4 CSV or JSON (same stack "
+        "as `repro sweep`)",
+    )
+    live_parser.add_argument(
+        "--out",
+        metavar="PATH",
+        help="write the --export payload to this file instead of stdout",
+    )
+    live_parser.set_defaults(func=_cmd_live)
 
     trace_parser = sub.add_parser("trace", help="write a synthetic trace file")
     trace_parser.add_argument("link", choices=link_names())

@@ -182,6 +182,72 @@ class BayesianForecaster(Forecaster):
         return self.belief.copy()
 
 
+class TickFromWallClock:
+    """Maps continuous wall-clock time onto the forecaster's tick lattice.
+
+    The simulator calls ``on_tick`` exactly every ``tick_interval`` seconds
+    of *simulated* time; a real endpoint wakes up from ``select()`` at
+    irregular wall-clock moments.  This adapter anchors a tick lattice
+    ``base + k * tick_interval`` at :meth:`start` and answers, at each
+    wake-up, how many ticks have fallen due since the last call — so the
+    protocol's per-tick bookkeeping (observation windows, feedback cadence)
+    stays on the paper's 20 ms grid regardless of scheduling jitter.
+
+    A stall (GC pause, busy CPU) can leave many ticks pending at once.
+    Re-playing them all would feed the forecaster a burst of empty
+    observations at the wrong wall-clock moment, so catch-up is bounded by
+    ``max_catchup`` ticks per wake-up; anything older is skipped (counted
+    in :attr:`ticks_skipped`) and the lattice position simply advances, the
+    same way a late video player drops frames rather than fast-forwarding.
+    """
+
+    def __init__(self, tick_interval: float, max_catchup: int = 8) -> None:
+        if tick_interval <= 0:
+            raise ValueError("tick_interval must be positive")
+        if max_catchup < 1:
+            raise ValueError("max_catchup must be at least 1")
+        self.tick_interval = float(tick_interval)
+        self.max_catchup = int(max_catchup)
+        self._base: Optional[float] = None
+        self._fired = 0
+        self.ticks_fired = 0
+        self.ticks_skipped = 0
+
+    def start(self, now: float) -> None:
+        """Anchor the lattice; the first tick falls due at ``now + interval``."""
+        self._base = now
+        self._fired = 0
+
+    def due_ticks(self, now: float) -> int:
+        """Number of ticks to run at this wake-up (0 if none are due yet).
+
+        Advances the lattice position, so each tick is returned exactly
+        once across calls; at most ``max_catchup`` per call, with older
+        pending ticks dropped.
+        """
+        if self._base is None:
+            self.start(now)
+            return 0
+        elapsed = int((now - self._base) / self.tick_interval + 1e-9)
+        pending = elapsed - self._fired
+        if pending <= 0:
+            return 0
+        if pending > self.max_catchup:
+            skipped = pending - self.max_catchup
+            self.ticks_skipped += skipped
+            self._fired += skipped
+            pending = self.max_catchup
+        self._fired += pending
+        self.ticks_fired += pending
+        return pending
+
+    def next_deadline(self) -> Optional[float]:
+        """Wall-clock time of the next pending tick (None before start)."""
+        if self._base is None:
+            return None
+        return self._base + (self._fired + 1) * self.tick_interval
+
+
 class EWMAForecaster(Forecaster):
     """Sprout-EWMA's throughput tracker.
 

@@ -58,7 +58,12 @@ from typing import Dict, Iterator, Optional, Sequence
 import numpy as np
 from scipy.special import gammainc, gammaln
 
-from repro.cache import ArtifactCache, content_key, default_cache_directory
+from repro.cache import (
+    ArtifactCache,
+    content_key,
+    default_cache_directory,
+    env_positive_int,
+)
 
 #: entries kept in each per-model likelihood cache.  Saturator-style traffic
 #: produces byte counts from a small alphabet of packet sizes, so in practice
@@ -834,13 +839,12 @@ _SHARED_MODELS_LOCK = threading.Lock()
 
 
 def shared_model_capacity() -> int:
-    """Instances :func:`shared_rate_model` keeps (``REPRO_SHARED_MODEL_MAX``)."""
-    raw = os.environ.get("REPRO_SHARED_MODEL_MAX", "")
-    try:
-        value = int(raw)
-    except ValueError:
-        value = DEFAULT_SHARED_MODELS
-    return max(1, value)
+    """Instances :func:`shared_rate_model` keeps (``REPRO_SHARED_MODEL_MAX``).
+
+    Malformed or non-positive values warn and fall back to
+    ``DEFAULT_SHARED_MODELS`` (:func:`repro.cache.env_positive_int`).
+    """
+    return env_positive_int("REPRO_SHARED_MODEL_MAX", DEFAULT_SHARED_MODELS)
 
 
 def clear_shared_models() -> None:

@@ -306,6 +306,38 @@ def write_export(data: GridLike, fmt: str, path: str) -> None:
 # ----------------------------------------------------------------- parsing
 
 
+def _check_prediction_bounds(
+    uncertainty: object, throughput: object, where: str
+) -> None:
+    """Reject out-of-domain v4 prediction values at parse time.
+
+    ``prediction_uncertainty`` is a confidence complement in ``[0, 1]`` by
+    construction and a predicted throughput cannot be negative; a value
+    outside its domain means the export was corrupted or hand-edited, the
+    same class of defect as the screened/per-flow contradiction.  ``None``
+    (missing) and nan (serialised missing) pass — only finite out-of-range
+    numbers are contradictions.
+    """
+    if (
+        isinstance(uncertainty, (int, float))
+        and uncertainty == uncertainty
+        and not 0.0 <= uncertainty <= 1.0
+    ):
+        raise ValueError(
+            f"malformed v4 export: {where} carries "
+            f"prediction_uncertainty={uncertainty!r} outside [0, 1]"
+        )
+    if (
+        isinstance(throughput, (int, float))
+        and throughput == throughput
+        and throughput < 0.0
+    ):
+        raise ValueError(
+            f"malformed v4 export: {where} carries a negative "
+            f"predicted throughput ({throughput!r} bps)"
+        )
+
+
 def parse_csv(text: str) -> List[Dict[str, object]]:
     """Parse a CSV export back into typed rows (exact float round-trip).
 
@@ -319,9 +351,11 @@ def parse_csv(text: str) -> List[Dict[str, object]]:
     flow/error rows) and the ``predicted_*`` / ``prediction_uncertainty``
     columns are floats or ``None``.  v1–v3 exports parse unchanged.
     Raises ``ValueError`` on a schema version this code does not
-    understand, and on a self-contradictory v4 row that is both screened
+    understand, on a self-contradictory v4 row that is both screened
     and per-flow (a screened cell was never emulated, so it cannot carry a
-    measured flow section).
+    measured flow section), and on v4 prediction values outside their
+    domain (``prediction_uncertainty`` not in ``[0, 1]``, negative
+    ``predicted_throughput_bps``).
     """
     reader = csv.reader(io.StringIO(text))
     try:
@@ -364,6 +398,11 @@ def parse_csv(text: str) -> List[Dict[str, object]]:
                 f"(flow_id={row['flow_id']!r}); refusing to merge "
                 "predictions with measurements"
             )
+        _check_prediction_bounds(
+            row.get("prediction_uncertainty"),
+            row.get("predicted_throughput_bps"),
+            f"line {line}",
+        )
         rows.append(row)
     return rows
 
@@ -372,8 +411,10 @@ def parse_json(text: str) -> dict:
     """Parse a JSON export, validating its schema version.
 
     v4 payloads are additionally checked for the screened/per-flow
-    contradiction (a never-emulated cell carrying measured flows), so a
-    malformed export fails at parse time rather than deep inside
+    contradiction (a never-emulated cell carrying measured flows) and for
+    out-of-domain prediction values (``prediction_uncertainty`` not in
+    ``[0, 1]``, negative predicted throughput), so a malformed export
+    fails at parse time rather than deep inside
     :func:`grid_data_from_json`.
     """
     payload = json.loads(text)
@@ -389,6 +430,12 @@ def parse_json(text: str) -> dict:
                     f"link={record.get('link')!r} carries a per-flow section; "
                     "refusing to merge predictions with measurements"
                 )
+            _check_prediction_bounds(
+                record.get("prediction_uncertainty"),
+                record.get("throughput_bps"),
+                f"a screened record for scheme={record.get('scheme')!r} "
+                f"link={record.get('link')!r}",
+            )
         for record in point.get("results") or []:
             if record.get("screened") and record.get("flows"):
                 raise ValueError(
@@ -477,6 +524,12 @@ def _screened_from_dict(record: Dict[str, object]) -> ScreenedResult:
             "carries a per-flow section; refusing to merge predictions "
             "with measurements"
         )
+    _check_prediction_bounds(
+        record.get("prediction_uncertainty"),
+        record.get("throughput_bps"),
+        f"a screened record for scheme={record.get('scheme')!r} "
+        f"link={record.get('link')!r}",
+    )
     data = _restore_floats(
         {k: v for k, v in record.items() if k in _SCREENED_FIELDS},
         _SCREENED_FLOAT_FIELDS,

@@ -276,6 +276,18 @@ def _expand_codel_target(
     return (scheme, replace(spec, queue=replace(queue, codel_target=value)), config)
 
 
+def _expand_repeat(
+    scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float
+) -> Cell:
+    # Inert axis: the live loopback harness (repro.transport.harness) labels
+    # each repeated transfer with its repetition index so live results ride
+    # the grid/export stack; on a simulated cell the repetition changes
+    # nothing (the emulator is deterministic), so the cell passes through.
+    if value != int(value) or value < 1:
+        raise ValueError(f"repeat must be a positive integer, got {value}")
+    return (scheme, link, config)
+
+
 def _expand_codel_interval(
     scheme: SchemeLike, link: LinkLike, config: RunConfig, value: float
 ) -> Cell:
@@ -331,6 +343,11 @@ SWEEP_PARAMETERS: Dict[str, SweepParameter] = {
             "codel_interval",
             "CoDel estimation interval (s) on CoDel cells, sec. 5.4",
             _expand_codel_interval,
+        ),
+        SweepParameter(
+            "repeat",
+            "live-harness repetition index (inert on simulated cells)",
+            _expand_repeat,
         ),
     )
 }

@@ -13,7 +13,7 @@ same quantity for the omniscient protocol gives the self-inflicted delay.
 
 from __future__ import annotations
 
-from typing import Iterable, List, Sequence, Tuple
+from typing import Dict, Iterable, List, Sequence, Tuple
 
 import numpy as np
 
@@ -152,3 +152,33 @@ def self_inflicted_delay(protocol_delay_95: float, omniscient_delay_95: float) -
     if np.isnan(protocol_delay_95) or np.isnan(omniscient_delay_95):
         return float("nan")
     return max(0.0, protocol_delay_95 - omniscient_delay_95)
+
+
+def per_packet_delays(arrivals: Sequence[Arrival]) -> List[float]:
+    """One-way delay of each delivered packet, in arrival order.
+
+    The live transport measures delay from *real* timestamps: the sender
+    stamps each datagram with its monotonic send time and the receiver
+    subtracts it on arrival.  Over loopback both stamps come from the same
+    clock, so the differences are true one-way delays; the instantaneous
+    delay *signal* above is the right tool for the simulator's evaluation
+    windows, while these raw per-packet values back the live harness's
+    percentile report (Snippet-1-style speed-test output).
+    """
+    return [arrival_time - send_time for arrival_time, send_time in arrivals]
+
+
+def delay_percentiles(
+    delays: Sequence[float],
+    percentiles: Sequence[float] = (50.0, 95.0, 99.0),
+) -> Dict[str, float]:
+    """Named percentiles of a per-packet delay sample (``{"p95": ...}``).
+
+    Returns ``nan`` for every requested percentile when the sample is
+    empty, mirroring :func:`percentile_of_delay_signal` on an empty window.
+    """
+    keys = [f"p{int(p) if float(p).is_integer() else p}" for p in percentiles]
+    if not delays:
+        return {key: float("nan") for key in keys}
+    values = np.percentile(np.asarray(delays, dtype=float), list(percentiles))
+    return {key: float(value) for key, value in zip(keys, values)}

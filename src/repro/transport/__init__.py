@@ -1,0 +1,47 @@
+"""Real-socket Sprout transport (the paper's artifact ran over real UDP).
+
+The rest of the repository measures Sprout inside the deterministic
+trace-driven emulator.  This package runs the *same* protocol objects —
+:class:`~repro.core.sender.SproutSender` and
+:class:`~repro.core.receiver.SproutReceiver`, unmodified — over actual UDP
+datagrams, opening the emulation-vs-reality scenario axis
+(``docs/transport.md``):
+
+* :mod:`repro.transport.wire` — the struct-packed, versioned wire format
+  for data/feedback/close frames, including the mod-2\\ :sup:`16` sequence
+  arithmetic helpers;
+* :mod:`repro.transport.reliable` — socket-free selective-repeat machinery:
+  the sender-side retransmit buffer with SACK-driven loss detection, the
+  receiver-side reorder/dedup window, and the RFC 6298-style adaptive RTO
+  (SRTT/RTTVAR) that paces retransmissions when the feedback channel goes
+  quiet;
+* :mod:`repro.transport.endpoint` — UDP endpoints: a wall-clock
+  :class:`~repro.transport.endpoint.WallClockContext` stands in for the
+  simulator's ``HostContext``, and a
+  :class:`~repro.core.forecaster.TickFromWallClock` adapter maps real time
+  onto the forecaster's 20 ms tick lattice;
+* :mod:`repro.transport.harness` — the live measurement harness behind
+  ``repro live``: sized transfers over loopback with configurable repeats,
+  deterministic datagram-loss injection, and throughput / per-packet delay
+  percentile reporting in the same :class:`~repro.metrics.summary.SchemeResult`
+  shape the sweep/export stack consumes.
+
+Everything here is stdlib ``socket``/``select`` plus the repo's own code —
+no new dependencies.
+"""
+
+from repro.transport.harness import (  # noqa: F401
+    LiveConfig,
+    LiveTransferResult,
+    run_live_suite,
+    run_live_transfer,
+    sockets_available,
+)
+from repro.transport.reliable import AdaptiveRTO, ReorderWindow, RetransmitBuffer  # noqa: F401
+from repro.transport.wire import (  # noqa: F401
+    DataFrame,
+    FeedbackFrame,
+    WIRE_VERSION,
+    WireFormatError,
+    decode_frame,
+)

@@ -1,0 +1,508 @@
+"""UDP endpoints that run the simulator's Sprout protocols over real sockets.
+
+The protocol objects (:class:`~repro.core.sender.SproutSender`,
+:class:`~repro.core.receiver.SproutReceiver`) only ever touch their
+:class:`~repro.simulation.endpoints.HostContext` — read the clock, send a
+packet — so running them live takes three adapters and no protocol changes:
+
+* :class:`WallClockContext` exposes the ``HostContext`` surface over a real
+  monotonic clock and a transmit callback that serialises each simulator
+  :class:`~repro.simulation.packet.Packet` into a wire frame;
+* :class:`~repro.core.forecaster.TickFromWallClock` maps irregular
+  ``select()`` wake-ups onto the paper's 20 ms tick lattice;
+* the endpoints below own the socket loop, the selective-repeat layer
+  (:mod:`repro.transport.reliable`), and the translation between wire
+  frames and the header-dict packets the protocols parse.
+
+Loss injection happens at the sender's ``sendto``: a deterministic
+Bernoulli gate (the sha256 idiom of :func:`repro.testing.faults._coin`,
+keyed on ``(seed, wire_seq, attempt)``) silently drops the datagram, so a
+10% loss test replays identically every run while the selective-repeat
+machinery does real recovery work.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import logging
+import select
+import socket
+import time
+from typing import Callable, List, Optional, Tuple
+
+from repro.core.forecaster import EWMAForecaster, TickFromWallClock
+from repro.core.packets import (
+    CONTROL_PACKET_BYTES,
+    make_data_packet,
+    make_feedback_packet,
+    parse_data_header,
+    parse_feedback,
+)
+from repro.core.receiver import SproutReceiver
+from repro.core.sender import SproutSender
+from repro.simulation.packet import MTU_BYTES, Packet
+from repro.transport.reliable import AdaptiveRTO, ReorderWindow, RetransmitBuffer
+from repro.transport.wire import (
+    MAX_FORECAST_TICKS,
+    CloseFrame,
+    DataFrame,
+    FeedbackFrame,
+    WireFormatError,
+    decode_frame,
+    encode_close,
+    encode_data,
+    encode_feedback,
+    seq_add,
+)
+
+_LOG = logging.getLogger("repro.transport")
+
+#: loss gate: ``(wire_seq, attempt) -> True`` to drop the datagram unsent
+LossGate = Callable[[int, int], bool]
+
+#: how many best-effort CLOSE frames end a completed transfer
+CLOSE_REPEATS = 3
+
+#: ceiling on one select() sleep, so deadline checks stay responsive
+MAX_SELECT_WAIT = 0.05
+
+
+def bernoulli_loss_gate(probability: float, seed: int = 0) -> LossGate:
+    """Deterministic datagram-loss gate (sha256 Bernoulli draw).
+
+    The decision hashes ``(seed, wire_seq, attempt)`` — the same idiom as
+    :func:`repro.testing.faults._coin` — so a retransmission of a dropped
+    seq draws a fresh coin, and the whole loss pattern replays identically
+    for a given seed.
+    """
+    if not 0.0 <= probability < 1.0:
+        raise ValueError(f"loss probability must be in [0, 1), got {probability}")
+
+    def gate(wire_seq: int, attempt: int) -> bool:
+        digest = hashlib.sha256(
+            f"{seed}|datagram|{wire_seq}|{attempt}".encode("utf-8")
+        ).digest()
+        return int.from_bytes(digest[:8], "big") / 2**64 < probability
+
+    return gate
+
+
+class WallClockContext:
+    """The :class:`~repro.simulation.endpoints.HostContext` surface, live.
+
+    ``clock`` is a zero-argument callable returning seconds on a shared
+    monotonic timebase; both endpoints of a loopback transfer use the same
+    base so a receiver can subtract a sender timestamp directly.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        transmit: Callable[[Packet], None],
+        name: str,
+    ) -> None:
+        self._clock = clock
+        self._transmit = transmit
+        self.name = name
+        self.bytes_sent = 0
+        self.packets_sent = 0
+
+    def now(self) -> float:
+        return self._clock()
+
+    def send(self, packet: Packet) -> None:
+        packet.sent_at = self.now()
+        self.bytes_sent += packet.size
+        self.packets_sent += 1
+        self._transmit(packet)
+
+    def schedule_after(self, delay: float, callback: Callable[[], None]):
+        # The Sprout protocols are tick-driven and never set ad-hoc timers;
+        # anything that needs one must run inside the simulator.
+        raise NotImplementedError(
+            "WallClockContext has no event loop; drive the protocol by ticks"
+        )
+
+
+class SizedTransferProvider:
+    """Payload provider offering exactly ``total_bytes``, MTU-chunked.
+
+    Plugs into :class:`~repro.core.sender.SproutSender` as its
+    ``payload_provider``: each call consumes up to ``budget`` bytes of the
+    remaining transfer (never splitting mid-MTU except for the final tail),
+    so the Sprout window still paces everything.
+    """
+
+    def __init__(self, total_bytes: int, mtu_bytes: int = MTU_BYTES) -> None:
+        if total_bytes <= 0:
+            raise ValueError(f"transfer size must be positive, got {total_bytes}")
+        self.total_bytes = int(total_bytes)
+        self.mtu_bytes = int(mtu_bytes)
+        self.remaining = self.total_bytes
+
+    @property
+    def exhausted(self) -> bool:
+        return self.remaining <= 0
+
+    def __call__(self, now: float, budget_bytes: int) -> List[int]:
+        sizes: List[int] = []
+        budget = int(budget_bytes)
+        while self.remaining > 0:
+            take = min(self.mtu_bytes, self.remaining)
+            if take > budget:
+                break
+            sizes.append(take)
+            self.remaining -= take
+            budget -= take
+        return sizes
+
+
+def _drain_datagrams(sock: socket.socket) -> List[Tuple[bytes, Tuple]]:
+    """Non-blocking drain of every datagram currently queued on ``sock``."""
+    datagrams: List[Tuple[bytes, Tuple]] = []
+    while True:
+        try:
+            data, addr = sock.recvfrom(65536)
+        except (BlockingIOError, InterruptedError):
+            return datagrams
+        except OSError:
+            return datagrams
+        datagrams.append((data, addr))
+
+
+class SenderEndpoint:
+    """Live Sprout sender: protocol + selective repeat + the socket loop.
+
+    Runs a sized transfer to ``remote``: the Sprout window paces fresh
+    data, every datagram (data and heartbeat alike) carries a wire seq and
+    sits in the retransmit buffer until the receiver's feedback acks it,
+    and the transfer is complete when the payload is fully offered *and*
+    every wire seq is acked — the "zero lost-forever packets" criterion is
+    exactly ``lost_forever == 0`` at completion.
+    """
+
+    def __init__(
+        self,
+        remote: Tuple[str, int],
+        total_bytes: int,
+        clock: Callable[[], float],
+        loss_gate: Optional[LossGate] = None,
+        deadline: float = 30.0,
+        ewma: bool = False,
+        rto: Optional[AdaptiveRTO] = None,
+    ) -> None:
+        self.remote = remote
+        self.provider = SizedTransferProvider(total_bytes)
+        self.clock = clock
+        self.loss_gate = loss_gate
+        self.deadline = float(deadline)
+        self.ewma = ewma  # recorded for the harness report; the sender side
+        # has no forecaster of its own, the receiver picks the engine.
+        self.protocol = SproutSender(payload_provider=self.provider, flow_id="sprout-live")
+        self.ctx = WallClockContext(clock, self._transmit_packet, "live-sender")
+        self.buffer = RetransmitBuffer(rto=rto)
+        self.ticker = TickFromWallClock(self.protocol.tick_interval)
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.setblocking(False)
+        self._next_seq = 0
+        self.datagrams_sent = 0
+        self.injected_drops = 0
+        self.malformed_received = 0
+        self.feedback_received = 0
+        self.completed = False
+        self.elapsed = 0.0
+
+    # ------------------------------------------------------------ transmit
+
+    def _transmit_packet(self, packet: Packet) -> None:
+        """ctx.send callback: serialise one protocol packet onto the wire."""
+        header = parse_data_header(packet)
+        if header is None:
+            return  # the sender protocol only emits data/heartbeat packets
+        now = self.ctx.now()
+        frame = DataFrame(
+            wire_seq=self._next_seq,
+            seq_bytes=header.seq_bytes,
+            throwaway_bytes=header.throwaway_bytes,
+            time_to_next=header.time_to_next,
+            timestamp=now,
+            transfer_total=self.provider.total_bytes,
+            size=packet.size,
+            heartbeat=header.is_heartbeat,
+            fin=self.provider.exhausted,
+        )
+        encoded = encode_data(frame)
+        if not self.buffer.has_room():
+            # The window protocol should never get here (Sprout's window is
+            # far below 1024 packets in flight); drop rather than wedge.
+            _LOG.warning("retransmit buffer full; dropping wire seq %d", self._next_seq)
+            return
+        self.buffer.track(frame.wire_seq, encoded, now)
+        self._next_seq = seq_add(self._next_seq)
+        self._raw_send(frame.wire_seq, encoded, attempt=0)
+
+    def _raw_send(self, wire_seq: int, encoded: bytes, attempt: int) -> None:
+        if self.loss_gate is not None and self.loss_gate(wire_seq, attempt):
+            self.injected_drops += 1
+            return
+        try:
+            self.sock.sendto(encoded, self.remote)
+        except OSError as error:
+            # A full socket buffer behaves like loss; the RTO recovers it.
+            _LOG.debug("sendto failed for wire seq %d: %s", wire_seq, error)
+            return
+        self.datagrams_sent += 1
+
+    # ------------------------------------------------------------ feedback
+
+    def _handle_feedback(self, frame: FeedbackFrame, now: float) -> None:
+        self.feedback_received += 1
+        # Karn-safe RTT sample: only a seq that is still outstanding and
+        # was never retransmitted gives an unambiguous echo.
+        if frame.echo_timestamp > 0.0 and self.buffer.rtt_sample_ok(frame.echo_seq):
+            rtt = now - frame.echo_timestamp - frame.echo_delay
+            self.buffer.rto.sample(rtt)
+        self.buffer.on_feedback(frame.ack_seq, frame.sack_bitmap, now)
+        packet = make_feedback_packet(
+            forecast_bytes=frame.forecast_bytes,
+            forecast_time=frame.forecast_time,
+            received_or_lost_bytes=frame.received_or_lost_bytes,
+            flow_id="sprout-live-feedback",
+        )
+        self.protocol.on_packet(packet, now)
+
+    def _retransmit_due(self, now: float) -> None:
+        for wire_seq, encoded in self.buffer.due(now):
+            frame = decode_frame(encoded)
+            if not isinstance(frame, DataFrame):  # pragma: no cover - tracked frames are data
+                continue
+            frame.timestamp = now
+            frame.retransmit = True
+            refreshed = encode_data(frame)
+            self.buffer.retransmitted(wire_seq, refreshed, now)
+            self._raw_send(wire_seq, refreshed, attempt=self.buffer.attempts(wire_seq))
+
+    # ----------------------------------------------------------------- run
+
+    def run(self) -> bool:
+        """Drive the transfer to completion; True iff everything was acked.
+
+        Blocks until the payload is fully offered and every wire seq acked
+        (then sends best-effort CLOSE frames and returns True), or until
+        ``deadline`` seconds elapse (returns False with whatever state the
+        endpoint reached).
+        """
+        start = self.clock()
+        give_up = start + self.deadline
+        self.protocol.start(self.ctx)
+        self.ticker.start(start)
+        try:
+            while True:
+                now = self.clock()
+                if self.provider.exhausted and len(self.buffer) == 0:
+                    self.completed = True
+                    self._send_close()
+                    break
+                if now >= give_up:
+                    break
+                timeout = self._select_timeout(now)
+                readable, _, _ = select.select([self.sock], [], [], timeout)
+                now = self.clock()
+                if readable:
+                    for data, _addr in _drain_datagrams(self.sock):
+                        try:
+                            frame = decode_frame(data)
+                        except WireFormatError:
+                            self.malformed_received += 1
+                            continue
+                        if isinstance(frame, FeedbackFrame):
+                            self._handle_feedback(frame, now)
+                # In drain mode (payload fully offered) the protocol has
+                # nothing left to say: ticking it would only emit fresh
+                # heartbeats that push completion further out.
+                if not self.provider.exhausted:
+                    for _ in range(self.ticker.due_ticks(now)):
+                        self.protocol.on_tick(now)
+                self._retransmit_due(now)
+        finally:
+            self.elapsed = self.clock() - start
+            self.sock.close()
+        return self.completed
+
+    def _select_timeout(self, now: float) -> float:
+        deadlines = [now + MAX_SELECT_WAIT]
+        tick = self.ticker.next_deadline()
+        if tick is not None and not self.provider.exhausted:
+            deadlines.append(tick)
+        rto = self.buffer.next_deadline(now)
+        if rto is not None:
+            deadlines.append(rto)
+        return max(0.0, min(deadlines) - now)
+
+    def _send_close(self) -> None:
+        # Best-effort and exempt from injected loss: CLOSE only shortcuts
+        # the receiver's deadline wait, it carries no reliability burden.
+        encoded = encode_close(CloseFrame(wire_seq=self._next_seq))
+        for _ in range(CLOSE_REPEATS):
+            try:
+                self.sock.sendto(encoded, self.remote)
+            except OSError:
+                return
+
+    @property
+    def lost_forever(self) -> int:
+        """Wire seqs never acknowledged — 0 after a completed transfer."""
+        return len(self.buffer)
+
+
+class ReceiverEndpoint:
+    """Live Sprout receiver: reorder window + protocol + feedback frames.
+
+    Binds a loopback UDP socket (ephemeral port by default; read
+    :attr:`port` after construction), feeds every *unique* data frame to
+    the unmodified :class:`~repro.core.receiver.SproutReceiver`, and wraps
+    the protocol's feedback packets with the transport's ack/SACK state and
+    RTT echo on their way out.  Per-packet one-way delays come straight
+    from the real timestamps: receive time minus the frame's send stamp,
+    both on the harness's shared monotonic timebase.
+    """
+
+    def __init__(
+        self,
+        clock: Callable[[], float],
+        bind: Tuple[str, int] = ("127.0.0.1", 0),
+        deadline: float = 30.0,
+        ewma: bool = False,
+    ) -> None:
+        self.clock = clock
+        self.deadline = float(deadline)
+        forecaster = EWMAForecaster() if ewma else None
+        self.protocol = SproutReceiver(forecaster=forecaster, flow_id="sprout-live")
+        self.ctx = WallClockContext(clock, self._transmit_feedback, "live-receiver")
+        self.window = ReorderWindow(first_seq=0)
+        self.ticker = TickFromWallClock(self.protocol.tick_interval)
+        self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+        self.sock.bind(bind)
+        self.sock.setblocking(False)
+        self.port = self.sock.getsockname()[1]
+        self._peer: Optional[Tuple] = None
+        self._feedback_seq = 0
+        self._echo: Optional[Tuple[int, float, float]] = None  # seq, stamp, arrival
+        self.delays: List[float] = []
+        self.unique_data_bytes = 0
+        self.data_frames = 0
+        self.heartbeat_frames = 0
+        self.malformed_received = 0
+        self.feedback_frames_sent = 0
+        self.first_arrival: Optional[float] = None
+        self.last_arrival: Optional[float] = None
+        self.saw_fin = False
+        self.closed = False
+
+    # ------------------------------------------------------------ feedback
+
+    def _transmit_feedback(self, packet: Packet) -> None:
+        """ctx.send callback: wrap a protocol feedback packet in a frame."""
+        feedback = parse_feedback(packet)
+        if feedback is None or self._peer is None:
+            return
+        now = self.ctx.now()
+        echo_seq, echo_timestamp, echo_delay = 0, 0.0, 0.0
+        if self._echo is not None:
+            echo_seq, echo_timestamp, arrival = self._echo
+            echo_delay = max(0.0, now - arrival)
+        frame = FeedbackFrame(
+            wire_seq=self._feedback_seq,
+            forecast_bytes=list(feedback.forecast_bytes)[:MAX_FORECAST_TICKS],
+            forecast_time=feedback.forecast_time,
+            received_or_lost_bytes=feedback.received_or_lost_bytes,
+            ack_seq=self.window.ack_seq,
+            sack_bitmap=self.window.sack_bitmap(),
+            echo_seq=echo_seq,
+            echo_timestamp=echo_timestamp,
+            echo_delay=echo_delay,
+        )
+        self._feedback_seq = seq_add(self._feedback_seq)
+        try:
+            self.sock.sendto(encode_feedback(frame), self._peer)
+        except OSError:
+            return  # the feedback channel is unreliable by design
+        self.feedback_frames_sent += 1
+
+    # ------------------------------------------------------------- receive
+
+    def _handle_data(self, frame: DataFrame, addr: Tuple, now: float) -> None:
+        self._peer = addr
+        # Echo the newest arrival whatever its novelty; the sender's Karn
+        # check discards ambiguous (retransmitted) samples.
+        self._echo = (frame.wire_seq, frame.timestamp, now)
+        if not self.window.accept(frame.wire_seq):
+            return
+        self.delays.append(now - frame.timestamp)
+        if self.first_arrival is None:
+            self.first_arrival = now
+        self.last_arrival = now
+        if frame.heartbeat:
+            self.heartbeat_frames += 1
+        else:
+            self.data_frames += 1
+            self.unique_data_bytes += frame.size
+        if frame.fin:
+            self.saw_fin = True
+        packet = make_data_packet(
+            size=max(frame.size, CONTROL_PACKET_BYTES),
+            seq_bytes=frame.seq_bytes,
+            throwaway_bytes=frame.throwaway_bytes,
+            time_to_next=frame.time_to_next,
+            flow_id="sprout-live",
+            is_heartbeat=frame.heartbeat,
+        )
+        packet.sent_at = frame.timestamp
+        packet.delivered_at = now
+        self.protocol.on_packet(packet, now)
+
+    # ----------------------------------------------------------------- run
+
+    def run(self) -> bool:
+        """Receive until a CLOSE frame or the deadline; True iff closed."""
+        start = self.clock()
+        give_up = start + self.deadline
+        self.protocol.start(self.ctx)
+        self.ticker.start(start)
+        try:
+            while True:
+                now = self.clock()
+                if self.closed or now >= give_up:
+                    break
+                timeout = self._select_timeout(now)
+                readable, _, _ = select.select([self.sock], [], [], timeout)
+                now = self.clock()
+                if readable:
+                    for data, addr in _drain_datagrams(self.sock):
+                        try:
+                            frame = decode_frame(data)
+                        except WireFormatError:
+                            self.malformed_received += 1
+                            continue
+                        if isinstance(frame, DataFrame):
+                            self._handle_data(frame, addr, now)
+                        elif isinstance(frame, CloseFrame):
+                            self.closed = True
+                for _ in range(self.ticker.due_ticks(now)):
+                    self.protocol.on_tick(now)
+        finally:
+            self.sock.close()
+        return self.closed
+
+    def _select_timeout(self, now: float) -> float:
+        deadlines = [now + MAX_SELECT_WAIT]
+        tick = self.ticker.next_deadline()
+        if tick is not None:
+            deadlines.append(tick)
+        return max(0.0, min(deadlines) - now)
+
+
+def shared_monotonic_clock() -> Callable[[], float]:
+    """A zero-based monotonic clock both endpoints of a transfer share."""
+    base = time.monotonic()
+    return lambda: time.monotonic() - base

@@ -1,0 +1,277 @@
+"""Loopback live-measurement harness behind ``repro live``.
+
+Shape follows the speed-test idiom (SNIPPETS.md Snippet 1): a sized
+transfer, repeated a configurable number of times, reporting throughput and
+per-packet delay percentiles.  Each repeat runs a
+:class:`~repro.transport.endpoint.ReceiverEndpoint` in a thread and a
+:class:`~repro.transport.endpoint.SenderEndpoint` in the caller's thread,
+both over 127.0.0.1 on a shared monotonic timebase, optionally under the
+deterministic datagram-loss gate.
+
+Results flow into the existing analysis stack unmodified: every repeat
+becomes a :class:`~repro.metrics.summary.SchemeResult` (scheme
+``"Sprout (live)"``, link ``"loopback"``, transport counters in ``extra``)
+and :func:`run_live_suite` wraps the repeats in a
+:class:`~repro.experiments.sweeps.GridData` over the inert ``repeat`` axis,
+so ``repro live --export`` writes the same schema-v4 CSV/JSON any sweep
+does and the exports parse back through ``parse_csv`` / ``parse_json``.
+
+Loopback caveats (docs/transport.md): no propagation delay, no bottleneck
+queue, throughput bounded by the forecaster's rate model rather than any
+physical link — the numbers characterise the *transport implementation*,
+not a network.
+"""
+
+from __future__ import annotations
+
+import socket
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.experiments.sweeps import GridData, GridPoint, GridSpec
+from repro.metrics.delay import delay_percentiles
+from repro.metrics.summary import SchemeResult
+from repro.transport.endpoint import (
+    ReceiverEndpoint,
+    SenderEndpoint,
+    bernoulli_loss_gate,
+    shared_monotonic_clock,
+)
+
+#: identity under which live results enter the analysis stack
+LIVE_SCHEME = "Sprout (live)"
+LIVE_LINK = "loopback"
+
+
+def sockets_available() -> bool:
+    """Whether loopback UDP sockets can be created and bound here.
+
+    Sandboxed CI runners sometimes forbid even 127.0.0.1 sockets; every
+    live test and the ``repro live`` command gate on this instead of
+    failing with an obscure ``OSError`` mid-transfer.
+    """
+    try:
+        probe = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
+    except OSError:
+        return False
+    try:
+        probe.bind(("127.0.0.1", 0))
+        probe.getsockname()
+    except OSError:
+        return False
+    finally:
+        probe.close()
+    return True
+
+
+@dataclass(frozen=True)
+class LiveConfig:
+    """One live measurement: transfer size, repeats, loss injection."""
+
+    transfer_bytes: int = 256 * 1024
+    repeats: int = 3
+    loss_rate: float = 0.0
+    loss_seed: int = 0
+    deadline: float = 30.0
+    ewma: bool = False
+
+    def __post_init__(self) -> None:
+        if self.transfer_bytes <= 0:
+            raise ValueError(f"transfer_bytes must be positive, got {self.transfer_bytes}")
+        if self.repeats < 1:
+            raise ValueError(f"repeats must be at least 1, got {self.repeats}")
+        if not 0.0 <= self.loss_rate < 1.0:
+            raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
+        if self.deadline <= 0:
+            raise ValueError(f"deadline must be positive, got {self.deadline}")
+
+
+@dataclass
+class LiveTransferResult:
+    """Everything one repeat measured, transport counters included."""
+
+    repeat: int
+    transfer_bytes: int
+    completed: bool
+    closed: bool
+    duration_s: float
+    payload_bytes: int
+    throughput_bps: float
+    delay_percentiles_s: Dict[str, float] = field(default_factory=dict)
+    min_delay_s: float = float("nan")
+    datagrams_sent: int = 0
+    total_retransmits: int = 0
+    fast_retransmits: int = 0
+    timeout_retransmits: int = 0
+    injected_drops: int = 0
+    duplicates: int = 0
+    reordered: int = 0
+    lost_forever: int = 0
+    malformed: int = 0
+    srtt_s: Optional[float] = None
+    ticks_skipped: int = 0
+
+    def to_scheme_result(self) -> SchemeResult:
+        """This repeat as a sweep-stack row (``extra`` holds the counters).
+
+        ``delay_95_s`` is the 95th percentile of the real per-packet
+        one-way delays; loopback has no queue to be omniscient about, so
+        the minimum observed delay stands in for the omniscient baseline
+        and the self-inflicted delay is the tail's excess over it.
+        """
+        p95 = self.delay_percentiles_s.get("p95", float("nan"))
+        floor = self.min_delay_s
+        if p95 == p95 and floor == floor:
+            self_inflicted = max(0.0, p95 - floor)
+        else:
+            self_inflicted = float("nan")
+        extra: Dict[str, float] = {
+            "live_repeat": float(self.repeat),
+            "live_completed": float(self.completed),
+            "live_transfer_bytes": float(self.transfer_bytes),
+            "live_payload_bytes": float(self.payload_bytes),
+            "live_duration_s": float(self.duration_s),
+            "live_datagrams_sent": float(self.datagrams_sent),
+            "live_retransmits": float(self.total_retransmits),
+            "live_fast_retransmits": float(self.fast_retransmits),
+            "live_timeout_retransmits": float(self.timeout_retransmits),
+            "live_injected_drops": float(self.injected_drops),
+            "live_duplicates": float(self.duplicates),
+            "live_reordered": float(self.reordered),
+            "live_lost_forever": float(self.lost_forever),
+            "live_malformed": float(self.malformed),
+            "live_ticks_skipped": float(self.ticks_skipped),
+        }
+        for key, value in self.delay_percentiles_s.items():
+            extra[f"live_delay_{key}_s"] = float(value)
+        if self.srtt_s is not None:
+            extra["live_srtt_s"] = float(self.srtt_s)
+        return SchemeResult(
+            scheme=LIVE_SCHEME,
+            link=LIVE_LINK,
+            throughput_bps=self.throughput_bps,
+            delay_95_s=p95,
+            self_inflicted_delay_s=self_inflicted,
+            utilization=0.0,
+            capacity_bps=0.0,
+            omniscient_delay_95_s=floor,
+            extra=extra,
+        )
+
+
+def run_live_transfer(config: LiveConfig, repeat: int = 1) -> LiveTransferResult:
+    """Run one sized loopback transfer and measure it.
+
+    The receiver binds an ephemeral loopback port and runs in a daemon
+    thread; the sender drives the transfer in the calling thread.  The
+    loss gate (when ``loss_rate > 0``) is seeded per repeat so repeats see
+    different — but individually reproducible — loss patterns.
+    """
+    clock = shared_monotonic_clock()
+    receiver = ReceiverEndpoint(clock, deadline=config.deadline, ewma=config.ewma)
+    thread = threading.Thread(
+        target=receiver.run, name=f"sprout-live-receiver-{repeat}", daemon=True
+    )
+    thread.start()
+    gate = None
+    if config.loss_rate > 0.0:
+        gate = bernoulli_loss_gate(config.loss_rate, seed=config.loss_seed + repeat)
+    sender = SenderEndpoint(
+        ("127.0.0.1", receiver.port),
+        config.transfer_bytes,
+        clock,
+        loss_gate=gate,
+        deadline=config.deadline,
+        ewma=config.ewma,
+    )
+    completed = sender.run()
+    thread.join(config.deadline + 5.0)
+
+    duration = max(sender.elapsed, 1e-9)
+    delays = list(receiver.delays)
+    return LiveTransferResult(
+        repeat=repeat,
+        transfer_bytes=config.transfer_bytes,
+        completed=completed,
+        closed=receiver.closed,
+        duration_s=duration,
+        payload_bytes=receiver.unique_data_bytes,
+        throughput_bps=8.0 * receiver.unique_data_bytes / duration,
+        delay_percentiles_s=delay_percentiles(delays),
+        min_delay_s=min(delays) if delays else float("nan"),
+        datagrams_sent=sender.datagrams_sent,
+        total_retransmits=sender.buffer.total_retransmits,
+        fast_retransmits=sender.buffer.fast_retransmits,
+        timeout_retransmits=sender.buffer.timeout_retransmits,
+        injected_drops=sender.injected_drops,
+        duplicates=receiver.window.duplicates,
+        reordered=receiver.window.reordered,
+        lost_forever=sender.lost_forever,
+        malformed=sender.malformed_received + receiver.malformed_received,
+        srtt_s=sender.buffer.rto.srtt,
+        ticks_skipped=sender.ticker.ticks_skipped + receiver.ticker.ticks_skipped,
+    )
+
+
+def live_grid_data(results: List[LiveTransferResult]) -> GridData:
+    """Package live repeats as a one-axis grid over the ``repeat`` axis.
+
+    The resulting :class:`GridData` is indistinguishable in shape from a
+    simulated sweep's, so ``render_grid``, ``export_csv``/``export_json``
+    and the schema-v4 parsers all apply as-is.
+    """
+    if not results:
+        raise ValueError("no live transfer results to package")
+    spec = GridSpec(
+        parameters=("repeat",),
+        values=(tuple(float(result.repeat) for result in results),),
+        schemes=(LIVE_SCHEME,),
+        links=(LIVE_LINK,),
+    )
+    points = [
+        GridPoint(
+            parameters=("repeat",),
+            coordinates=(float(result.repeat),),
+            results=[result.to_scheme_result()],
+        )
+        for result in results
+    ]
+    return GridData(spec=spec, points=points)
+
+
+def render_live_results(results: List[LiveTransferResult]) -> str:
+    """Per-repeat transport summary for the ``repro live`` output."""
+    if not results:
+        return "no live transfers ran"
+    first = results[0]
+    lines = [
+        f"Live loopback — {first.transfer_bytes} bytes × {len(results)} repeat(s), "
+        "Sprout over real UDP (docs/transport.md)",
+        "",
+        f"  {'repeat':>6s} {'tput (kbps)':>12s} {'p50 (ms)':>9s} {'p95 (ms)':>9s} "
+        f"{'p99 (ms)':>9s} {'sent':>6s} {'rtx':>5s} {'drops':>6s} "
+        f"{'lost':>5s} {'done':>5s}",
+    ]
+    for result in results:
+        p = result.delay_percentiles_s
+        lines.append(
+            f"  {result.repeat:6d} {result.throughput_bps / 1000:12.0f} "
+            f"{1000 * p.get('p50', float('nan')):9.2f} "
+            f"{1000 * p.get('p95', float('nan')):9.2f} "
+            f"{1000 * p.get('p99', float('nan')):9.2f} "
+            f"{result.datagrams_sent:6d} {result.total_retransmits:5d} "
+            f"{result.injected_drops:6d} {result.lost_forever:5d} "
+            f"{'yes' if result.completed else 'NO':>5s}"
+        )
+    lines.append("")
+    return "\n".join(lines)
+
+
+def run_live_suite(config: LiveConfig) -> Tuple[GridData, List[LiveTransferResult]]:
+    """Run every repeat and return (sweep-shaped grid, raw transfer results)."""
+    results = [
+        run_live_transfer(config, repeat=index)
+        for index in range(1, config.repeats + 1)
+    ]
+    return live_grid_data(results), results

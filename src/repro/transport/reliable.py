@@ -1,0 +1,295 @@
+"""Socket-free selective-repeat machinery for the UDP transport.
+
+Sprout itself never retransmits — the paper's protocol tolerates loss and
+folds it into ``received_or_lost_bytes``.  The *transport* acceptance bar
+is stricter: a sized transfer over a lossy loopback must deliver every
+datagram eventually.  Reliability therefore lives one layer below the
+protocol, keyed on per-datagram 16-bit wire sequence numbers that
+:class:`~repro.core.sender.SproutSender` never sees:
+
+* :class:`AdaptiveRTO` — RFC 6298-idiom retransmission timer (SRTT/RTTVAR,
+  ``K = 4``, ``alpha = 1/8``, ``beta = 1/4``) fed by timestamp echoes on
+  the feedback channel, with Karn's rule applied by the caller (no samples
+  from retransmitted sequence numbers);
+* :class:`RetransmitBuffer` — sender side: holds encoded frames until
+  acked, declares loss on SACK evidence (dupthresh 3, fast-retransmit
+  idiom) or RTO expiry with exponential backoff, and reports which frames
+  to re-send;
+* :class:`ReorderWindow` — receiver side: dedups duplicates, tolerates
+  reordering, tracks the cumulative ack point plus a 64-bit SACK bitmap
+  for the feedback frame, and counts duplicate/reordered datagrams for the
+  harness report.
+
+Everything here is pure state-machine code over ``(seq, now)`` inputs so
+the Hypothesis suites can drive wraparound and reordering without a socket.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from repro.transport.wire import (
+    SEQ_HALF,
+    seq_add,
+    seq_distance,
+    seq_in_window,
+    seq_lt,
+)
+
+#: SACK evidence threshold before a hole is declared lost (TCP's dupthresh)
+DUPTHRESH = 3
+
+#: span of the feedback frame's SACK bitmap: seqs ``ack+1 .. ack+SACK_SPAN``
+SACK_SPAN = 64
+
+#: outstanding-window cap; far below SEQ_HALF so ring comparisons stay valid
+MAX_OUTSTANDING = 1024
+
+
+class AdaptiveRTO:
+    """RFC 6298-style retransmission timeout from RTT samples.
+
+    First sample sets ``SRTT = R`` and ``RTTVAR = R/2``; later samples blend
+    with ``alpha = 1/8`` / ``beta = 1/4``; the timeout is
+    ``SRTT + K * RTTVAR`` clamped to ``[min_rto, max_rto]``.  The loopback
+    floor (default 50 ms) is far above real loopback RTT, which keeps
+    spurious retransmits rare even when the receiver batches feedback.
+    """
+
+    K = 4.0
+    ALPHA = 1.0 / 8.0
+    BETA = 1.0 / 4.0
+
+    def __init__(
+        self,
+        initial_rto: float = 0.2,
+        min_rto: float = 0.05,
+        max_rto: float = 2.0,
+    ) -> None:
+        if not 0.0 < min_rto <= max_rto:
+            raise ValueError(f"invalid RTO bounds: [{min_rto}, {max_rto}]")
+        self.srtt: Optional[float] = None
+        self.rttvar: Optional[float] = None
+        self.min_rto = float(min_rto)
+        self.max_rto = float(max_rto)
+        self._rto = min(max(float(initial_rto), self.min_rto), self.max_rto)
+        self.samples = 0
+
+    def sample(self, rtt: float) -> None:
+        """Fold one RTT measurement in; non-finite/negative samples ignored."""
+        if not rtt >= 0.0:  # also rejects NaN
+            return
+        if self.srtt is None or self.rttvar is None:
+            self.srtt = rtt
+            self.rttvar = rtt / 2.0
+        else:
+            self.rttvar = (1.0 - self.BETA) * self.rttvar + self.BETA * abs(self.srtt - rtt)
+            self.srtt = (1.0 - self.ALPHA) * self.srtt + self.ALPHA * rtt
+        self.samples += 1
+        self._rto = min(max(self.srtt + self.K * self.rttvar, self.min_rto), self.max_rto)
+
+    def timeout(self, backoff: int = 0) -> float:
+        """Current RTO, doubled ``backoff`` times (capped at ``max_rto``)."""
+        return min(self._rto * (2.0 ** max(0, backoff)), self.max_rto)
+
+
+@dataclass
+class _Outstanding:
+    """One unacked datagram held for possible retransmission."""
+
+    encoded: bytes
+    sent_at: float
+    first_sent_at: float
+    retransmits: int = 0
+    sack_hits: int = 0  # times a *later* seq was SACKed while this was missing
+
+
+class RetransmitBuffer:
+    """Sender-side selective repeat over encoded datagrams.
+
+    The caller registers every transmitted datagram with :meth:`track`,
+    feeds each feedback frame's ``(ack_seq, sack_bitmap)`` to
+    :meth:`on_feedback`, and periodically asks :meth:`due` which sequence
+    numbers need re-sending (SACK dupthresh evidence or RTO expiry).  The
+    buffer stores the encoded bytes so a retransmit needs no protocol
+    involvement — the caller re-stamps timestamp/flags before re-sending
+    via :meth:`retransmitted`.
+    """
+
+    def __init__(self, rto: Optional[AdaptiveRTO] = None) -> None:
+        self.rto = rto if rto is not None else AdaptiveRTO()
+        self._outstanding: Dict[int, _Outstanding] = {}
+        #: cumulative stats for the harness report
+        self.total_retransmits = 0
+        self.fast_retransmits = 0
+        self.timeout_retransmits = 0
+
+    def __len__(self) -> int:
+        return len(self._outstanding)
+
+    @property
+    def in_flight(self) -> int:
+        return len(self._outstanding)
+
+    def has_room(self) -> bool:
+        return len(self._outstanding) < MAX_OUTSTANDING
+
+    def track(self, seq: int, encoded: bytes, now: float) -> None:
+        """Register a freshly transmitted datagram."""
+        if seq in self._outstanding:
+            raise ValueError(f"wire seq {seq} already outstanding")
+        if len(self._outstanding) >= MAX_OUTSTANDING:
+            raise ValueError("retransmit buffer full; caller must respect has_room()")
+        self._outstanding[seq] = _Outstanding(encoded=encoded, sent_at=now, first_sent_at=now)
+
+    def on_feedback(self, ack_seq: int, sack_bitmap: int, now: float) -> List[int]:
+        """Apply one feedback frame's ack state; return the seqs newly acked.
+
+        ``ack_seq`` is cumulative (the next seq the receiver has *not* yet
+        seen in order): everything strictly before it is delivered.  Bit
+        ``i`` of ``sack_bitmap`` acknowledges ``ack_seq + 1 + i``.  Every
+        hole below a SACKed seq collects one dupthresh hit per feedback
+        frame that shows the gap.
+        """
+        acked: List[int] = []
+        for seq in list(self._outstanding):
+            if seq_lt(seq, ack_seq):
+                acked.append(seq)
+        sacked: List[int] = []
+        for bit in range(SACK_SPAN):
+            if sack_bitmap >> bit & 1:
+                seq = seq_add(ack_seq, 1 + bit)
+                if seq in self._outstanding:
+                    acked.append(seq)
+                sacked.append(seq)
+        for seq in acked:
+            self._outstanding.pop(seq, None)
+        if sacked:
+            highest_sacked = sacked[-1]
+            for seq, entry in self._outstanding.items():
+                if seq_lt(seq, highest_sacked):
+                    entry.sack_hits += 1
+        return acked
+
+    def rtt_sample_ok(self, seq: int) -> bool:
+        """Karn's rule: only never-retransmitted seqs give clean RTT samples."""
+        entry = self._outstanding.get(seq)
+        return entry is not None and entry.retransmits == 0
+
+    def due(self, now: float) -> List[Tuple[int, bytes]]:
+        """Sequence numbers (with stored bytes) that should be re-sent now.
+
+        A datagram is due when it has ``DUPTHRESH`` SACK hits (fast
+        retransmit) or its per-packet RTO — backed off exponentially per
+        prior retransmit — has expired.  Ordered oldest-first so the
+        left edge of the window recovers first.
+        """
+        due: List[Tuple[int, bytes]] = []
+        for seq, entry in self._outstanding.items():
+            if entry.sack_hits >= DUPTHRESH:
+                due.append((seq, entry.encoded))
+            elif now - entry.sent_at >= self.rto.timeout(entry.retransmits):
+                due.append((seq, entry.encoded))
+        due.sort(key=lambda item: self._outstanding[item[0]].first_sent_at)
+        return due
+
+    def retransmitted(self, seq: int, encoded: bytes, now: float) -> None:
+        """Record that ``seq`` was just re-sent as ``encoded``."""
+        entry = self._outstanding.get(seq)
+        if entry is None:
+            return
+        was_fast = entry.sack_hits >= DUPTHRESH
+        entry.encoded = encoded
+        entry.sent_at = now
+        entry.retransmits += 1
+        entry.sack_hits = 0
+        self.total_retransmits += 1
+        if was_fast:
+            self.fast_retransmits += 1
+        else:
+            self.timeout_retransmits += 1
+
+    def attempts(self, seq: int) -> int:
+        """Times ``seq`` has been (re)transmitted beyond the original send."""
+        entry = self._outstanding.get(seq)
+        return entry.retransmits if entry is not None else 0
+
+    def next_deadline(self, now: float) -> Optional[float]:
+        """Earliest RTO expiry among outstanding datagrams (for select())."""
+        deadlines = [
+            entry.sent_at + self.rto.timeout(entry.retransmits)
+            for entry in self._outstanding.values()
+        ]
+        return min(deadlines) if deadlines else None
+
+
+class ReorderWindow:
+    """Receiver-side dedup/reorder tracking over wire sequence numbers.
+
+    Feeds two consumers: the feedback frame (``ack_seq`` + 64-bit SACK
+    bitmap) and the harness report (duplicate / reordered counters).  The
+    window keeps every out-of-order seq in a set bounded by ``SEQ_HALF``
+    ring distance from the ack point, so arbitrary loss patterns cannot
+    grow it past the valid comparison horizon.
+    """
+
+    def __init__(self, first_seq: int = 0) -> None:
+        self._ack = first_seq & 0xFFFF  # next seq expected in order
+        self._out_of_order: set = set()
+        self._highest: Optional[int] = None
+        self.unique_accepted = 0
+        self.duplicates = 0
+        self.reordered = 0
+
+    @property
+    def ack_seq(self) -> int:
+        return self._ack
+
+    def accept(self, seq: int) -> bool:
+        """Process one arriving seq; True iff it is new (not a duplicate).
+
+        Seqs at or behind the cumulative ack point, or already held out of
+        order, count as duplicates.  A new seq that arrives behind the
+        highest seq seen so far counts as reordered.
+        """
+        if not seq_in_window(seq, self._ack, SEQ_HALF):
+            # at/behind the ack point (or absurdly far ahead): duplicate
+            self.duplicates += 1
+            return False
+        if seq in self._out_of_order:
+            self.duplicates += 1
+            return False
+        if self._highest is not None and seq_lt(seq, self._highest):
+            self.reordered += 1
+        if self._highest is None or seq_lt(self._highest, seq):
+            self._highest = seq
+        self.unique_accepted += 1
+        if seq == self._ack:
+            self._ack = seq_add(self._ack)
+            while self._ack in self._out_of_order:
+                self._out_of_order.discard(self._ack)
+                self._ack = seq_add(self._ack)
+        else:
+            self._out_of_order.add(seq)
+        return True
+
+    def sack_bitmap(self) -> int:
+        """64-bit bitmap over ``ack+1 .. ack+64``; bit i set iff held."""
+        bitmap = 0
+        for bit in range(SACK_SPAN):
+            if seq_add(self._ack, 1 + bit) in self._out_of_order:
+                bitmap |= 1 << bit
+        return bitmap
+
+    @property
+    def missing(self) -> int:
+        """Holes between the ack point and the highest seq seen."""
+        if self._highest is None or not seq_lt(self._ack, seq_add(self._highest)):
+            return 0
+        span = seq_distance(self._ack, seq_add(self._highest))
+        return span - len(self._out_of_order)
+
+    def all_delivered_through(self, last_seq: int) -> bool:
+        """True iff every seq up to and including ``last_seq`` has arrived."""
+        return seq_lt(last_seq, self._ack) or self._ack == seq_add(last_seq)

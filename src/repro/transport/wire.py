@@ -1,0 +1,277 @@
+"""Sprout-over-UDP wire format: struct-packed, versioned frames.
+
+Inside the emulator, Sprout control fields travel in a packet's ``headers``
+dict (:mod:`repro.core.packets`).  On a real socket they must be bytes;
+this module is the codec.  Three frame types share a fixed 6-byte preamble
+``(magic, version, type, wire_seq)`` so a receiver can reject foreign or
+stale-format datagrams before trusting a single field:
+
+* **data** (sender → receiver): the transport-level 16-bit wire sequence
+  number (one per datagram, mod 2\\ :sup:`16` — wraparound arithmetic in
+  :func:`seq_lt` and friends), the Sprout control fields (cumulative byte
+  sequence, throwaway number, time-to-next, heartbeat flag), a send
+  timestamp for delay measurement and RTT echo, the total size of the
+  sized transfer, and padding up to the advertised payload length so the
+  datagram really occupies its nominal bytes on the wire;
+* **feedback** (receiver → sender): the Sprout forecast (cumulative bytes
+  per tick) and received-or-lost counter, plus the selective-repeat state —
+  cumulative ack (next wire seq not yet received in order) and a 64-bit
+  SACK bitmap for seqs ``ack+1 .. ack+64`` — and the RTT echo (echoed wire
+  seq, its send timestamp, and the receiver's hold time);
+* **close** (sender → receiver, best-effort): ends a transfer early so the
+  receiver need not wait out its idle timeout.
+
+Integers are network byte order; timestamps and the Sprout fields that are
+floats in the simulator are IEEE-754 doubles, so a frame round-trips every
+value bit-exactly (``tests/test_transport_wire.py``).
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass, field
+from typing import List, Union
+
+#: first bytes of every frame; rejects non-Sprout datagrams cheaply
+MAGIC = b"Sw"
+#: bump on any incompatible layout change; decoders reject other versions
+WIRE_VERSION = 1
+
+TYPE_DATA = 1
+TYPE_FEEDBACK = 2
+TYPE_CLOSE = 3
+
+#: data-frame flag bits
+FLAG_HEARTBEAT = 0x01
+FLAG_RETRANSMIT = 0x02
+FLAG_FIN = 0x04
+
+# ------------------------------------------------------- mod-2^16 arithmetic
+
+SEQ_MOD = 1 << 16
+SEQ_MASK = SEQ_MOD - 1
+#: half the sequence space; the comparison horizon for wraparound ordering
+SEQ_HALF = SEQ_MOD // 2
+
+
+def seq_add(seq: int, increment: int = 1) -> int:
+    """``seq + increment`` on the mod-2^16 ring."""
+    return (seq + increment) & SEQ_MASK
+
+
+def seq_distance(start: int, end: int) -> int:
+    """Unsigned hops from ``start`` forward to ``end`` on the ring."""
+    return (end - start) & SEQ_MASK
+
+
+def seq_lt(a: int, b: int) -> bool:
+    """Wraparound-correct ``a < b``: b is ahead of a by less than half the ring.
+
+    The relation is only meaningful while outstanding sequence numbers span
+    less than half the ring (the selective-repeat window guarantees that);
+    exactly half apart is treated as *not* less-than, matching the serial
+    number arithmetic convention (RFC 1982).
+    """
+    return a != b and seq_distance(a, b) < SEQ_HALF
+
+
+def seq_in_window(seq: int, start: int, size: int) -> bool:
+    """True iff ``seq`` lies in ``[start, start + size)`` on the ring."""
+    return seq_distance(start, seq) < size
+
+
+# ----------------------------------------------------------------- the frames
+
+
+@dataclass
+class DataFrame:
+    """One sender → receiver datagram (Sprout data or heartbeat)."""
+
+    wire_seq: int
+    seq_bytes: int
+    throwaway_bytes: int
+    time_to_next: float
+    timestamp: float
+    transfer_total: int = 0
+    size: int = 0
+    heartbeat: bool = False
+    retransmit: bool = False
+    fin: bool = False
+
+
+@dataclass
+class FeedbackFrame:
+    """One receiver → sender datagram: forecast + selective-repeat state."""
+
+    wire_seq: int
+    forecast_bytes: List[float] = field(default_factory=list)
+    forecast_time: float = 0.0
+    received_or_lost_bytes: int = 0
+    ack_seq: int = 0
+    sack_bitmap: int = 0
+    echo_seq: int = 0
+    echo_timestamp: float = 0.0
+    echo_delay: float = 0.0
+
+
+@dataclass
+class CloseFrame:
+    """Best-effort end-of-transfer marker."""
+
+    wire_seq: int
+
+
+Frame = Union[DataFrame, FeedbackFrame, CloseFrame]
+
+
+class WireFormatError(ValueError):
+    """A datagram that is not a valid Sprout frame (foreign, torn, stale)."""
+
+
+_PREAMBLE = struct.Struct("!2sBBH")  # magic, version, type, wire_seq
+_DATA_BODY = struct.Struct("!HQQQQdd")
+# flags, seq_bytes, throwaway_bytes, transfer_total, size, time_to_next, timestamp
+_FEEDBACK_BODY = struct.Struct("!HQQHddd B")
+# ack_seq, sack_bitmap, received_or_lost, echo_seq, forecast_time,
+# echo_timestamp, echo_delay, forecast length (ticks)
+
+#: sanity bound on the forecast length a decoder will allocate for
+MAX_FORECAST_TICKS = 64
+
+
+def _check_seq(seq: int) -> int:
+    if not 0 <= seq < SEQ_MOD:
+        raise WireFormatError(f"wire sequence number out of range: {seq}")
+    return seq
+
+
+def encode_data(frame: DataFrame) -> bytes:
+    """Serialise a data frame, padded out to ``frame.size`` bytes.
+
+    The padding makes the datagram physically occupy its nominal size, so
+    loopback throughput measures real bytes moved, not bookkeeping.  A
+    ``size`` smaller than the header (or zero) sends the bare header.
+    """
+    flags = (
+        (FLAG_HEARTBEAT if frame.heartbeat else 0)
+        | (FLAG_RETRANSMIT if frame.retransmit else 0)
+        | (FLAG_FIN if frame.fin else 0)
+    )
+    head = _PREAMBLE.pack(MAGIC, WIRE_VERSION, TYPE_DATA, _check_seq(frame.wire_seq))
+    body = _DATA_BODY.pack(
+        flags,
+        frame.seq_bytes,
+        frame.throwaway_bytes,
+        frame.transfer_total,
+        frame.size,
+        frame.time_to_next,
+        frame.timestamp,
+    )
+    encoded = head + body
+    if frame.size > len(encoded):
+        encoded += b"\x00" * (frame.size - len(encoded))
+    return encoded
+
+
+def encode_feedback(frame: FeedbackFrame) -> bytes:
+    """Serialise a feedback frame (forecast entries as doubles)."""
+    forecast = [float(v) for v in frame.forecast_bytes]
+    if len(forecast) > MAX_FORECAST_TICKS:
+        raise WireFormatError(
+            f"forecast too long for the wire: {len(forecast)} ticks "
+            f"(limit {MAX_FORECAST_TICKS})"
+        )
+    head = _PREAMBLE.pack(MAGIC, WIRE_VERSION, TYPE_FEEDBACK, _check_seq(frame.wire_seq))
+    body = _FEEDBACK_BODY.pack(
+        _check_seq(frame.ack_seq),
+        frame.sack_bitmap & ((1 << 64) - 1),
+        frame.received_or_lost_bytes,
+        _check_seq(frame.echo_seq),
+        frame.forecast_time,
+        frame.echo_timestamp,
+        frame.echo_delay,
+        len(forecast),
+    )
+    tail = struct.pack(f"!{len(forecast)}d", *forecast)
+    return head + body + tail
+
+
+def encode_close(frame: CloseFrame) -> bytes:
+    """Serialise a close frame (preamble only)."""
+    return _PREAMBLE.pack(MAGIC, WIRE_VERSION, TYPE_CLOSE, _check_seq(frame.wire_seq))
+
+
+def decode_frame(datagram: bytes) -> Frame:
+    """Parse one datagram into its frame, or raise :class:`WireFormatError`.
+
+    Foreign magic, unknown version or type, and truncation all raise — a
+    live socket can receive anything, so nothing here may crash the
+    endpoint loop with an unhandled struct error.
+    """
+    if len(datagram) < _PREAMBLE.size:
+        raise WireFormatError(f"datagram shorter than the preamble: {len(datagram)} bytes")
+    magic, version, frame_type, wire_seq = _PREAMBLE.unpack_from(datagram)
+    if magic != MAGIC:
+        raise WireFormatError(f"bad magic {magic!r}; not a Sprout frame")
+    if version != WIRE_VERSION:
+        raise WireFormatError(
+            f"unsupported wire version {version} (this code speaks {WIRE_VERSION})"
+        )
+    body = datagram[_PREAMBLE.size:]
+    if frame_type == TYPE_DATA:
+        if len(body) < _DATA_BODY.size:
+            raise WireFormatError("truncated data frame")
+        (
+            flags,
+            seq_bytes,
+            throwaway_bytes,
+            transfer_total,
+            size,
+            time_to_next,
+            timestamp,
+        ) = _DATA_BODY.unpack_from(body)
+        return DataFrame(
+            wire_seq=wire_seq,
+            seq_bytes=seq_bytes,
+            throwaway_bytes=throwaway_bytes,
+            time_to_next=time_to_next,
+            timestamp=timestamp,
+            transfer_total=transfer_total,
+            size=size,
+            heartbeat=bool(flags & FLAG_HEARTBEAT),
+            retransmit=bool(flags & FLAG_RETRANSMIT),
+            fin=bool(flags & FLAG_FIN),
+        )
+    if frame_type == TYPE_FEEDBACK:
+        if len(body) < _FEEDBACK_BODY.size:
+            raise WireFormatError("truncated feedback frame")
+        (
+            ack_seq,
+            sack_bitmap,
+            received_or_lost,
+            echo_seq,
+            forecast_time,
+            echo_timestamp,
+            echo_delay,
+            ticks,
+        ) = _FEEDBACK_BODY.unpack_from(body)
+        if ticks > MAX_FORECAST_TICKS:
+            raise WireFormatError(f"forecast length {ticks} exceeds the wire limit")
+        tail = body[_FEEDBACK_BODY.size:]
+        if len(tail) < ticks * 8:
+            raise WireFormatError("truncated feedback forecast")
+        forecast = list(struct.unpack_from(f"!{ticks}d", tail))
+        return FeedbackFrame(
+            wire_seq=wire_seq,
+            forecast_bytes=forecast,
+            forecast_time=forecast_time,
+            received_or_lost_bytes=received_or_lost,
+            ack_seq=ack_seq,
+            sack_bitmap=sack_bitmap,
+            echo_seq=echo_seq,
+            echo_timestamp=echo_timestamp,
+            echo_delay=echo_delay,
+        )
+    if frame_type == TYPE_CLOSE:
+        return CloseFrame(wire_seq=wire_seq)
+    raise WireFormatError(f"unknown frame type {frame_type}")

@@ -8,7 +8,7 @@ from repro.traces.format import read_trace
 
 def test_parser_knows_all_commands():
     parser = build_parser()
-    for command in ("run", "figure", "table", "report", "sweep", "trace", "list"):
+    for command in ("run", "figure", "table", "report", "sweep", "trace", "list", "live"):
         args = parser.parse_args([command] + _minimal_args(command))
         assert args.command == command
 
@@ -22,6 +22,7 @@ def _minimal_args(command):
         "sweep": ["--param", "loss", "--values", "0", "0.01"],
         "trace": ["Verizon LTE downlink", "/tmp/ignored.txt"],
         "list": [],
+        "live": [],
     }[command]
 
 
@@ -250,3 +251,89 @@ def test_sweep_command_out_requires_export(capsys):
     )
     assert code == 2
     assert "--out requires --export" in capsys.readouterr().err
+
+
+# -------------------------------------------------------- exit-code matrix
+
+
+def test_sweep_all_cells_failed_exits_nonzero(monkeypatch, capsys):
+    """--on-error collect keeps a partially failed grid green, but a grid
+    where *every* cell failed measured nothing and must not exit 0."""
+    monkeypatch.setenv("REPRO_FAULT_SPEC", '[{"kind": "crash"}]')
+    code = main(
+        [
+            "sweep",
+            "--param", "loss", "--values", "0", "0.05",
+            "--schemes", "Vegas",
+            "--links", "AT&T LTE uplink",
+            "--duration", "6", "--warmup", "1", "--jobs", "1",
+            "--on-error", "collect",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 1
+    assert "every cell failed" in captured.err
+    assert "2 of 2 cells failed" in captured.err
+    assert "FAILED" in captured.out  # the grid still rendered
+
+
+def test_sweep_partial_failures_still_exit_zero(monkeypatch, capsys):
+    """One healthy cell means measurements were produced: warn, exit 0."""
+    monkeypatch.setenv(
+        "REPRO_FAULT_SPEC", '[{"kind": "crash", "index": 0}]'
+    )
+    code = main(
+        [
+            "sweep",
+            "--param", "loss", "--values", "0", "0.05",
+            "--schemes", "Vegas",
+            "--links", "AT&T LTE uplink",
+            "--duration", "6", "--warmup", "1", "--jobs", "1",
+            "--on-error", "collect",
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "1 of 2 cells failed" in captured.err
+    assert "every cell failed" not in captured.err
+
+
+# ------------------------------------------------------- the live command
+
+
+def test_live_out_requires_export(capsys):
+    code = main(["live", "--out", "/tmp/live.csv"])
+    assert code == 2
+    assert "--out requires --export" in capsys.readouterr().err
+
+
+def test_live_rejects_bad_knobs(capsys):
+    assert main(["live", "--loss", "1.5"]) == 2
+    assert "live error:" in capsys.readouterr().err
+    assert main(["live", "--bytes", "0"]) == 2
+    assert "live error:" in capsys.readouterr().err
+    assert main(["live", "--repeats", "0"]) == 2
+    assert "live error:" in capsys.readouterr().err
+
+
+@pytest.mark.transport
+def test_live_command_runs_and_exports(tmp_path, capsys):
+    from repro.experiments.exports import parse_csv as _parse_csv
+    from repro.transport import sockets_available
+
+    if not sockets_available():
+        pytest.skip("loopback UDP sockets unavailable")
+    out = tmp_path / "live.csv"
+    code = main(
+        [
+            "live",
+            "--bytes", "16384", "--repeats", "1",
+            "--export", "csv", "--out", str(out),
+        ]
+    )
+    captured = capsys.readouterr()
+    assert code == 0
+    assert "Live loopback" in captured.out
+    rows = _parse_csv(out.read_text())
+    assert len(rows) == 1
+    assert rows[0]["scheme"] == "Sprout (live)"

@@ -428,3 +428,66 @@ def test_parse_csv_rejects_truncated_rows(grid_data):
     truncated = "\n".join(lines[:-1] + [lines[-1].rsplit(",", 2)[0]]) + "\n"
     with pytest.raises(ValueError, match="truncated"):
         parse_csv(truncated)
+
+
+def _screened_csv_row(**overrides):
+    """The golden export's first row rewritten as a screened prediction."""
+    lines = GOLDEN_CSV.read_text().splitlines()
+    header = lines[0].split(",")
+    row = lines[1].split(",")
+    values = {
+        "screened": "1",
+        "predicted_throughput_bps": "500000.0",
+        "predicted_delay_s": "0.05",
+        "prediction_uncertainty": "0.25",
+        **overrides,
+    }
+    for column, value in values.items():
+        row[header.index(column)] = value
+    return "\n".join([lines[0], ",".join(row)]) + "\n"
+
+
+def test_v4_csv_accepts_in_range_predictions():
+    rows = parse_csv(_screened_csv_row())
+    assert rows[0]["prediction_uncertainty"] == 0.25
+
+
+@pytest.mark.parametrize("bad", ["1.5", "-0.25"])
+def test_v4_csv_rejects_out_of_range_prediction_uncertainty(bad):
+    with pytest.raises(ValueError, match="outside"):
+        parse_csv(_screened_csv_row(prediction_uncertainty=bad))
+
+
+def test_v4_csv_rejects_negative_predicted_throughput():
+    with pytest.raises(ValueError, match="negative predicted throughput"):
+        parse_csv(_screened_csv_row(predicted_throughput_bps="-500000.0"))
+
+
+def _screened_json_payload(**overrides):
+    payload = json.loads(GOLDEN_JSON.read_text())
+    record = {
+        "scheme": "Vegas",
+        "link": "AT&T LTE uplink",
+        "index": 0,
+        "screened": True,
+        "throughput_bps": 500000.0,
+        "prediction_uncertainty": 0.25,
+        **overrides,
+    }
+    payload["points"][0]["screened"] = [record]
+    return json.dumps(payload)
+
+
+def test_v4_json_accepts_in_range_predictions():
+    parse_json(_screened_json_payload())
+
+
+@pytest.mark.parametrize("bad", [1.5, -0.25])
+def test_v4_json_rejects_out_of_range_prediction_uncertainty(bad):
+    with pytest.raises(ValueError, match="outside"):
+        parse_json(_screened_json_payload(prediction_uncertainty=bad))
+
+
+def test_v4_json_rejects_negative_predicted_throughput():
+    with pytest.raises(ValueError, match="negative predicted throughput"):
+        parse_json(_screened_json_payload(throughput_bps=-1.0))

@@ -149,3 +149,44 @@ class TestEWMAForecaster:
         # A single zero only nudges the low-pass filter (Section 5.3's point
         # about EWMA not responding immediately to sudden rate reductions).
         assert forecaster.bytes_per_tick > 5000.0
+
+
+class TestTickFromWallClock:
+    """The wall-clock adapter that drives 20 ms ticks from real elapsed time."""
+
+    def _ticker(self, tick=0.020, max_catchup=8):
+        from repro.core.forecaster import TickFromWallClock
+
+        return TickFromWallClock(tick, max_catchup=max_catchup)
+
+    def test_first_call_anchors_the_lattice(self):
+        ticker = self._ticker()
+        assert ticker.due_ticks(10.0) == 0  # anchoring consumes the call
+        assert ticker.due_ticks(10.019) == 0
+        assert ticker.due_ticks(10.021) == 1
+
+    def test_ticks_accumulate_with_elapsed_time(self):
+        ticker = self._ticker()
+        ticker.due_ticks(0.0)
+        assert ticker.due_ticks(0.100) == 5
+        assert ticker.due_ticks(0.100) == 0  # already consumed
+        assert ticker.due_ticks(0.140) == 2
+        assert ticker.ticks_fired == 7
+
+    def test_catchup_is_bounded_after_a_stall(self):
+        ticker = self._ticker(max_catchup=8)
+        ticker.due_ticks(0.0)
+        # A 1-second GC pause owes 50 ticks; only 8 fire, the rest are
+        # dropped (counted) so the protocol never spirals through a burst
+        # of stale ticks.
+        assert ticker.due_ticks(1.0) == 8
+        assert ticker.ticks_skipped == 42
+        assert ticker.due_ticks(1.02) == 1
+
+    def test_next_deadline_tracks_the_lattice(self):
+        ticker = self._ticker()
+        assert ticker.next_deadline() is None  # not anchored yet
+        ticker.due_ticks(5.0)
+        assert ticker.next_deadline() == pytest.approx(5.020)
+        ticker.due_ticks(5.050)  # fires 2
+        assert ticker.next_deadline() == pytest.approx(5.060)

@@ -130,17 +130,46 @@ def test_model_cache_directory_context_restores_everything(tmp_path):
     assert os.environ.get("REPRO_MODEL_CACHE_DIR") == env_before
 
 
-def test_from_env_tolerates_malformed_max(monkeypatch):
-    monkeypatch.setenv("REPRO_MODEL_CACHE_MAX", "banana")
-    built = ModelArtifactCache.from_env(
-        "REPRO_MODEL_CACHE", default_max=DEFAULT_MODEL_ARTIFACTS
-    )
+def test_from_env_tolerates_malformed_max(monkeypatch, caplog):
+    """Unparseable or non-positive knobs warn and use the default — never an
+    import-time crash and never a silent clamp to 1 (which looked like a
+    mysterious perf cliff)."""
+    import logging
+
+    for bad in ("banana", "0", "-5"):
+        caplog.clear()
+        monkeypatch.setenv("REPRO_MODEL_CACHE_MAX", bad)
+        with caplog.at_level(logging.WARNING, logger="repro.cache"):
+            built = ModelArtifactCache.from_env(
+                "REPRO_MODEL_CACHE", default_max=DEFAULT_MODEL_ARTIFACTS
+            )
+        assert built.max_entries == DEFAULT_MODEL_ARTIFACTS
+        assert "REPRO_MODEL_CACHE_MAX" in caplog.text  # names the culprit
+    # An unset (or empty) knob is not a misconfiguration: no warning.
+    caplog.clear()
+    monkeypatch.delenv("REPRO_MODEL_CACHE_MAX", raising=False)
+    with caplog.at_level(logging.WARNING, logger="repro.cache"):
+        built = ModelArtifactCache.from_env(
+            "REPRO_MODEL_CACHE", default_max=DEFAULT_MODEL_ARTIFACTS
+        )
     assert built.max_entries == DEFAULT_MODEL_ARTIFACTS
-    monkeypatch.setenv("REPRO_MODEL_CACHE_MAX", "0")
-    built = ModelArtifactCache.from_env(
-        "REPRO_MODEL_CACHE", default_max=DEFAULT_MODEL_ARTIFACTS
-    )
-    assert built.max_entries == 1  # clamped, not an import-time crash
+    assert caplog.text == ""
+
+
+def test_shared_model_capacity_warns_and_defaults_on_bad_env(monkeypatch, caplog):
+    """REPRO_SHARED_MODEL_MAX goes through the same warn-and-default parse."""
+    import logging
+
+    from repro.core.rate_model import DEFAULT_SHARED_MODELS, shared_model_capacity
+
+    for bad in ("garbage", "-3", "0"):
+        caplog.clear()
+        monkeypatch.setenv("REPRO_SHARED_MODEL_MAX", bad)
+        with caplog.at_level(logging.WARNING, logger="repro.cache"):
+            assert shared_model_capacity() == DEFAULT_SHARED_MODELS
+        assert "REPRO_SHARED_MODEL_MAX" in caplog.text
+    monkeypatch.setenv("REPRO_SHARED_MODEL_MAX", "5")
+    assert shared_model_capacity() == 5
 
 
 def test_truncated_artifact_falls_back_to_a_clean_rebuild(scoped_cache, tmp_path):

@@ -44,10 +44,22 @@ LINK = "AT&T LTE uplink"
 def test_sweep_parameter_registry_is_complete():
     assert set(sweep_parameter_names()) == {
         "loss", "sigma", "tick", "outage", "scale", "flows", "tunnelled",
-        "aqm", "qlimit", "codel_target", "codel_interval", "rtt",
+        "aqm", "qlimit", "codel_target", "codel_interval", "rtt", "repeat",
     }
     for name in sweep_parameter_names():
         assert get_sweep_parameter(name).description
+
+
+def test_repeat_axis_is_inert_on_simulated_cells():
+    """The live-harness repetition index passes a simulated cell through
+    unchanged (the emulator is deterministic) but rejects nonsense values."""
+    expand = get_sweep_parameter("repeat").expand
+    config = RunConfig(duration=6.0, warmup=1.0)
+    cell = expand("Vegas", "AT&T LTE uplink", config, 2.0)
+    assert cell == ("Vegas", "AT&T LTE uplink", config)
+    for bad in (0.0, -1.0, 1.5):
+        with pytest.raises(ValueError, match="repeat"):
+            expand("Vegas", "AT&T LTE uplink", config, bad)
 
 
 def test_unknown_parameter_is_rejected_with_valid_names():

@@ -1,0 +1,174 @@
+"""Live loopback transfers: the transport acceptance bar, end to end.
+
+These tests move real UDP datagrams over 127.0.0.1 (marker ``transport``,
+``make test-live``) and are skipped wholesale where the environment forbids
+loopback sockets.  The loss tests reuse the deterministic Bernoulli-gate
+idiom of :mod:`repro.testing.faults`: the drop decision hashes
+``(seed, wire_seq, attempt)``, so a retransmitted datagram rolls a fresh
+coin and the acceptance property — a sized transfer completes with zero
+packets lost forever under 10% injected datagram loss — is reproducible.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.experiments.exports import (
+    export_csv,
+    export_json,
+    grid_data_from_json,
+    parse_csv,
+    parse_json,
+)
+from repro.transport import LiveConfig, run_live_suite, run_live_transfer, sockets_available
+from repro.transport.endpoint import bernoulli_loss_gate
+from repro.transport.harness import (
+    LIVE_LINK,
+    LIVE_SCHEME,
+    live_grid_data,
+    render_live_results,
+)
+
+pytestmark = [
+    pytest.mark.transport,
+    pytest.mark.skipif(
+        not sockets_available(), reason="loopback UDP sockets unavailable"
+    ),
+]
+
+#: small enough to finish in well under a second at loopback rates
+TRANSFER_BYTES = 64 * 1024
+
+
+# ------------------------------------------------------------ clean channel
+
+
+def test_clean_loopback_transfer_completes():
+    result = run_live_transfer(LiveConfig(transfer_bytes=TRANSFER_BYTES, repeats=1))
+    assert result.completed
+    assert result.closed  # the receiver saw the CLOSE handshake
+    assert result.lost_forever == 0
+    assert result.injected_drops == 0
+    assert result.payload_bytes >= TRANSFER_BYTES
+    assert result.throughput_bps > 0
+    assert result.duration_s > 0
+    # Real one-way delays were measured for every delivered packet.
+    assert result.delay_percentiles_s["p95"] == result.delay_percentiles_s["p95"]
+    assert result.min_delay_s >= 0.0
+
+
+# ----------------------------------------------- the lossy acceptance bar
+
+
+def test_lossy_loopback_transfer_loses_nothing_forever():
+    """ISSUE acceptance: 10% injected datagram loss, zero packets lost forever."""
+    result = run_live_transfer(
+        LiveConfig(transfer_bytes=TRANSFER_BYTES, repeats=1, loss_rate=0.1, loss_seed=7),
+        repeat=1,
+    )
+    assert result.completed
+    assert result.lost_forever == 0
+    assert result.injected_drops > 0  # the gate actually bit
+    # Every injected drop was healed by a retransmission.
+    assert result.total_retransmits >= result.injected_drops
+    assert result.malformed == 0
+
+
+def test_loss_gate_is_deterministic_and_attempt_sensitive():
+    gate = bernoulli_loss_gate(0.5, seed=3)
+    first = [gate(seq, 0) for seq in range(200)]
+    assert first == [gate(seq, 0) for seq in range(200)]  # reproducible
+    assert any(first)  # drops some
+    assert not all(first)  # passes some
+    # A retransmit (attempt 1) rolls a fresh coin, so a dropped wire seq
+    # is not doomed to be dropped forever.
+    assert first != [gate(seq, 1) for seq in range(200)]
+
+
+def test_loss_gate_rejects_bad_probability():
+    with pytest.raises(ValueError):
+        bernoulli_loss_gate(1.0)
+    with pytest.raises(ValueError):
+        bernoulli_loss_gate(-0.1)
+
+
+# ------------------------------------------------------- harness packaging
+
+
+@pytest.fixture(scope="module")
+def live_suite():
+    config = LiveConfig(transfer_bytes=TRANSFER_BYTES, repeats=2, loss_rate=0.05)
+    return run_live_suite(config)
+
+
+def test_live_suite_runs_every_repeat(live_suite):
+    grid, results = live_suite
+    assert [result.repeat for result in results] == [1, 2]
+    assert all(result.completed for result in results)
+    assert grid.spec.parameters == ("repeat",)
+    assert grid.spec.schemes == (LIVE_SCHEME,)
+    assert grid.spec.links == (LIVE_LINK,)
+    assert len(grid.points) == 2
+
+
+def test_live_results_render_as_a_table(live_suite):
+    _, results = live_suite
+    text = render_live_results(results)
+    assert "Live loopback" in text
+    assert "tput (kbps)" in text
+    assert text.count("yes") == len(results)
+
+
+def test_live_grid_exports_parse_through_schema_v4(live_suite):
+    """The whole point of the SchemeResult packaging: existing parsers apply."""
+    grid, results = live_suite
+    rows = parse_csv(export_csv(grid))
+    assert len(rows) == len(results)
+    assert {row["scheme"] for row in rows} == {LIVE_SCHEME}
+    assert {row["link"] for row in rows} == {LIVE_LINK}
+    assert {row["repeat"] for row in rows} == {1.0, 2.0}
+
+    payload = parse_json(export_json(grid))
+    rebuilt = grid_data_from_json(export_json(grid))
+    assert payload["kind"] == "grid"
+    assert rebuilt.spec.parameters == ("repeat",)
+    extra = rebuilt.points[0].results[0].extra
+    assert extra["live_completed"] == 1.0
+    assert extra["live_transfer_bytes"] == float(TRANSFER_BYTES)
+
+
+def test_scheme_result_extra_carries_the_transport_counters(live_suite):
+    _, results = live_suite
+    extra = results[0].to_scheme_result().extra
+    for key in (
+        "live_repeat",
+        "live_datagrams_sent",
+        "live_retransmits",
+        "live_injected_drops",
+        "live_lost_forever",
+        "live_duplicates",
+    ):
+        assert key in extra
+
+
+def test_live_grid_data_rejects_empty_results():
+    with pytest.raises(ValueError):
+        live_grid_data([])
+
+
+# ------------------------------------------------------------- config guard
+
+
+@pytest.mark.parametrize(
+    "kwargs",
+    [
+        {"transfer_bytes": 0},
+        {"repeats": 0},
+        {"loss_rate": 1.0},
+        {"loss_rate": -0.1},
+        {"deadline": 0.0},
+    ],
+)
+def test_live_config_rejects_bad_knobs(kwargs):
+    with pytest.raises(ValueError):
+        LiveConfig(**kwargs)

@@ -1,0 +1,265 @@
+"""Selective-repeat machinery under loss, reordering, and seq wraparound.
+
+Everything in :mod:`repro.transport.reliable` is a pure state machine over
+``(seq, now)`` inputs, so Hypothesis can drive the cases a socket test
+cannot reach deterministically: transfers that straddle the mod-2^16
+wraparound, arbitrary duplicate/reordered delivery, and SACK evidence
+arriving in any interleaving.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport.reliable import (
+    DUPTHRESH,
+    MAX_OUTSTANDING,
+    SACK_SPAN,
+    AdaptiveRTO,
+    ReorderWindow,
+    RetransmitBuffer,
+)
+from repro.transport.wire import SEQ_MOD, seq_add
+
+starts = st.integers(min_value=0, max_value=SEQ_MOD - 1)
+
+
+# ------------------------------------------------------------- AdaptiveRTO
+
+
+def test_rto_first_sample_seeds_srtt_and_rttvar():
+    rto = AdaptiveRTO(min_rto=0.0001, max_rto=10.0)
+    rto.sample(0.1)
+    assert rto.srtt == pytest.approx(0.1)
+    assert rto.rttvar == pytest.approx(0.05)
+    assert rto.timeout() == pytest.approx(0.1 + 4 * 0.05)
+
+
+def test_rto_converges_on_a_steady_rtt():
+    rto = AdaptiveRTO(min_rto=0.0001, max_rto=10.0)
+    for _ in range(200):
+        rto.sample(0.08)
+    assert rto.srtt == pytest.approx(0.08, rel=1e-6)
+    assert rto.rttvar == pytest.approx(0.0, abs=1e-6)
+
+
+def test_rto_ignores_negative_and_nan_samples():
+    rto = AdaptiveRTO()
+    rto.sample(-1.0)
+    rto.sample(float("nan"))
+    assert rto.samples == 0
+    assert rto.srtt is None
+
+
+def test_rto_backoff_doubles_and_caps():
+    rto = AdaptiveRTO(initial_rto=0.2, max_rto=1.0)
+    assert rto.timeout(0) == pytest.approx(0.2)
+    assert rto.timeout(1) == pytest.approx(0.4)
+    assert rto.timeout(10) == pytest.approx(1.0)  # capped at max_rto
+
+
+def test_rto_rejects_inverted_bounds():
+    with pytest.raises(ValueError):
+        AdaptiveRTO(min_rto=1.0, max_rto=0.5)
+
+
+@given(st.lists(st.floats(min_value=0.0, max_value=5.0), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_rto_timeout_stays_within_bounds(samples):
+    rto = AdaptiveRTO(min_rto=0.05, max_rto=2.0)
+    for rtt in samples:
+        rto.sample(rtt)
+        assert 0.05 <= rto.timeout() <= 2.0
+
+
+# -------------------------------------------------------- RetransmitBuffer
+
+
+def test_buffer_cumulative_ack_releases_everything_below():
+    buf = RetransmitBuffer()
+    for seq in range(5):
+        buf.track(seq, b"x", now=0.0)
+    acked = buf.on_feedback(ack_seq=3, sack_bitmap=0, now=0.1)
+    assert sorted(acked) == [0, 1, 2]
+    assert len(buf) == 2
+
+
+def test_buffer_sack_releases_holes_ahead_of_the_ack():
+    buf = RetransmitBuffer()
+    for seq in range(4):
+        buf.track(seq, b"x", now=0.0)
+    # ack 1 (0 delivered), SACK bit 1 => seq 3 delivered out of order
+    acked = buf.on_feedback(ack_seq=1, sack_bitmap=1 << 1, now=0.1)
+    assert sorted(acked) == [0, 3]
+    assert sorted(buf._outstanding) == [1, 2]
+
+
+def test_buffer_fast_retransmit_after_dupthresh_sack_evidence():
+    buf = RetransmitBuffer()
+    for seq in range(3):
+        buf.track(seq, b"x", now=0.0)
+    # seq 0 is the hole; seqs 1/2 keep getting SACKed.
+    for _ in range(DUPTHRESH):
+        buf.on_feedback(ack_seq=0, sack_bitmap=0b11, now=0.01)
+    due = buf.due(now=0.02)
+    assert [seq for seq, _ in due] == [0]
+    buf.retransmitted(0, b"x2", now=0.02)
+    assert buf.fast_retransmits == 1
+    assert buf.due(now=0.02) == []  # hits reset by the retransmit
+
+
+def test_buffer_rto_expiry_backs_off_exponentially():
+    rto = AdaptiveRTO(initial_rto=0.2, min_rto=0.05, max_rto=2.0)
+    buf = RetransmitBuffer(rto=rto)
+    buf.track(0, b"x", now=0.0)
+    assert buf.due(now=0.1) == []
+    assert [seq for seq, _ in buf.due(now=0.25)] == [0]
+    buf.retransmitted(0, b"x", now=0.25)
+    assert buf.timeout_retransmits == 1
+    # After one retransmit the timeout doubles: 0.2 -> 0.4.
+    assert buf.due(now=0.25 + 0.3) == []
+    assert [seq for seq, _ in buf.due(now=0.25 + 0.45)] == [0]
+
+
+def test_buffer_due_orders_oldest_first():
+    buf = RetransmitBuffer()
+    buf.track(5, b"a", now=0.0)
+    buf.track(3, b"b", now=1.0)  # wire order and send order disagree
+    due = buf.due(now=10.0)
+    assert [seq for seq, _ in due] == [5, 3]
+
+
+def test_buffer_karn_rule_rejects_retransmitted_seqs():
+    buf = RetransmitBuffer()
+    buf.track(0, b"x", now=0.0)
+    buf.track(1, b"y", now=0.0)
+    assert buf.rtt_sample_ok(0)
+    buf.retransmitted(0, b"x", now=0.5)
+    assert not buf.rtt_sample_ok(0)
+    assert buf.rtt_sample_ok(1)
+    assert not buf.rtt_sample_ok(99)  # unknown seqs never sample
+
+
+def test_buffer_rejects_duplicate_and_overflow_tracking():
+    buf = RetransmitBuffer()
+    buf.track(0, b"x", now=0.0)
+    with pytest.raises(ValueError):
+        buf.track(0, b"x", now=0.0)
+    for seq in range(1, MAX_OUTSTANDING):
+        buf.track(seq, b"x", now=0.0)
+    assert not buf.has_room()
+    with pytest.raises(ValueError):
+        buf.track(MAX_OUTSTANDING, b"x", now=0.0)
+
+
+def test_buffer_next_deadline_tracks_earliest_expiry():
+    rto = AdaptiveRTO(initial_rto=0.2)
+    buf = RetransmitBuffer(rto=rto)
+    assert buf.next_deadline(0.0) is None
+    buf.track(0, b"x", now=0.0)
+    buf.track(1, b"y", now=0.1)
+    assert buf.next_deadline(0.15) == pytest.approx(0.2)
+
+
+@given(starts, st.integers(min_value=1, max_value=80))
+@settings(max_examples=100, deadline=None)
+def test_buffer_cumulative_ack_works_across_wraparound(start, count):
+    """Tracking ``count`` seqs from any ring position, acking past the last
+    releases every one of them — including transfers straddling 0xFFFF."""
+    buf = RetransmitBuffer()
+    seqs = [seq_add(start, i) for i in range(count)]
+    for seq in seqs:
+        buf.track(seq, b"x", now=0.0)
+    acked = buf.on_feedback(ack_seq=seq_add(start, count), sack_bitmap=0, now=0.1)
+    assert sorted(acked) == sorted(seqs)
+    assert len(buf) == 0
+
+
+# ---------------------------------------------------------- ReorderWindow
+
+
+def test_window_tracks_in_order_delivery():
+    win = ReorderWindow()
+    for seq in range(5):
+        assert win.accept(seq)
+    assert win.ack_seq == 5
+    assert win.sack_bitmap() == 0
+    assert win.duplicates == 0 and win.reordered == 0
+    assert win.all_delivered_through(4)
+    assert not win.all_delivered_through(5)
+
+
+def test_window_holds_out_of_order_arrivals_in_the_sack_bitmap():
+    win = ReorderWindow()
+    assert win.accept(0)
+    assert win.accept(2)  # hole at 1
+    assert win.ack_seq == 1
+    assert win.sack_bitmap() == 1 << 0  # bit i acknowledges ack+1+i; 2 == 1+1+0
+    assert win.missing == 1
+    assert win.accept(1)  # hole fills; ack advances through the run
+    assert win.ack_seq == 3
+    assert win.sack_bitmap() == 0
+    assert win.reordered == 1
+
+
+def test_window_counts_duplicates_without_state_damage():
+    win = ReorderWindow()
+    assert win.accept(0)
+    assert not win.accept(0)  # behind the ack point
+    assert win.accept(2)
+    assert not win.accept(2)  # already held out of order
+    assert win.duplicates == 2
+    assert win.unique_accepted == 2
+
+
+@given(starts, st.permutations(list(range(30))))
+@settings(max_examples=100, deadline=None)
+def test_window_accepts_each_seq_exactly_once_in_any_order(start, order):
+    """Any delivery order of a contiguous block — including across the
+    wraparound — yields one acceptance per seq and a fully advanced ack."""
+    win = ReorderWindow(first_seq=start)
+    accepted = sum(win.accept(seq_add(start, offset)) for offset in order)
+    assert accepted == len(order)
+    assert win.unique_accepted == len(order)
+    assert win.ack_seq == seq_add(start, len(order))
+    assert win.all_delivered_through(seq_add(start, len(order) - 1))
+
+
+@given(
+    starts,
+    st.lists(st.integers(min_value=0, max_value=29), min_size=1, max_size=120),
+)
+@settings(max_examples=100, deadline=None)
+def test_window_dedups_arbitrary_duplicate_streams(start, offsets):
+    """Duplicates never double-count: acceptances equal distinct seqs."""
+    win = ReorderWindow(first_seq=start)
+    accepted = sum(win.accept(seq_add(start, offset)) for offset in offsets)
+    assert accepted == len(set(offsets))
+    assert win.duplicates == len(offsets) - len(set(offsets))
+
+
+@given(starts, st.permutations(list(range(25))))
+@settings(max_examples=50, deadline=None)
+def test_window_and_buffer_agree_under_reordered_delivery(start, order):
+    """Receiver feedback drives the sender buffer empty for any delivery
+    order: what the window acks, the buffer releases."""
+    buf = RetransmitBuffer()
+    win = ReorderWindow(first_seq=start)
+    seqs = [seq_add(start, i) for i in range(len(order))]
+    for seq in seqs:
+        buf.track(seq, b"x", now=0.0)
+    for offset in order:
+        win.accept(seq_add(start, offset))
+        buf.on_feedback(win.ack_seq, win.sack_bitmap(), now=0.1)
+    assert len(buf) == 0
+
+
+def test_sack_span_matches_the_wire_bitmap_width():
+    assert SACK_SPAN == 64
+    win = ReorderWindow()
+    win.accept(0)
+    win.accept(SACK_SPAN + 1)  # ack=1, so 65 == ack+1+63: the bitmap's far edge
+    assert win.sack_bitmap() >> 63 & 1 == 1
+    assert win.sack_bitmap() < 1 << 64

@@ -1,0 +1,208 @@
+"""Wire codec and mod-2^16 sequence arithmetic (docs/transport.md).
+
+The serial-number helpers get Hypothesis sweeps across the whole ring —
+wraparound is exactly where hand-picked examples miss — and the codec gets
+round-trip plus malformed-datagram rejection coverage: a transport reading
+from a real socket must treat every byte string as potentially hostile.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.transport.wire import (
+    FLAG_FIN,
+    FLAG_HEARTBEAT,
+    FLAG_RETRANSMIT,
+    MAGIC,
+    MAX_FORECAST_TICKS,
+    SEQ_HALF,
+    SEQ_MOD,
+    TYPE_DATA,
+    WIRE_VERSION,
+    CloseFrame,
+    DataFrame,
+    FeedbackFrame,
+    WireFormatError,
+    decode_frame,
+    encode_close,
+    encode_data,
+    encode_feedback,
+    seq_add,
+    seq_distance,
+    seq_in_window,
+    seq_lt,
+)
+
+seqs = st.integers(min_value=0, max_value=SEQ_MOD - 1)
+
+
+# ------------------------------------------------------- serial arithmetic
+
+
+def test_seq_add_wraps():
+    assert seq_add(SEQ_MOD - 1) == 0
+    assert seq_add(SEQ_MOD - 1, 3) == 2
+    assert seq_add(0, -1) == SEQ_MOD - 1
+
+
+def test_seq_lt_straddles_the_wrap():
+    assert seq_lt(SEQ_MOD - 2, 1)
+    assert not seq_lt(1, SEQ_MOD - 2)
+    assert not seq_lt(5, 5)
+
+
+@given(seqs, st.integers(min_value=0, max_value=SEQ_MOD - 1))
+@settings(max_examples=200, deadline=None)
+def test_seq_distance_inverts_seq_add(start, inc):
+    assert seq_distance(start, seq_add(start, inc)) == inc
+
+
+@given(seqs, st.integers(min_value=1, max_value=SEQ_HALF - 1))
+@settings(max_examples=200, deadline=None)
+def test_seq_lt_orders_any_half_ring_step(base, step):
+    """Within the half-ring horizon ``a < a + step`` regardless of wrap."""
+    ahead = seq_add(base, step)
+    assert seq_lt(base, ahead)
+    assert not seq_lt(ahead, base)
+
+
+@given(seqs)
+@settings(max_examples=100, deadline=None)
+def test_seq_lt_is_irreflexive(seq):
+    assert not seq_lt(seq, seq)
+
+
+@given(seqs, seqs, st.integers(min_value=1, max_value=SEQ_HALF))
+@settings(max_examples=200, deadline=None)
+def test_seq_in_window_matches_distance(seq, start, size):
+    assert seq_in_window(seq, start, size) == (seq_distance(start, seq) < size)
+
+
+# ------------------------------------------------------------- round trips
+
+
+def _data_frame(**overrides) -> DataFrame:
+    base = dict(
+        wire_seq=7,
+        seq_bytes=14000,
+        throwaway_bytes=2800,
+        time_to_next=0.02,
+        timestamp=1.25,
+        transfer_total=262144,
+        size=1400,
+    )
+    base.update(overrides)
+    return DataFrame(**base)
+
+
+def test_data_frame_round_trips():
+    frame = _data_frame(heartbeat=True, retransmit=True, fin=True)
+    encoded = encode_data(frame)
+    assert len(encoded) == frame.size  # padded to the nominal wire size
+    decoded = decode_frame(encoded)
+    assert decoded == frame
+
+
+@given(
+    seqs,
+    st.integers(min_value=0, max_value=2**40),
+    st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    st.booleans(),
+    st.booleans(),
+)
+@settings(max_examples=100, deadline=None)
+def test_data_codec_round_trips_any_frame(seq, seq_bytes, timestamp, hb, fin):
+    frame = _data_frame(
+        wire_seq=seq, seq_bytes=seq_bytes, timestamp=timestamp, heartbeat=hb, fin=fin
+    )
+    assert decode_frame(encode_data(frame)) == frame
+
+
+def test_feedback_frame_round_trips():
+    frame = FeedbackFrame(
+        wire_seq=3,
+        forecast_bytes=[1400.0, 2800.0, 4200.0],
+        forecast_time=1.0,
+        received_or_lost_bytes=14000,
+        ack_seq=9,
+        sack_bitmap=(1 << 0) | (1 << 5) | (1 << 63),
+        echo_seq=11,
+        echo_timestamp=0.75,
+        echo_delay=0.003,
+    )
+    assert decode_frame(encode_feedback(frame)) == frame
+
+
+def test_feedback_empty_forecast_round_trips():
+    frame = FeedbackFrame(wire_seq=0, forecast_bytes=[], forecast_time=0.0)
+    assert decode_frame(encode_feedback(frame)) == frame
+
+
+def test_close_frame_round_trips():
+    assert decode_frame(encode_close(CloseFrame(wire_seq=42))) == CloseFrame(wire_seq=42)
+
+
+def test_feedback_rejects_overlong_forecast():
+    frame = FeedbackFrame(
+        wire_seq=0,
+        forecast_bytes=[float(i) for i in range(MAX_FORECAST_TICKS + 1)],
+        forecast_time=0.0,
+    )
+    with pytest.raises(WireFormatError):
+        encode_feedback(frame)
+
+
+# -------------------------------------------------- malformed-datagram hygiene
+
+
+def test_decode_rejects_short_datagrams():
+    with pytest.raises(WireFormatError):
+        decode_frame(b"Sw")
+
+
+def test_decode_rejects_wrong_magic():
+    encoded = bytearray(encode_data(_data_frame()))
+    encoded[:2] = b"XX"
+    with pytest.raises(WireFormatError, match="magic"):
+        decode_frame(bytes(encoded))
+
+
+def test_decode_rejects_unknown_version():
+    encoded = bytearray(encode_data(_data_frame()))
+    encoded[2] = WIRE_VERSION + 1
+    with pytest.raises(WireFormatError, match="version"):
+        decode_frame(bytes(encoded))
+
+
+def test_decode_rejects_unknown_type():
+    encoded = bytearray(encode_close(CloseFrame(wire_seq=0)))
+    encoded[3] = 99
+    with pytest.raises(WireFormatError):
+        decode_frame(bytes(encoded))
+
+
+def test_decode_rejects_truncated_body():
+    encoded = encode_data(_data_frame())
+    preamble_only = encoded[:8]
+    assert preamble_only[:2] == MAGIC and preamble_only[3] == TYPE_DATA
+    with pytest.raises(WireFormatError):
+        decode_frame(preamble_only)
+
+
+@given(st.binary(max_size=64))
+@settings(max_examples=200, deadline=None)
+def test_decode_never_raises_anything_but_wire_format_error(blob):
+    """Arbitrary bytes off the socket either decode or raise WireFormatError."""
+    try:
+        decode_frame(blob)
+    except WireFormatError:
+        pass
+
+
+def test_flag_bits_are_distinct():
+    assert FLAG_HEARTBEAT & FLAG_RETRANSMIT == 0
+    assert FLAG_HEARTBEAT & FLAG_FIN == 0
+    assert FLAG_RETRANSMIT & FLAG_FIN == 0
