@@ -4,7 +4,7 @@
 PYTHON ?= python
 export PYTHONPATH := src:$(PYTHONPATH)
 
-.PHONY: test test-fast smoke test-fault test-oracle test-live cov bench bench-batched bench-analytic docs-check
+.PHONY: test test-fast smoke test-fault test-oracle test-live test-chaos cov bench bench-batched bench-analytic docs-check
 
 ## full suite, including perf benchmarks (the tier-1 gate)
 test:
@@ -30,6 +30,11 @@ test-oracle:
 ## where the environment forbids even 127.0.0.1 UDP sockets)
 test-live:
 	$(PYTHON) -m pytest -q -m transport
+
+## chaos acceptance matrix: live transfers under adversarial impairment
+## profiles (docs/robustness.md; skips cleanly without sockets)
+test-chaos:
+	$(PYTHON) -m pytest -q -m chaos
 
 ## coverage gate (requires the [cov] extra; skips cleanly without it)
 cov:

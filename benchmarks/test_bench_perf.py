@@ -747,3 +747,57 @@ def test_bench_live_loopback():
         f"\nlive_loopback: {result.throughput_bps / 1e6:.2f} Mbit/s, "
         f"p95 delay {p95_ms:.2f} ms over {result.datagrams_sent} datagrams"
     )
+
+
+def test_bench_live_impaired():
+    """Throughput under the Gilbert–Elliott profile (docs/robustness.md).
+
+    The same sized transfer as ``live_loopback``, but through the
+    adversarial impairment pipeline's bursty-loss stage — the record
+    tracks how much throughput the selective-repeat machinery preserves
+    when ~5% of datagrams die in bursts of ~8.  Loose gates for the same
+    CI-wobble reasons as the clean benchmark; the determinism replay gate
+    is exact, because it must be.
+    """
+    from repro.transport import LiveConfig, run_live_transfer, sockets_available
+
+    if not sockets_available():
+        pytest.skip("loopback UDP sockets unavailable")
+
+    result = run_live_transfer(
+        LiveConfig(
+            transfer_bytes=128 * 1024,
+            repeats=1,
+            impair="ge:p=0.05,burst=8",
+            impair_seed=42,
+        )
+    )
+    assert result.completed and result.lost_forever == 0
+    assert result.failure == ""
+    assert result.impair_replay_ok is True  # exact, not a loose gate
+    assert result.throughput_bps > 50_000, "impaired transport under 50 kbps"
+    assert result.duration_s < 30.0
+
+    dropped = sum(
+        count for key, count in result.impair_counters.items() if "drop" in key
+    )
+    _record(
+        "live_impaired",
+        {
+            "impair_spec": "ge:p=0.05,burst=8",
+            "transfer_bytes": result.transfer_bytes,
+            "throughput_bps": round(result.throughput_bps),
+            "delay_p95_ms": round(
+                1000 * result.delay_percentiles_s.get("p95", float("nan")), 3
+            ),
+            "datagrams_sent": result.datagrams_sent,
+            "datagrams_dropped": dropped,
+            "retransmits": result.total_retransmits,
+            "longest_stall_s": round(result.longest_stall_s, 4),
+            "duration_s": round(result.duration_s, 4),
+        },
+    )
+    print(
+        f"\nlive_impaired: {result.throughput_bps / 1e6:.2f} Mbit/s with "
+        f"{dropped} injected drops and {result.total_retransmits} retransmits"
+    )

@@ -43,6 +43,7 @@ REQUIRED_MODULES = (
     os.path.join("transport", "reliable.py"),
     os.path.join("transport", "endpoint.py"),
     os.path.join("transport", "harness.py"),
+    os.path.join("transport", "impair.py"),
     "cache.py",
 )
 

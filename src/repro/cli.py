@@ -66,6 +66,50 @@ from repro.traces.format import write_trace
 from repro.traces.networks import get_link, link_names, link_trace
 
 
+def _positive_int(text: str) -> int:
+    """argparse type: a strictly positive integer (exit 2 + usage on bad input)."""
+    try:
+        value = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected an integer, got {text!r}")
+    if value <= 0:
+        raise argparse.ArgumentTypeError(f"expected a positive integer, got {value}")
+    return value
+
+
+def _positive_float(text: str) -> float:
+    """argparse type: a strictly positive number."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not value > 0:
+        raise argparse.ArgumentTypeError(f"expected a positive number, got {text}")
+    return value
+
+
+def _probability(text: str) -> float:
+    """argparse type: a probability in [0, 1)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"expected a number, got {text!r}")
+    if not 0.0 <= value < 1.0:
+        raise argparse.ArgumentTypeError(f"expected a probability in [0, 1), got {text}")
+    return value
+
+
+def _impair_spec(text: str) -> str:
+    """argparse type: validate an --impair spec string at parse time."""
+    from repro.transport.impair import ImpairSpecError, parse_impair_spec
+
+    try:
+        parse_impair_spec(text)
+    except ImpairSpecError as error:
+        raise argparse.ArgumentTypeError(str(error))
+    return text
+
+
 def _add_run_options(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--duration", type=float, default=60.0, help="trace seconds to emulate")
     parser.add_argument("--warmup", type=float, default=10.0, help="seconds excluded from metrics")
@@ -258,6 +302,9 @@ def _cmd_live(args: argparse.Namespace) -> int:
             loss_seed=args.loss_seed,
             deadline=args.deadline,
             ewma=args.ewma,
+            impair=args.impair,
+            impair_seed=args.impair_seed,
+            watchdog=args.watchdog,
         )
     except ValueError as error:
         print(f"live error: {error}", file=sys.stderr)
@@ -280,9 +327,16 @@ def _cmd_live(args: argparse.Namespace) -> int:
             print(export_text(grid, args.export), end="")
     incomplete = [r for r in results if not r.completed]
     if incomplete:
+        aborted = sum(1 for r in incomplete if r.failure)
+        detail = (
+            f"{aborted} aborted with a diagnosis, "
+            f"{len(incomplete) - aborted} ran out the deadline"
+            if aborted
+            else "unacked packets remained at the deadline"
+        )
         print(
             f"error: {len(incomplete)} of {len(results)} transfer(s) did not "
-            "complete within the deadline (unacked packets remained)",
+            f"complete ({detail})",
             file=sys.stderr,
         )
         return 1
@@ -481,19 +535,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     live_parser.add_argument(
         "--bytes",
-        type=int,
+        type=_positive_int,
         default=256 * 1024,
         help="payload bytes per transfer (default %(default)s)",
     )
     live_parser.add_argument(
         "--repeats",
-        type=int,
+        type=_positive_int,
         default=3,
         help="how many transfers to run (default %(default)s)",
     )
     live_parser.add_argument(
         "--loss",
-        type=float,
+        type=_probability,
         default=0.0,
         metavar="PROBABILITY",
         help="deterministic injected datagram-loss probability in [0, 1) "
@@ -508,10 +562,34 @@ def build_parser() -> argparse.ArgumentParser:
     )
     live_parser.add_argument(
         "--deadline",
-        type=float,
+        type=_positive_float,
         default=30.0,
         metavar="SECONDS",
         help="wall-clock budget per transfer (default %(default)s)",
+    )
+    live_parser.add_argument(
+        "--impair",
+        type=_impair_spec,
+        default="",
+        metavar="SPEC",
+        help="adversarial impairment pipeline applied at the socket "
+        "boundary, e.g. 'ge:p=0.05,burst=8;reorder:p=0.02;"
+        "blackout:at=2s,len=1.5s' (stage table in docs/transport.md)",
+    )
+    live_parser.add_argument(
+        "--impair-seed",
+        type=int,
+        default=0,
+        dest="impair_seed",
+        help="seed of the deterministic impairment draws (default %(default)s)",
+    )
+    live_parser.add_argument(
+        "--watchdog",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="peer-inactivity abort interval; default derives from "
+        "--deadline, 0 disables the watchdog",
     )
     live_parser.add_argument(
         "--ewma",

@@ -182,3 +182,17 @@ def delay_percentiles(
         return {key: float("nan") for key in keys}
     values = np.percentile(np.asarray(delays, dtype=float), list(percentiles))
     return {key: float(value) for key, value in zip(keys, values)}
+
+
+def longest_arrival_gap(arrival_times: Sequence[float]) -> float:
+    """Longest silence between consecutive arrivals, in seconds.
+
+    The live harness's blackout visibility metric: a mid-transfer outage
+    shows up as one arrival gap roughly the length of the blackout window
+    (plus the recovery RTO), where percentile summaries of per-packet
+    delay would dilute it away.  Zero for fewer than two arrivals.
+    """
+    if len(arrival_times) < 2:
+        return 0.0
+    ordered = sorted(arrival_times)
+    return float(max(b - a for a, b in zip(ordered, ordered[1:])))

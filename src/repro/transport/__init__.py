@@ -20,22 +20,43 @@ datagrams, opening the emulation-vs-reality scenario axis
   simulator's ``HostContext``, and a
   :class:`~repro.core.forecaster.TickFromWallClock` adapter maps real time
   onto the forecaster's 20 ms tick lattice;
+* :mod:`repro.transport.impair` — the seed-deterministic adversarial
+  impairment pipeline (``--impair``): Gilbert–Elliott bursty loss,
+  reordering, duplication, byte corruption, rate throttling, and blackout
+  windows composed per direction at the socket boundary, plus the
+  :class:`~repro.transport.impair.EventRing` /
+  :class:`~repro.transport.impair.PeerQuarantine` lifecycle helpers;
 * :mod:`repro.transport.harness` — the live measurement harness behind
   ``repro live``: sized transfers over loopback with configurable repeats,
-  deterministic datagram-loss injection, and throughput / per-packet delay
-  percentile reporting in the same :class:`~repro.metrics.summary.SchemeResult`
-  shape the sweep/export stack consumes.
+  deterministic datagram-loss/impairment injection, a watchdog that turns
+  hangs into structured :class:`~repro.transport.endpoint.TransferAborted`
+  diagnoses, and throughput / per-packet delay percentile reporting in the
+  same :class:`~repro.metrics.summary.SchemeResult` shape the sweep/export
+  stack consumes.
 
 Everything here is stdlib ``socket``/``select`` plus the repo's own code —
 no new dependencies.
 """
 
+from repro.transport.endpoint import (  # noqa: F401
+    TransferAborted,
+    TransferDiagnosis,
+    default_watchdog,
+)
 from repro.transport.harness import (  # noqa: F401
     LiveConfig,
     LiveTransferResult,
     run_live_suite,
     run_live_transfer,
     sockets_available,
+)
+from repro.transport.impair import (  # noqa: F401
+    EventRing,
+    ImpairSpecError,
+    ImpairmentPipeline,
+    PeerQuarantine,
+    build_pipelines,
+    parse_impair_spec,
 )
 from repro.transport.reliable import AdaptiveRTO, ReorderWindow, RetransmitBuffer  # noqa: F401
 from repro.transport.wire import (  # noqa: F401

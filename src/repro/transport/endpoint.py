@@ -14,11 +14,31 @@ packet — so running them live takes three adapters and no protocol changes:
   (:mod:`repro.transport.reliable`), and the translation between wire
   frames and the header-dict packets the protocols parse.
 
+The lifecycle is hardened against adversarial networks
+(:mod:`repro.transport.impair` injects them deliberately):
+
+* a **peer-inactivity watchdog** on both endpoints aborts with a
+  structured :class:`TransferAborted` (a :class:`TransferDiagnosis` of
+  last-heard ages, retransmit/RTO/decode-error counters, and the event
+  ring tail) instead of silently sleeping out the deadline;
+* the CLOSE handshake is **reliable**: the sender backoff-retransmits
+  CLOSE until the receiver's CLOSE-ACK answers, and the receiver lingers
+  briefly to re-ack retransmitted CLOSEs;
+* the retransmit buffer is **bounded with backpressure**: near its
+  watermark the sender defers protocol ticks (no fresh data or heartbeats
+  are offered) rather than dropping at the brim;
+* **per-peer quarantine** silences sources that only ever send malformed
+  datagrams, and every lifecycle event lands in a timestamped
+  :class:`~repro.transport.impair.EventRing` for postmortems.
+
 Loss injection happens at the sender's ``sendto``: a deterministic
 Bernoulli gate (the sha256 idiom of :func:`repro.testing.faults._coin`,
 keyed on ``(seed, wire_seq, attempt)``) silently drops the datagram, so a
 10% loss test replays identically every run while the selective-repeat
-machinery does real recovery work.
+machinery does real recovery work.  Richer adversarial behaviour (bursty
+loss, reordering, duplication, corruption, throttling, blackouts) comes
+from an :class:`~repro.transport.impair.ImpairmentPipeline` applied at the
+same boundary, per direction.
 """
 
 from __future__ import annotations
@@ -28,7 +48,8 @@ import logging
 import select
 import socket
 import time
-from typing import Callable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
 
 from repro.core.forecaster import EWMAForecaster, TickFromWallClock
 from repro.core.packets import (
@@ -41,15 +62,23 @@ from repro.core.packets import (
 from repro.core.receiver import SproutReceiver
 from repro.core.sender import SproutSender
 from repro.simulation.packet import MTU_BYTES, Packet
+from repro.transport.impair import (
+    EventRing,
+    ImpairmentPipeline,
+    PeerQuarantine,
+    TransportEvent,
+)
 from repro.transport.reliable import AdaptiveRTO, ReorderWindow, RetransmitBuffer
 from repro.transport.wire import (
     MAX_FORECAST_TICKS,
+    CloseAckFrame,
     CloseFrame,
     DataFrame,
     FeedbackFrame,
     WireFormatError,
     decode_frame,
     encode_close,
+    encode_close_ack,
     encode_data,
     encode_feedback,
     seq_add,
@@ -60,11 +89,34 @@ _LOG = logging.getLogger("repro.transport")
 #: loss gate: ``(wire_seq, attempt) -> True`` to drop the datagram unsent
 LossGate = Callable[[int, int], bool]
 
-#: how many best-effort CLOSE frames end a completed transfer
-CLOSE_REPEATS = 3
-
 #: ceiling on one select() sleep, so deadline checks stay responsive
 MAX_SELECT_WAIT = 0.05
+
+#: most CLOSE (re)transmissions before the sender gives up on the handshake
+CLOSE_MAX_ATTEMPTS = 8
+
+#: wall-clock budget for the whole CLOSE handshake after transfer completion
+CLOSE_BUDGET = 2.0
+
+#: how long the receiver lingers after CLOSE-ACK to answer retransmitted
+#: CLOSEs (the TIME_WAIT idiom, scaled to loopback)
+CLOSE_LINGER = 0.25
+
+#: a feedback silence this long gets a "stall" event in the ring
+STALL_AFTER = 0.5
+
+
+def default_watchdog(deadline: float) -> float:
+    """Watchdog interval for a given transfer deadline.
+
+    A quarter of the deadline, clamped to [0.5 s, 4 s]: long enough to ride
+    out a mid-transfer blackout of a couple of seconds, short enough that an
+    abort lands well inside half of any reasonable deadline — the chaos
+    suite's acceptance bar.
+    """
+    if deadline <= 0:
+        raise ValueError(f"deadline must be positive, got {deadline}")
+    return min(4.0, max(0.5, deadline / 4.0))
 
 
 def bernoulli_loss_gate(probability: float, seed: int = 0) -> LossGate:
@@ -85,6 +137,78 @@ def bernoulli_loss_gate(probability: float, seed: int = 0) -> LossGate:
         return int.from_bytes(digest[:8], "big") / 2**64 < probability
 
     return gate
+
+
+# --------------------------------------------------------- structured aborts
+
+
+@dataclass
+class TransferDiagnosis:
+    """Everything a postmortem needs about an aborted (or probed) transfer."""
+
+    reason: str
+    role: str
+    elapsed_s: float
+    last_heard_age_s: float
+    last_progress_age_s: float
+    datagrams_sent: int
+    feedback_received: int
+    decode_errors: int
+    total_retransmits: int
+    fast_retransmits: int
+    timeout_retransmits: int
+    rto_backoffs: int
+    outstanding: int
+    outstanding_bytes: int
+    ticks_skipped: int
+    quarantined_peers: int
+    cause: str = ""
+    events: List[TransportEvent] = field(default_factory=list)
+
+    def as_dict(self) -> Dict[str, object]:
+        payload: Dict[str, object] = {
+            "reason": self.reason,
+            "role": self.role,
+            "elapsed_s": self.elapsed_s,
+            "last_heard_age_s": self.last_heard_age_s,
+            "last_progress_age_s": self.last_progress_age_s,
+            "datagrams_sent": self.datagrams_sent,
+            "feedback_received": self.feedback_received,
+            "decode_errors": self.decode_errors,
+            "total_retransmits": self.total_retransmits,
+            "fast_retransmits": self.fast_retransmits,
+            "timeout_retransmits": self.timeout_retransmits,
+            "rto_backoffs": self.rto_backoffs,
+            "outstanding": self.outstanding,
+            "outstanding_bytes": self.outstanding_bytes,
+            "ticks_skipped": self.ticks_skipped,
+            "quarantined_peers": self.quarantined_peers,
+        }
+        if self.cause:
+            payload["cause"] = self.cause
+        payload["events"] = [(e.t, e.kind, e.detail) for e in self.events]
+        return payload
+
+    def describe(self) -> str:
+        head = (
+            f"{self.role} aborted: {self.reason} after {self.elapsed_s:.2f}s "
+            f"(last heard {self.last_heard_age_s:.2f}s ago, last progress "
+            f"{self.last_progress_age_s:.2f}s ago; {self.total_retransmits} rtx "
+            f"of which {self.timeout_retransmits} by RTO with {self.rto_backoffs} "
+            f"backoffs; {self.decode_errors} decode errors; "
+            f"{self.outstanding} datagrams / {self.outstanding_bytes} bytes unacked)"
+        )
+        if self.cause:
+            head += f"; cause: {self.cause}"
+        return head
+
+
+class TransferAborted(RuntimeError):
+    """A transfer endpoint gave up deliberately, diagnosis attached."""
+
+    def __init__(self, diagnosis: TransferDiagnosis) -> None:
+        super().__init__(diagnosis.describe())
+        self.diagnosis = diagnosis
 
 
 class WallClockContext:
@@ -178,7 +302,15 @@ class SenderEndpoint:
     sits in the retransmit buffer until the receiver's feedback acks it,
     and the transfer is complete when the payload is fully offered *and*
     every wire seq is acked — the "zero lost-forever packets" criterion is
-    exactly ``lost_forever == 0`` at completion.
+    exactly ``lost_forever == 0`` at completion, sealed by the reliable
+    CLOSE/CLOSE-ACK handshake.
+
+    ``watchdog`` (seconds, ``None`` disables) arms two abort triggers,
+    both raising :class:`TransferAborted` instead of waiting out the
+    deadline: *peer-inactivity* (no valid feedback for that long) and
+    *no-progress* (feedback flows but nothing new is acked — the signature
+    of a one-way blackout).  ``abort_check`` is polled every loop and lets
+    the harness surface a crashed receiver thread immediately.
     """
 
     def __init__(
@@ -190,6 +322,10 @@ class SenderEndpoint:
         deadline: float = 30.0,
         ewma: bool = False,
         rto: Optional[AdaptiveRTO] = None,
+        impairment: Optional[ImpairmentPipeline] = None,
+        watchdog: Optional[float] = None,
+        abort_check: Optional[Callable[[], Optional[BaseException]]] = None,
+        ring: Optional[EventRing] = None,
     ) -> None:
         self.remote = remote
         self.provider = SizedTransferProvider(total_bytes)
@@ -198,10 +334,19 @@ class SenderEndpoint:
         self.deadline = float(deadline)
         self.ewma = ewma  # recorded for the harness report; the sender side
         # has no forecaster of its own, the receiver picks the engine.
+        self.impairment = impairment
+        if watchdog is not None and watchdog <= 0:
+            raise ValueError(f"watchdog must be positive, got {watchdog}")
+        self.watchdog = watchdog
+        self.abort_check = abort_check
+        self.ring = ring if ring is not None else EventRing()
+        if impairment is not None and impairment.ring is None:
+            impairment.ring = self.ring
         self.protocol = SproutSender(payload_provider=self.provider, flow_id="sprout-live")
         self.ctx = WallClockContext(clock, self._transmit_packet, "live-sender")
         self.buffer = RetransmitBuffer(rto=rto)
         self.ticker = TickFromWallClock(self.protocol.tick_interval)
+        self.quarantine = PeerQuarantine()
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self.sock.setblocking(False)
         self._next_seq = 0
@@ -209,8 +354,20 @@ class SenderEndpoint:
         self.injected_drops = 0
         self.malformed_received = 0
         self.feedback_received = 0
+        self.rto_backoffs = 0
+        self.backpressure_deferrals = 0
+        self.close_retransmits = 0
+        self.close_acked = False
         self.completed = False
         self.elapsed = 0.0
+        self._last_heard = 0.0
+        self._last_progress = 0.0
+        self._stalled = False
+
+    @property
+    def decode_errors(self) -> int:
+        """Datagrams that failed :func:`decode_frame` (alias for reports)."""
+        return self.malformed_received
 
     # ------------------------------------------------------------ transmit
 
@@ -233,8 +390,10 @@ class SenderEndpoint:
         )
         encoded = encode_data(frame)
         if not self.buffer.has_room():
-            # The window protocol should never get here (Sprout's window is
-            # far below 1024 packets in flight); drop rather than wedge.
+            # Backpressure defers protocol ticks near the watermark, so the
+            # hard bound is only reachable through a pathological burst;
+            # drop rather than wedge, and leave a trace in the ring.
+            self.ring.record(now, "buffer_full_drop", f"wire seq {self._next_seq}")
             _LOG.warning("retransmit buffer full; dropping wire seq %d", self._next_seq)
             return
         self.buffer.track(frame.wire_seq, encoded, now)
@@ -245,24 +404,43 @@ class SenderEndpoint:
         if self.loss_gate is not None and self.loss_gate(wire_seq, attempt):
             self.injected_drops += 1
             return
+        self._emit(encoded)
+
+    def _emit(self, encoded: bytes) -> None:
+        """Hand one datagram to the wire, via the impairment pipeline if any."""
+        if self.impairment is None:
+            self._sendto(encoded)
+            return
+        for out in self.impairment.submit(encoded, self.ctx.now()):
+            self._sendto(out)
+
+    def _sendto(self, encoded: bytes) -> None:
         try:
             self.sock.sendto(encoded, self.remote)
         except OSError as error:
             # A full socket buffer behaves like loss; the RTO recovers it.
-            _LOG.debug("sendto failed for wire seq %d: %s", wire_seq, error)
+            _LOG.debug("sendto failed: %s", error)
             return
         self.datagrams_sent += 1
+
+    def _pump_impairment(self, now: float) -> None:
+        if self.impairment is not None:
+            for out in self.impairment.pump(now):
+                self._sendto(out)
 
     # ------------------------------------------------------------ feedback
 
     def _handle_feedback(self, frame: FeedbackFrame, now: float) -> None:
         self.feedback_received += 1
+        self._last_heard = now
         # Karn-safe RTT sample: only a seq that is still outstanding and
         # was never retransmitted gives an unambiguous echo.
         if frame.echo_timestamp > 0.0 and self.buffer.rtt_sample_ok(frame.echo_seq):
             rtt = now - frame.echo_timestamp - frame.echo_delay
             self.buffer.rto.sample(rtt)
-        self.buffer.on_feedback(frame.ack_seq, frame.sack_bitmap, now)
+        acked = self.buffer.on_feedback(frame.ack_seq, frame.sack_bitmap, now)
+        if acked:
+            self._last_progress = now
         packet = make_feedback_packet(
             forecast_bytes=frame.forecast_bytes,
             forecast_time=frame.forecast_time,
@@ -276,11 +454,72 @@ class SenderEndpoint:
             frame = decode_frame(encoded)
             if not isinstance(frame, DataFrame):  # pragma: no cover - tracked frames are data
                 continue
+            was_fast = self.buffer.fast_due(wire_seq)
             frame.timestamp = now
             frame.retransmit = True
             refreshed = encode_data(frame)
             self.buffer.retransmitted(wire_seq, refreshed, now)
-            self._raw_send(wire_seq, refreshed, attempt=self.buffer.attempts(wire_seq))
+            attempts = self.buffer.attempts(wire_seq)
+            if was_fast:
+                self.ring.record(now, "fast_retransmit", f"wire seq {wire_seq}")
+            else:
+                self.ring.record(now, "rto_retransmit", f"wire seq {wire_seq}")
+                if attempts > 1:
+                    self.rto_backoffs += 1
+                    self.ring.record(
+                        now, "rto_backoff", f"wire seq {wire_seq} attempt {attempts}"
+                    )
+            self._raw_send(wire_seq, refreshed, attempt=attempts)
+
+    # ------------------------------------------------------------ watchdog
+
+    def _diagnosis(self, reason: str, now: float, start: float, cause: str = "") -> TransferDiagnosis:
+        return TransferDiagnosis(
+            reason=reason,
+            role="sender",
+            elapsed_s=now - start,
+            last_heard_age_s=now - self._last_heard,
+            last_progress_age_s=now - self._last_progress,
+            datagrams_sent=self.datagrams_sent,
+            feedback_received=self.feedback_received,
+            decode_errors=self.malformed_received,
+            total_retransmits=self.buffer.total_retransmits,
+            fast_retransmits=self.buffer.fast_retransmits,
+            timeout_retransmits=self.buffer.timeout_retransmits,
+            rto_backoffs=self.rto_backoffs,
+            outstanding=len(self.buffer),
+            outstanding_bytes=self.buffer.bytes_held,
+            ticks_skipped=self.ticker.ticks_skipped,
+            quarantined_peers=self.quarantine.quarantined_peers,
+            cause=cause,
+            events=self.ring.tail(16),
+        )
+
+    def _check_watchdog(self, now: float, start: float) -> None:
+        if self.abort_check is not None:
+            error = self.abort_check()
+            if error is not None:
+                self.ring.record(now, "watchdog_abort", "receiver failure")
+                raise TransferAborted(
+                    self._diagnosis("receiver-failure", now, start, cause=repr(error))
+                )
+        if self.watchdog is None:
+            return
+        if now - self._last_heard > self.watchdog:
+            self.ring.record(now, "watchdog_abort", "peer inactivity")
+            raise TransferAborted(self._diagnosis("peer-inactivity", now, start))
+        if now - self._last_progress > self.watchdog:
+            self.ring.record(now, "watchdog_abort", "no progress")
+            raise TransferAborted(self._diagnosis("no-progress", now, start))
+
+    def _note_stall(self, now: float) -> None:
+        silent = now - self._last_heard
+        if silent > STALL_AFTER:
+            if not self._stalled:
+                self._stalled = True
+                self.ring.record(now, "stall", f"no feedback for {silent:.2f}s")
+        else:
+            self._stalled = False
 
     # ----------------------------------------------------------------- run
 
@@ -288,46 +527,76 @@ class SenderEndpoint:
         """Drive the transfer to completion; True iff everything was acked.
 
         Blocks until the payload is fully offered and every wire seq acked
-        (then sends best-effort CLOSE frames and returns True), or until
-        ``deadline`` seconds elapse (returns False with whatever state the
-        endpoint reached).
+        (then runs the reliable CLOSE handshake and returns True).  A
+        watchdog expiry or a receiver failure raises
+        :class:`TransferAborted` with a populated diagnosis; only with the
+        watchdog disabled can the transfer run out the ``deadline`` and
+        return False with whatever state the endpoint reached.
         """
         start = self.clock()
         give_up = start + self.deadline
+        self._last_heard = start
+        self._last_progress = start
         self.protocol.start(self.ctx)
         self.ticker.start(start)
+        if self.impairment is not None:
+            self.impairment.start(start)
         try:
             while True:
                 now = self.clock()
                 if self.provider.exhausted and len(self.buffer) == 0:
                     self.completed = True
-                    self._send_close()
+                    self._close_handshake(min(give_up, self.clock() + CLOSE_BUDGET))
                     break
                 if now >= give_up:
+                    self.ring.record(now, "deadline_expired", "")
                     break
+                self._check_watchdog(now, start)
+                self._note_stall(now)
                 timeout = self._select_timeout(now)
                 readable, _, _ = select.select([self.sock], [], [], timeout)
                 now = self.clock()
                 if readable:
-                    for data, _addr in _drain_datagrams(self.sock):
-                        try:
-                            frame = decode_frame(data)
-                        except WireFormatError:
-                            self.malformed_received += 1
-                            continue
+                    for data, addr in _drain_datagrams(self.sock):
+                        frame = self._decode(data, addr, now)
                         if isinstance(frame, FeedbackFrame):
                             self._handle_feedback(frame, now)
                 # In drain mode (payload fully offered) the protocol has
                 # nothing left to say: ticking it would only emit fresh
-                # heartbeats that push completion further out.
+                # heartbeats that push completion further out.  Under
+                # buffer backpressure, ticking would offer data the buffer
+                # cannot hold: defer instead of dropping.
                 if not self.provider.exhausted:
-                    for _ in range(self.ticker.due_ticks(now)):
-                        self.protocol.on_tick(now)
+                    if self.buffer.under_backpressure:
+                        if self.ticker.due_ticks(now):
+                            self.backpressure_deferrals += 1
+                            self.ring.record(
+                                now, "backpressure", f"{len(self.buffer)} unacked"
+                            )
+                    else:
+                        for _ in range(self.ticker.due_ticks(now)):
+                            self.protocol.on_tick(now)
                 self._retransmit_due(now)
+                self._pump_impairment(now)
         finally:
             self.elapsed = self.clock() - start
             self.sock.close()
         return self.completed
+
+    def _decode(self, data: bytes, addr: Tuple, now: float):
+        """Decode one datagram with quarantine accounting; None if rejected."""
+        if self.quarantine.is_quarantined(addr):
+            return None
+        try:
+            frame = decode_frame(data)
+        except WireFormatError as error:
+            self.malformed_received += 1
+            self.ring.record(now, "decode_error", str(error))
+            if self.quarantine.note_malformed(addr):
+                self.ring.record(now, "quarantine", f"peer {addr!r}")
+            return None
+        self.quarantine.note_valid(addr)
+        return frame
 
     def _select_timeout(self, now: float) -> float:
         deadlines = [now + MAX_SELECT_WAIT]
@@ -337,17 +606,49 @@ class SenderEndpoint:
         rto = self.buffer.next_deadline(now)
         if rto is not None:
             deadlines.append(rto)
+        if self.impairment is not None:
+            held = self.impairment.next_deadline()
+            if held is not None:
+                deadlines.append(held)
         return max(0.0, min(deadlines) - now)
 
-    def _send_close(self) -> None:
-        # Best-effort and exempt from injected loss: CLOSE only shortcuts
-        # the receiver's deadline wait, it carries no reliability burden.
+    def _close_handshake(self, give_up: float) -> None:
+        """Reliable CLOSE: backoff-retransmit until CLOSE-ACK or budget end.
+
+        CLOSE is exempt from the legacy Bernoulli loss gate (it carries no
+        data) but *does* traverse the impairment pipeline — a blackout over
+        the tail of a transfer exercises exactly this retransmit path.
+        """
         encoded = encode_close(CloseFrame(wire_seq=self._next_seq))
-        for _ in range(CLOSE_REPEATS):
-            try:
-                self.sock.sendto(encoded, self.remote)
-            except OSError:
-                return
+        attempt = 0
+        while attempt < CLOSE_MAX_ATTEMPTS:
+            now = self.clock()
+            if now >= give_up:
+                break
+            self._emit(encoded)
+            attempt += 1
+            if attempt > 1:
+                self.close_retransmits += 1
+                self.ring.record(now, "close_retransmit", f"attempt {attempt}")
+            wait_until = min(give_up, now + max(0.02, self.buffer.rto.timeout(attempt - 1)))
+            while True:
+                now = self.clock()
+                if now >= wait_until:
+                    break
+                readable, _, _ = select.select(
+                    [self.sock], [], [], min(MAX_SELECT_WAIT, wait_until - now)
+                )
+                now = self.clock()
+                self._pump_impairment(now)
+                if not readable:
+                    continue
+                for data, addr in _drain_datagrams(self.sock):
+                    frame = self._decode(data, addr, now)
+                    if isinstance(frame, CloseAckFrame):
+                        self.close_acked = True
+                        self.ring.record(now, "close_acked", f"after {attempt} attempt(s)")
+                        return
+        self.ring.record(self.clock(), "close_gave_up", f"after {attempt} attempt(s)")
 
     @property
     def lost_forever(self) -> int:
@@ -365,6 +666,11 @@ class ReceiverEndpoint:
     RTT echo on their way out.  Per-packet one-way delays come straight
     from the real timestamps: receive time minus the frame's send stamp,
     both on the harness's shared monotonic timebase.
+
+    Lifecycle: a CLOSE is answered with CLOSE-ACK and a short linger (so
+    retransmitted CLOSEs are re-acked); ``watchdog`` seconds of peer
+    silence raises :class:`TransferAborted`; ``stop_check`` lets the
+    harness stop the receiver promptly once the sender is done for.
     """
 
     def __init__(
@@ -373,14 +679,27 @@ class ReceiverEndpoint:
         bind: Tuple[str, int] = ("127.0.0.1", 0),
         deadline: float = 30.0,
         ewma: bool = False,
+        impairment: Optional[ImpairmentPipeline] = None,
+        watchdog: Optional[float] = None,
+        stop_check: Optional[Callable[[], bool]] = None,
+        ring: Optional[EventRing] = None,
     ) -> None:
         self.clock = clock
         self.deadline = float(deadline)
         forecaster = EWMAForecaster() if ewma else None
+        self.impairment = impairment
+        if watchdog is not None and watchdog <= 0:
+            raise ValueError(f"watchdog must be positive, got {watchdog}")
+        self.watchdog = watchdog
+        self.stop_check = stop_check
+        self.ring = ring if ring is not None else EventRing()
+        if impairment is not None and impairment.ring is None:
+            impairment.ring = self.ring
         self.protocol = SproutReceiver(forecaster=forecaster, flow_id="sprout-live")
         self.ctx = WallClockContext(clock, self._transmit_feedback, "live-receiver")
         self.window = ReorderWindow(first_seq=0)
         self.ticker = TickFromWallClock(self.protocol.tick_interval)
+        self.quarantine = PeerQuarantine()
         self.sock = socket.socket(socket.AF_INET, socket.SOCK_DGRAM)
         self.sock.bind(bind)
         self.sock.setblocking(False)
@@ -389,15 +708,25 @@ class ReceiverEndpoint:
         self._feedback_seq = 0
         self._echo: Optional[Tuple[int, float, float]] = None  # seq, stamp, arrival
         self.delays: List[float] = []
+        self.arrival_times: List[float] = []
         self.unique_data_bytes = 0
         self.data_frames = 0
         self.heartbeat_frames = 0
         self.malformed_received = 0
         self.feedback_frames_sent = 0
+        self.close_acks_sent = 0
         self.first_arrival: Optional[float] = None
         self.last_arrival: Optional[float] = None
         self.saw_fin = False
         self.closed = False
+        self.stopped = False
+        self._last_heard = 0.0
+        self._close_linger_until: Optional[float] = None
+
+    @property
+    def decode_errors(self) -> int:
+        """Datagrams that failed :func:`decode_frame` (alias for reports)."""
+        return self.malformed_received
 
     # ------------------------------------------------------------ feedback
 
@@ -423,11 +752,31 @@ class ReceiverEndpoint:
             echo_delay=echo_delay,
         )
         self._feedback_seq = seq_add(self._feedback_seq)
-        try:
-            self.sock.sendto(encode_feedback(frame), self._peer)
-        except OSError:
-            return  # the feedback channel is unreliable by design
-        self.feedback_frames_sent += 1
+        if self._emit(encode_feedback(frame), now):
+            self.feedback_frames_sent += 1
+
+    def _emit(self, encoded: bytes, now: float) -> bool:
+        """Send one datagram to the peer through the impairment pipeline."""
+        if self._peer is None:
+            return False
+        outs = [encoded] if self.impairment is None else self.impairment.submit(encoded, now)
+        sent = False
+        for out in outs:
+            try:
+                self.sock.sendto(out, self._peer)
+                sent = True
+            except OSError:
+                continue  # the feedback channel is unreliable by design
+        return sent or bool(self.impairment)
+
+    def _pump_impairment(self, now: float) -> None:
+        if self.impairment is None or self._peer is None:
+            return
+        for out in self.impairment.pump(now):
+            try:
+                self.sock.sendto(out, self._peer)
+            except OSError:
+                continue
 
     # ------------------------------------------------------------- receive
 
@@ -439,6 +788,7 @@ class ReceiverEndpoint:
         if not self.window.accept(frame.wire_seq):
             return
         self.delays.append(now - frame.timestamp)
+        self.arrival_times.append(now)
         if self.first_arrival is None:
             self.first_arrival = now
         self.last_arrival = now
@@ -461,44 +811,125 @@ class ReceiverEndpoint:
         packet.delivered_at = now
         self.protocol.on_packet(packet, now)
 
+    def _handle_close(self, frame: CloseFrame, addr: Tuple, now: float) -> None:
+        self._peer = addr
+        if not self.closed:
+            self.closed = True
+            self.ring.record(now, "close_received", "")
+            self._close_linger_until = now + CLOSE_LINGER
+        # Re-ack every CLOSE, original or retransmitted: the ack may have
+        # been lost and the sender is backoff-retransmitting against us.
+        if self._emit(encode_close_ack(CloseAckFrame(wire_seq=frame.wire_seq)), now):
+            self.close_acks_sent += 1
+
+    # ------------------------------------------------------------ watchdog
+
+    def _diagnosis(self, reason: str, now: float, start: float) -> TransferDiagnosis:
+        return TransferDiagnosis(
+            reason=reason,
+            role="receiver",
+            elapsed_s=now - start,
+            last_heard_age_s=now - self._last_heard,
+            last_progress_age_s=now - (self.last_arrival if self.last_arrival else start),
+            datagrams_sent=self.feedback_frames_sent,
+            feedback_received=self.window.unique_accepted,
+            decode_errors=self.malformed_received,
+            total_retransmits=0,
+            fast_retransmits=0,
+            timeout_retransmits=0,
+            rto_backoffs=0,
+            outstanding=self.window.missing,
+            outstanding_bytes=0,
+            ticks_skipped=self.ticker.ticks_skipped,
+            quarantined_peers=self.quarantine.quarantined_peers,
+            events=self.ring.tail(16),
+        )
+
     # ----------------------------------------------------------------- run
 
     def run(self) -> bool:
-        """Receive until a CLOSE frame or the deadline; True iff closed."""
+        """Receive until the close handshake, a stop, an abort, or deadline.
+
+        True iff the transfer ended with the CLOSE handshake.  ``watchdog``
+        seconds of total peer silence raise :class:`TransferAborted` (with
+        diagnosis) instead of idling to the deadline.
+        """
         start = self.clock()
         give_up = start + self.deadline
+        self._last_heard = start
         self.protocol.start(self.ctx)
         self.ticker.start(start)
+        if self.impairment is not None:
+            self.impairment.start(start)
         try:
             while True:
                 now = self.clock()
-                if self.closed or now >= give_up:
+                if self.closed and (
+                    self._close_linger_until is None or now >= self._close_linger_until
+                ):
                     break
+                if now >= give_up:
+                    if not self.closed:
+                        self.ring.record(now, "deadline_expired", "")
+                    break
+                if self.stop_check is not None and self.stop_check():
+                    self.stopped = True
+                    self.ring.record(now, "harness_stop", "")
+                    break
+                if (
+                    self.watchdog is not None
+                    and not self.closed
+                    and now - self._last_heard > self.watchdog
+                ):
+                    self.ring.record(now, "watchdog_abort", "peer inactivity")
+                    raise TransferAborted(self._diagnosis("peer-inactivity", now, start))
                 timeout = self._select_timeout(now)
                 readable, _, _ = select.select([self.sock], [], [], timeout)
                 now = self.clock()
                 if readable:
                     for data, addr in _drain_datagrams(self.sock):
-                        try:
-                            frame = decode_frame(data)
-                        except WireFormatError:
-                            self.malformed_received += 1
+                        frame = self._decode(data, addr, now)
+                        if frame is None:
                             continue
+                        self._last_heard = now
                         if isinstance(frame, DataFrame):
                             self._handle_data(frame, addr, now)
                         elif isinstance(frame, CloseFrame):
-                            self.closed = True
-                for _ in range(self.ticker.due_ticks(now)):
-                    self.protocol.on_tick(now)
+                            self._handle_close(frame, addr, now)
+                if not self.closed:
+                    for _ in range(self.ticker.due_ticks(now)):
+                        self.protocol.on_tick(now)
+                self._pump_impairment(now)
         finally:
             self.sock.close()
         return self.closed
+
+    def _decode(self, data: bytes, addr: Tuple, now: float):
+        """Decode one datagram with quarantine accounting; None if rejected."""
+        if self.quarantine.is_quarantined(addr):
+            return None
+        try:
+            frame = decode_frame(data)
+        except WireFormatError as error:
+            self.malformed_received += 1
+            self.ring.record(now, "decode_error", str(error))
+            if self.quarantine.note_malformed(addr):
+                self.ring.record(now, "quarantine", f"peer {addr!r}")
+            return None
+        self.quarantine.note_valid(addr)
+        return frame
 
     def _select_timeout(self, now: float) -> float:
         deadlines = [now + MAX_SELECT_WAIT]
         tick = self.ticker.next_deadline()
         if tick is not None:
             deadlines.append(tick)
+        if self.impairment is not None:
+            held = self.impairment.next_deadline()
+            if held is not None:
+                deadlines.append(held)
+        if self._close_linger_until is not None:
+            deadlines.append(self._close_linger_until)
         return max(0.0, min(deadlines) - now)
 
 

@@ -30,14 +30,18 @@ from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
 
 from repro.experiments.sweeps import GridData, GridPoint, GridSpec
-from repro.metrics.delay import delay_percentiles
+from repro.metrics.delay import delay_percentiles, longest_arrival_gap
 from repro.metrics.summary import SchemeResult
 from repro.transport.endpoint import (
     ReceiverEndpoint,
     SenderEndpoint,
+    TransferAborted,
+    TransferDiagnosis,
     bernoulli_loss_gate,
+    default_watchdog,
     shared_monotonic_clock,
 )
+from repro.transport.impair import EventRing, TransportEvent, build_pipelines, parse_impair_spec
 
 #: identity under which live results enter the analysis stack
 LIVE_SCHEME = "Sprout (live)"
@@ -67,7 +71,16 @@ def sockets_available() -> bool:
 
 @dataclass(frozen=True)
 class LiveConfig:
-    """One live measurement: transfer size, repeats, loss injection."""
+    """One live measurement: transfer size, repeats, loss/impairment injection.
+
+    ``impair`` is an :func:`~repro.transport.impair.parse_impair_spec`
+    string applied at the socket boundary in both directions (empty means
+    clean); ``impair_seed`` keys its deterministic fate draws (offset per
+    repeat).  ``watchdog`` is the peer-inactivity abort interval in
+    seconds — ``None`` picks :func:`default_watchdog` from the deadline,
+    ``0`` disables the watchdog entirely (legacy wait-out-the-deadline
+    behaviour).
+    """
 
     transfer_bytes: int = 256 * 1024
     repeats: int = 3
@@ -75,6 +88,9 @@ class LiveConfig:
     loss_seed: int = 0
     deadline: float = 30.0
     ewma: bool = False
+    impair: str = ""
+    impair_seed: int = 0
+    watchdog: Optional[float] = None
 
     def __post_init__(self) -> None:
         if self.transfer_bytes <= 0:
@@ -85,6 +101,17 @@ class LiveConfig:
             raise ValueError(f"loss_rate must be in [0, 1), got {self.loss_rate}")
         if self.deadline <= 0:
             raise ValueError(f"deadline must be positive, got {self.deadline}")
+        if self.watchdog is not None and self.watchdog < 0:
+            raise ValueError(f"watchdog must be >= 0, got {self.watchdog}")
+        # Surfaces a typo'd spec as ValueError at config time (CLI exit 2)
+        # instead of mid-transfer; ImpairSpecError subclasses ValueError.
+        parse_impair_spec(self.impair)
+
+    def resolved_watchdog(self) -> Optional[float]:
+        """The watchdog interval the endpoints actually run with."""
+        if self.watchdog is None:
+            return default_watchdog(self.deadline)
+        return self.watchdog if self.watchdog > 0 else None
 
 
 @dataclass
@@ -111,6 +138,17 @@ class LiveTransferResult:
     malformed: int = 0
     srtt_s: Optional[float] = None
     ticks_skipped: int = 0
+    decode_errors: int = 0
+    close_acked: bool = False
+    close_retransmits: int = 0
+    quarantine_drops: int = 0
+    longest_stall_s: float = 0.0
+    failure: str = ""
+    diagnosis: Optional[TransferDiagnosis] = None
+    event_counts: Dict[str, int] = field(default_factory=dict)
+    events: List[TransportEvent] = field(default_factory=list)
+    impair_counters: Dict[str, int] = field(default_factory=dict)
+    impair_replay_ok: Optional[bool] = None
 
     def to_scheme_result(self) -> SchemeResult:
         """This repeat as a sweep-stack row (``extra`` holds the counters).
@@ -142,11 +180,25 @@ class LiveTransferResult:
             "live_lost_forever": float(self.lost_forever),
             "live_malformed": float(self.malformed),
             "live_ticks_skipped": float(self.ticks_skipped),
+            "live_decode_errors": float(self.decode_errors),
+            "live_close_acked": float(self.close_acked),
+            "live_close_retransmits": float(self.close_retransmits),
+            "live_quarantine_drops": float(self.quarantine_drops),
+            "live_longest_stall_s": float(self.longest_stall_s),
+            "live_failed": float(bool(self.failure)),
         }
         for key, value in self.delay_percentiles_s.items():
             extra[f"live_delay_{key}_s"] = float(value)
         if self.srtt_s is not None:
             extra["live_srtt_s"] = float(self.srtt_s)
+        # Event-ring postmortem surface: per-kind counts survive ring
+        # wraparound, so the extras stay complete however long the run.
+        for kind, count in sorted(self.event_counts.items()):
+            extra[f"live_ev_{kind}"] = float(count)
+        for action, count in sorted(self.impair_counters.items()):
+            extra[f"live_impair_{action.replace(':', '_')}"] = float(count)
+        if self.impair_replay_ok is not None:
+            extra["live_impair_replay_ok"] = float(self.impair_replay_ok)
         return SchemeResult(
             scheme=LIVE_SCHEME,
             link=LIVE_LINK,
@@ -165,13 +217,47 @@ def run_live_transfer(config: LiveConfig, repeat: int = 1) -> LiveTransferResult
 
     The receiver binds an ephemeral loopback port and runs in a daemon
     thread; the sender drives the transfer in the calling thread.  The
-    loss gate (when ``loss_rate > 0``) is seeded per repeat so repeats see
-    different — but individually reproducible — loss patterns.
+    loss gate (when ``loss_rate > 0``) and the impairment pipelines (when
+    ``impair`` is set) are seeded per repeat so repeats see different —
+    but individually reproducible — adversarial patterns.
+
+    Failure handling is structured, never a hang: a receiver-thread crash
+    lands in an exception slot the sender's ``abort_check`` polls every
+    loop, so the sender aborts within one select interval instead of
+    waiting out its deadline; a watchdog abort is caught here and reported
+    through ``failure``/``diagnosis`` on the result.
     """
     clock = shared_monotonic_clock()
-    receiver = ReceiverEndpoint(clock, deadline=config.deadline, ewma=config.ewma)
+    watchdog = config.resolved_watchdog()
+    sender_ring = EventRing()
+    receiver_ring = EventRing()
+    up = down = None
+    if config.impair:
+        up, down = build_pipelines(
+            config.impair,
+            seed=config.impair_seed + repeat,
+            up_ring=sender_ring,
+            down_ring=receiver_ring,
+        )
+    stop = threading.Event()
+    crash: Dict[str, BaseException] = {}
+    receiver = ReceiverEndpoint(
+        clock,
+        deadline=config.deadline,
+        ewma=config.ewma,
+        impairment=down,
+        stop_check=stop.is_set,
+        ring=receiver_ring,
+    )
+
+    def _receiver_main() -> None:
+        try:
+            receiver.run()
+        except BaseException as error:  # propagated via the sender's abort_check
+            crash["error"] = error
+
     thread = threading.Thread(
-        target=receiver.run, name=f"sprout-live-receiver-{repeat}", daemon=True
+        target=_receiver_main, name=f"sprout-live-receiver-{repeat}", daemon=True
     )
     thread.start()
     gate = None
@@ -184,9 +270,39 @@ def run_live_transfer(config: LiveConfig, repeat: int = 1) -> LiveTransferResult
         loss_gate=gate,
         deadline=config.deadline,
         ewma=config.ewma,
+        impairment=up,
+        watchdog=watchdog,
+        abort_check=lambda: crash.get("error"),
+        ring=sender_ring,
     )
-    completed = sender.run()
-    thread.join(config.deadline + 5.0)
+    failure = ""
+    diagnosis: Optional[TransferDiagnosis] = None
+    try:
+        completed = sender.run()
+    except TransferAborted as aborted:
+        completed = False
+        failure = aborted.diagnosis.reason
+        diagnosis = aborted.diagnosis
+    finally:
+        stop.set()
+    thread.join(5.0)
+    if not failure and "error" in crash:
+        failure = "receiver-failure"
+
+    replay_ok: Optional[bool] = None
+    impair_counters: Dict[str, int] = {}
+    for direction, pipe in (("up", up), ("down", down)):
+        if pipe is None:
+            continue
+        ok = pipe.replay_determinism_check()
+        replay_ok = ok if replay_ok is None else (replay_ok and ok)
+        for action, count in pipe.counters_snapshot().items():
+            impair_counters[f"{direction}_{action}"] = count
+
+    merged_events = sorted(
+        sender_ring.events() + receiver_ring.events(), key=lambda event: event.t
+    )
+    event_counts: Dict[str, int] = dict(sender_ring.counts + receiver_ring.counts)
 
     duration = max(sender.elapsed, 1e-9)
     delays = list(receiver.delays)
@@ -211,6 +327,17 @@ def run_live_transfer(config: LiveConfig, repeat: int = 1) -> LiveTransferResult
         malformed=sender.malformed_received + receiver.malformed_received,
         srtt_s=sender.buffer.rto.srtt,
         ticks_skipped=sender.ticker.ticks_skipped + receiver.ticker.ticks_skipped,
+        decode_errors=sender.decode_errors + receiver.decode_errors,
+        close_acked=sender.close_acked,
+        close_retransmits=sender.close_retransmits,
+        quarantine_drops=sender.quarantine.drops + receiver.quarantine.drops,
+        longest_stall_s=longest_arrival_gap(receiver.arrival_times),
+        failure=failure,
+        diagnosis=diagnosis,
+        event_counts=event_counts,
+        events=merged_events,
+        impair_counters=impair_counters,
+        impair_replay_ok=replay_ok,
     )
 
 
@@ -251,10 +378,16 @@ def render_live_results(results: List[LiveTransferResult]) -> str:
         "",
         f"  {'repeat':>6s} {'tput (kbps)':>12s} {'p50 (ms)':>9s} {'p95 (ms)':>9s} "
         f"{'p99 (ms)':>9s} {'sent':>6s} {'rtx':>5s} {'drops':>6s} "
-        f"{'lost':>5s} {'done':>5s}",
+        f"{'lost':>5s} {'skip':>5s} {'dec':>5s} {'done':>6s}",
     ]
     for result in results:
         p = result.delay_percentiles_s
+        if result.failure:
+            done = "ABORT"
+        elif result.completed:
+            done = "yes"
+        else:
+            done = "NO"
         lines.append(
             f"  {result.repeat:6d} {result.throughput_bps / 1000:12.0f} "
             f"{1000 * p.get('p50', float('nan')):9.2f} "
@@ -262,8 +395,19 @@ def render_live_results(results: List[LiveTransferResult]) -> str:
             f"{1000 * p.get('p99', float('nan')):9.2f} "
             f"{result.datagrams_sent:6d} {result.total_retransmits:5d} "
             f"{result.injected_drops:6d} {result.lost_forever:5d} "
-            f"{'yes' if result.completed else 'NO':>5s}"
+            f"{result.ticks_skipped:5d} {result.decode_errors:5d} "
+            f"{done:>6s}"
         )
+    for result in results:
+        if not result.failure:
+            continue
+        lines.append("")
+        lines.append(f"  repeat {result.repeat} failed: {result.failure}")
+        if result.diagnosis is not None:
+            lines.append(f"    {result.diagnosis.describe()}")
+        for event in result.events[-8:]:
+            detail = f" {event.detail}" if event.detail else ""
+            lines.append(f"    [{event.t:8.3f}s] {event.kind}{detail}")
     lines.append("")
     return "\n".join(lines)
 

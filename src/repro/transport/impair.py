@@ -1,0 +1,755 @@
+"""Adversarial-network impairment pipeline for the real-socket transport.
+
+The paper's claim is that Sprout stays responsive *under wildly varying,
+bursty cellular links*; a loopback transfer under uniform Bernoulli loss
+(PR 9) exercises almost none of that.  This module brings the emulator's
+netem-style adversarial discipline to the socket boundary: a composable,
+seed-deterministic pipeline of impairment stages applied to every outgoing
+datagram of a direction, built from a compact spec string::
+
+    repro live --impair "ge:p=0.05,burst=8;reorder:p=0.02;blackout:at=2s,len=1.5s"
+
+Stages (semicolon-separated, applied in order; each takes ``key=value``
+parameters after a colon and an optional ``dir=up|down|both``):
+
+``ge``
+    Gilbert–Elliott bursty loss.  ``p`` is the *stationary* loss rate,
+    ``burst`` the mean bad-run length in datagrams; the two-state Markov
+    chain drops everything while in the bad state.
+``loss``
+    Uniform Bernoulli loss with probability ``p`` (the netem baseline).
+``reorder``
+    Seeded hold-back jitter: with probability ``p`` a datagram is held and
+    released after ``gap`` later datagrams have passed it (or after
+    ``hold`` seconds, whichever comes first).
+``dup``
+    Duplication with probability ``p``.
+``corrupt``
+    Byte corruption with probability ``p``: one seeded byte of the copy is
+    XOR-flipped.  The wire format's CRC32 (:mod:`repro.transport.wire`)
+    turns this into a clean decode error at the far end.
+``rate``
+    Token-queue throttle to ``bps`` bits per second with a bounded queue
+    (``queue`` bytes, default 256 KiB); overflow drops.
+``blackout``
+    Timed total outage: every datagram submitted in
+    ``[at, at + len)`` (relative to :meth:`ImpairmentPipeline.start`) is
+    dropped, in both bursts and sustained windows.
+
+Every random decision hashes ``(seed, direction, stage index, stage kind,
+datagram index)`` through sha256 — the idiom of
+:func:`repro.testing.faults._coin` — so the *fate* of the n-th datagram
+through a stage is a pure function of the seed and the spec.  The pipeline
+records a bounded fate log and cumulative counters; replaying the recorded
+``(size, time)`` submission sequence through a fresh pipeline with the
+same seed reproduces both bit-identically (the chaos suite's determinism
+gate).
+
+This module also hosts two lifecycle-observability helpers used by the
+endpoints: the timestamped :class:`EventRing` (retransmits, RTO backoffs,
+stalls, blackouts, corrupt frames — exported through the live
+``SchemeResult`` extras for postmortems) and the :class:`PeerQuarantine`
+that silences sources which have only ever produced malformed datagrams.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from collections import Counter, deque
+from dataclasses import dataclass, field
+from typing import Callable, Deque, Dict, List, Optional, Sequence, Tuple
+
+__all__ = [
+    "DIRECTIONS",
+    "STAGE_KINDS",
+    "EventRing",
+    "ImpairSpecError",
+    "ImpairmentPipeline",
+    "PeerQuarantine",
+    "StageSpec",
+    "TransportEvent",
+    "build_pipelines",
+    "parse_impair_spec",
+    "parse_quantity",
+]
+
+#: datagram directions a stage can apply to
+DIRECTIONS = ("up", "down", "both")
+
+#: maximum fate-log entries kept for determinism checks (the counters are
+#: cumulative and never truncate)
+FATE_LOG_LIMIT = 65536
+
+#: default bounded length of an event ring
+EVENT_RING_LIMIT = 512
+
+#: malformed datagrams from a never-valid source before it is quarantined
+QUARANTINE_THRESHOLD = 12
+
+
+# --------------------------------------------------------------- event ring
+
+
+@dataclass(frozen=True)
+class TransportEvent:
+    """One timestamped lifecycle event (ring entry)."""
+
+    t: float
+    kind: str
+    detail: str = ""
+
+
+class EventRing:
+    """Bounded, timestamped transport event log with unbounded counts.
+
+    The ring itself keeps the most recent :data:`EVENT_RING_LIMIT` events
+    for postmortems; per-kind counters and first/last timestamps survive
+    wraparound so the ``SchemeResult`` extras stay complete however long
+    the transfer ran.
+    """
+
+    def __init__(self, limit: int = EVENT_RING_LIMIT) -> None:
+        self._events: Deque[TransportEvent] = deque(maxlen=limit)
+        self.counts: Counter = Counter()
+        self.first_seen: Dict[str, float] = {}
+        self.last_seen: Dict[str, float] = {}
+
+    def record(self, t: float, kind: str, detail: str = "") -> None:
+        self._events.append(TransportEvent(t=t, kind=kind, detail=detail))
+        self.counts[kind] += 1
+        self.first_seen.setdefault(kind, t)
+        self.last_seen[kind] = t
+
+    def events(self) -> List[TransportEvent]:
+        return list(self._events)
+
+    def tail(self, n: int = 8) -> List[TransportEvent]:
+        return list(self._events)[-n:]
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+# ----------------------------------------------------------- peer quarantine
+
+
+class PeerQuarantine:
+    """Silence sources that have only ever produced malformed datagrams.
+
+    A live socket can receive anything; decoding hostile garbage costs CPU
+    and pollutes the counters.  A peer is quarantined once it accumulates
+    ``threshold`` malformed datagrams *without a single valid frame* — a
+    legitimate peer whose traffic is being corrupted in flight still
+    delivers valid frames between corruptions and is never quarantined,
+    while a pure-garbage source goes silent after a bounded spend.
+    """
+
+    def __init__(self, threshold: int = QUARANTINE_THRESHOLD) -> None:
+        self.threshold = int(threshold)
+        self._malformed: Counter = Counter()
+        self._valid: Counter = Counter()
+        self._quarantined: set = set()
+        self.drops = 0
+
+    def is_quarantined(self, addr: Tuple) -> bool:
+        """Check (and count) an arriving datagram's source before decoding."""
+        if addr in self._quarantined:
+            self.drops += 1
+            return True
+        return False
+
+    def note_valid(self, addr: Tuple) -> None:
+        self._valid[addr] += 1
+
+    def note_malformed(self, addr: Tuple) -> bool:
+        """Record a decode failure; True iff this crossed into quarantine."""
+        self._malformed[addr] += 1
+        if (
+            addr not in self._quarantined
+            and self._valid[addr] == 0
+            and self._malformed[addr] >= self.threshold
+        ):
+            self._quarantined.add(addr)
+            return True
+        return False
+
+    @property
+    def quarantined_peers(self) -> int:
+        return len(self._quarantined)
+
+
+# ------------------------------------------------------------- spec parsing
+
+
+class ImpairSpecError(ValueError):
+    """An ``--impair`` spec string that does not parse or validate."""
+
+
+def parse_quantity(text: str) -> float:
+    """Parse a scalar with optional units: ``1.5s``, ``40ms``, ``3mbit``.
+
+    Durations come back in seconds, rates in bits per second, bare numbers
+    as-is.  Raises :class:`ImpairSpecError` on anything else.
+    """
+    token = text.strip().lower()
+    scale = 1.0
+    for suffix, factor in (
+        ("ms", 1e-3),
+        ("gbit", 1e9),
+        ("mbit", 1e6),
+        ("kbit", 1e3),
+        ("bps", 1.0),  # must precede the bare-seconds suffix
+        ("s", 1.0),
+    ):
+        if token.endswith(suffix):
+            token = token[: -len(suffix)]
+            scale = factor
+            break
+    try:
+        value = float(token)
+    except ValueError:
+        raise ImpairSpecError(f"cannot parse quantity {text!r}")
+    return value * scale
+
+
+@dataclass(frozen=True)
+class StageSpec:
+    """One parsed stage of an impairment spec."""
+
+    kind: str
+    params: Tuple[Tuple[str, float], ...] = ()
+    direction: str = "both"
+
+    def param(self, key: str, default: Optional[float] = None) -> Optional[float]:
+        for name, value in self.params:
+            if name == key:
+                return value
+        return default
+
+    def applies_to(self, direction: str) -> bool:
+        return self.direction == "both" or self.direction == direction
+
+
+#: stage kind -> (allowed params, required params)
+STAGE_KINDS: Dict[str, Tuple[Tuple[str, ...], Tuple[str, ...]]] = {
+    "ge": (("p", "burst"), ()),
+    "loss": (("p",), ()),
+    "reorder": (("p", "gap", "hold"), ()),
+    "dup": (("p",), ()),
+    "corrupt": (("p",), ()),
+    "rate": (("bps", "queue"), ("bps",)),
+    "blackout": (("at", "len"), ("at", "len")),
+}
+
+_PROBABILITY_PARAMS = {"p"}
+
+
+def parse_impair_spec(text: str) -> Tuple[StageSpec, ...]:
+    """Parse ``"ge:p=0.05,burst=8;reorder:p=0.02"`` into stage specs.
+
+    Validates stage names, parameter names, probability ranges, and
+    positivity so a typo surfaces as one :class:`ImpairSpecError` naming
+    the offending token — the CLI turns that into exit 2 with usage.
+    """
+    stages: List[StageSpec] = []
+    for raw_stage in text.split(";"):
+        stage_text = raw_stage.strip()
+        if not stage_text:
+            continue
+        kind, _, param_text = stage_text.partition(":")
+        kind = kind.strip().lower()
+        if kind not in STAGE_KINDS:
+            raise ImpairSpecError(
+                f"unknown impairment stage {kind!r} "
+                f"(known: {', '.join(sorted(STAGE_KINDS))})"
+            )
+        allowed, required = STAGE_KINDS[kind]
+        params: List[Tuple[str, float]] = []
+        direction = "both"
+        for raw_param in param_text.split(","):
+            param = raw_param.strip()
+            if not param:
+                continue
+            key, sep, value_text = param.partition("=")
+            key = key.strip().lower()
+            if not sep:
+                raise ImpairSpecError(
+                    f"stage {kind!r}: parameter {param!r} is not key=value"
+                )
+            if key == "dir":
+                direction = value_text.strip().lower()
+                if direction not in DIRECTIONS:
+                    raise ImpairSpecError(
+                        f"stage {kind!r}: dir must be one of {'/'.join(DIRECTIONS)}, "
+                        f"got {value_text.strip()!r}"
+                    )
+                continue
+            if key not in allowed:
+                raise ImpairSpecError(
+                    f"stage {kind!r}: unknown parameter {key!r} "
+                    f"(allowed: {', '.join(allowed)} and dir)"
+                )
+            value = parse_quantity(value_text)
+            if key in _PROBABILITY_PARAMS and not 0.0 <= value < 1.0:
+                raise ImpairSpecError(
+                    f"stage {kind!r}: {key} must be in [0, 1), got {value}"
+                )
+            if key not in _PROBABILITY_PARAMS and value <= 0.0:
+                raise ImpairSpecError(
+                    f"stage {kind!r}: {key} must be positive, got {value}"
+                )
+            params.append((key, value))
+        present = {name for name, _ in params}
+        missing = [key for key in required if key not in present]
+        if missing:
+            raise ImpairSpecError(
+                f"stage {kind!r}: missing required parameter(s) {', '.join(missing)}"
+            )
+        if kind == "ge" and StageSpec(kind, tuple(params)).param("burst", 4.0) < 1.0:
+            raise ImpairSpecError("stage 'ge': burst must be >= 1 datagram")
+        stages.append(StageSpec(kind=kind, params=tuple(params), direction=direction))
+    return tuple(stages)
+
+
+# ------------------------------------------------------------------- stages
+
+
+def _coin(tag: str, index: int, salt: str = "") -> float:
+    """Uniform [0, 1) draw, pure in ``(tag, index, salt)`` (faults idiom)."""
+    digest = hashlib.sha256(f"{tag}|{index}|{salt}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass
+class _Held:
+    """A datagram a stage is holding back (reorder jitter / rate queue)."""
+
+    datagram: bytes
+    release_at: float
+    gap_remaining: int = 0
+
+
+class _Stage:
+    """Base impairment stage: a deterministic datagram-fate function.
+
+    ``process`` handles one datagram at submission time and returns the
+    datagrams to pass downstream *now*; anything held back surfaces later
+    through ``pump``.  Fate decisions key on the stage's own submission
+    counter, never on wall-clock time, so they replay bit-identically.
+    """
+
+    kind = "stage"
+
+    def __init__(self, pipeline: "ImpairmentPipeline", tag: str) -> None:
+        self.pipeline = pipeline
+        self.tag = tag
+        self.index = 0
+
+    def start(self, now: float) -> None:
+        pass
+
+    def coin(self, salt: str = "") -> float:
+        return _coin(self.tag, self.index, salt)
+
+    def note(self, action: str) -> None:
+        self.pipeline.note(self.index, f"{action}:{self.kind}")
+
+    def process(self, datagram: bytes, now: float) -> List[bytes]:
+        raise NotImplementedError
+
+    def pump(self, now: float) -> List[bytes]:
+        return []
+
+    def next_deadline(self) -> Optional[float]:
+        return None
+
+    @property
+    def pending(self) -> int:
+        return 0
+
+
+class _BernoulliLossStage(_Stage):
+    kind = "loss"
+
+    def __init__(self, pipeline, tag, spec: StageSpec) -> None:
+        super().__init__(pipeline, tag)
+        self.p = spec.param("p", 0.1)
+
+    def process(self, datagram: bytes, now: float) -> List[bytes]:
+        self.index += 1
+        if self.coin() < self.p:
+            self.note("drop")
+            return []
+        return [datagram]
+
+
+class _GilbertElliottStage(_Stage):
+    """Two-state bursty loss: drop everything while in the bad state.
+
+    ``p`` is the stationary loss rate and ``burst`` the mean bad-run
+    length, so the transition probabilities are ``p_bg = 1/burst`` and
+    ``p_gb = p / (burst * (1 - p))`` — the classic netem ``gemodel``
+    parametrisation with ``h = 0`` (no delivery inside a burst).
+    """
+
+    kind = "ge"
+
+    def __init__(self, pipeline, tag, spec: StageSpec) -> None:
+        super().__init__(pipeline, tag)
+        self.p = spec.param("p", 0.1)
+        self.burst = max(1.0, spec.param("burst", 4.0))
+        self.p_bg = 1.0 / self.burst
+        self.p_gb = self.p * self.p_bg / (1.0 - self.p) if self.p > 0.0 else 0.0
+        self.bad = False
+
+    def process(self, datagram: bytes, now: float) -> List[bytes]:
+        self.index += 1
+        flip = self.coin("state")
+        if self.bad:
+            if flip < self.p_bg:
+                self.bad = False
+        elif flip < self.p_gb:
+            self.bad = True
+            self.pipeline.event(now, "loss_burst", f"{self.tag} entered bad state")
+        if self.bad:
+            self.note("drop")
+            return []
+        return [datagram]
+
+
+class _ReorderStage(_Stage):
+    """Seeded hold-back jitter: a held datagram re-enters the stream later.
+
+    With probability ``p`` a datagram is parked and released only after
+    ``gap`` subsequent datagrams have passed it (or ``hold`` seconds as a
+    wall-clock backstop so a traffic lull cannot strand it forever).
+    """
+
+    kind = "reorder"
+
+    def __init__(self, pipeline, tag, spec: StageSpec) -> None:
+        super().__init__(pipeline, tag)
+        self.p = spec.param("p", 0.05)
+        self.gap = int(spec.param("gap", 3.0))
+        self.hold = spec.param("hold", 0.08)
+        self._held: List[_Held] = []
+
+    def process(self, datagram: bytes, now: float) -> List[bytes]:
+        self.index += 1
+        for held in self._held:
+            held.gap_remaining -= 1
+        if self.coin() < self.p:
+            self.note("hold")
+            self._held.append(
+                _Held(datagram=datagram, release_at=now + self.hold, gap_remaining=self.gap)
+            )
+            return []
+        return [datagram]
+
+    def pump(self, now: float) -> List[bytes]:
+        released: List[bytes] = []
+        remaining: List[_Held] = []
+        for held in self._held:
+            if held.gap_remaining <= 0 or held.release_at <= now:
+                released.append(held.datagram)
+            else:
+                remaining.append(held)
+        self._held = remaining
+        return released
+
+    def next_deadline(self) -> Optional[float]:
+        return min((held.release_at for held in self._held), default=None)
+
+    @property
+    def pending(self) -> int:
+        return len(self._held)
+
+
+class _DuplicateStage(_Stage):
+    kind = "dup"
+
+    def __init__(self, pipeline, tag, spec: StageSpec) -> None:
+        super().__init__(pipeline, tag)
+        self.p = spec.param("p", 0.05)
+
+    def process(self, datagram: bytes, now: float) -> List[bytes]:
+        self.index += 1
+        if self.coin() < self.p:
+            self.note("dup")
+            return [datagram, datagram]
+        return [datagram]
+
+
+class _CorruptStage(_Stage):
+    """Flip one seeded byte of the datagram copy (never a no-op XOR)."""
+
+    kind = "corrupt"
+
+    def __init__(self, pipeline, tag, spec: StageSpec) -> None:
+        super().__init__(pipeline, tag)
+        self.p = spec.param("p", 0.05)
+
+    def process(self, datagram: bytes, now: float) -> List[bytes]:
+        self.index += 1
+        if self.coin() < self.p and datagram:
+            self.note("corrupt")
+            self.pipeline.event(now, "corrupt_injected", f"datagram {self.index}")
+            mutated = bytearray(datagram)
+            position = int(self.coin("pos") * len(mutated)) % len(mutated)
+            mutated[position] ^= 1 + int(self.coin("bits") * 254)
+            return [bytes(mutated)]
+        return [datagram]
+
+
+class _RateStage(_Stage):
+    """Leaky-bucket throttle with a bounded byte queue (overflow drops)."""
+
+    kind = "rate"
+
+    def __init__(self, pipeline, tag, spec: StageSpec) -> None:
+        super().__init__(pipeline, tag)
+        self.bps = spec.param("bps")
+        self.queue_limit = int(spec.param("queue", 256.0 * 1024))
+        self._next_free = 0.0
+        self._queue: Deque[_Held] = deque()
+        self._queued_bytes = 0
+
+    def start(self, now: float) -> None:
+        self._next_free = now
+
+    def process(self, datagram: bytes, now: float) -> List[bytes]:
+        self.index += 1
+        # Drain everything already due *first*, so the fate decision below
+        # depends only on the submission (size, time) sequence — never on
+        # when the endpoint last happened to call pump().  That keeps the
+        # recorded fates bit-identically replayable.
+        released = self.pump(now)
+        cost = 8.0 * len(datagram) / self.bps
+        release_at = max(now, self._next_free)
+        if release_at <= now and not self._queue:
+            self._next_free = now + cost
+            released.append(datagram)
+            return released
+        if self._queued_bytes + len(datagram) > self.queue_limit:
+            self.note("drop")
+            return released
+        self.note("hold")
+        self._next_free = release_at + cost
+        self._queue.append(_Held(datagram=datagram, release_at=release_at))
+        self._queued_bytes += len(datagram)
+        return released
+
+    def pump(self, now: float) -> List[bytes]:
+        released: List[bytes] = []
+        while self._queue and self._queue[0].release_at <= now:
+            held = self._queue.popleft()
+            self._queued_bytes -= len(held.datagram)
+            released.append(held.datagram)
+        return released
+
+    def next_deadline(self) -> Optional[float]:
+        return self._queue[0].release_at if self._queue else None
+
+    @property
+    def pending(self) -> int:
+        return len(self._queue)
+
+
+class _BlackoutStage(_Stage):
+    """Timed total outage relative to the pipeline's start anchor."""
+
+    kind = "blackout"
+
+    def __init__(self, pipeline, tag, spec: StageSpec) -> None:
+        super().__init__(pipeline, tag)
+        self.at = spec.param("at")
+        self.length = spec.param("len")
+        self._t0: Optional[float] = None
+        self._announced = False
+        self._ended = False
+
+    def start(self, now: float) -> None:
+        self._t0 = now
+
+    def process(self, datagram: bytes, now: float) -> List[bytes]:
+        self.index += 1
+        if self._t0 is None:
+            self._t0 = now
+        offset = now - self._t0
+        if self.at <= offset < self.at + self.length:
+            if not self._announced:
+                self._announced = True
+                self.pipeline.event(now, "blackout_enter", f"until t+{self.at + self.length:g}s")
+            self.note("drop")
+            return []
+        if self._announced and not self._ended and offset >= self.at + self.length:
+            self._ended = True
+            self.pipeline.event(now, "blackout_exit", "")
+        return [datagram]
+
+
+_STAGE_CLASSES = {
+    "ge": _GilbertElliottStage,
+    "loss": _BernoulliLossStage,
+    "reorder": _ReorderStage,
+    "dup": _DuplicateStage,
+    "corrupt": _CorruptStage,
+    "rate": _RateStage,
+    "blackout": _BlackoutStage,
+}
+
+
+# ----------------------------------------------------------------- pipeline
+
+
+class ImpairmentPipeline:
+    """An ordered chain of impairment stages over one datagram direction.
+
+    The endpoint calls :meth:`submit` for each datagram it would have
+    handed to ``sendto`` and transmits whatever comes back, then calls
+    :meth:`pump` every loop iteration (and folds :meth:`next_deadline`
+    into its ``select`` timeout) so held-back datagrams re-enter the wire
+    on time.  All fate decisions are pure functions of ``(seed, direction,
+    stage index, datagram index)``; :attr:`fates` and :attr:`counters`
+    therefore replay bit-identically for a fixed submission sequence —
+    :meth:`replay_determinism_check` is the chaos suite's standing gate.
+    """
+
+    def __init__(
+        self,
+        stages: Sequence[StageSpec],
+        direction: str,
+        seed: int = 0,
+        ring: Optional[EventRing] = None,
+    ) -> None:
+        if direction not in ("up", "down"):
+            raise ValueError(f"pipeline direction must be up or down, got {direction!r}")
+        self.direction = direction
+        self.seed = int(seed)
+        self.ring = ring
+        self.spec = tuple(spec for spec in stages if spec.applies_to(direction))
+        self._stages: List[_Stage] = []
+        for position, spec in enumerate(self.spec):
+            tag = f"{self.seed}|{direction}|{position}|{spec.kind}"
+            self._stages.append(_STAGE_CLASSES[spec.kind](self, tag, spec))
+        self.submitted = 0
+        self.delivered = 0
+        self.counters: Counter = Counter()
+        self.fates: List[str] = []
+        #: (size, now) of every submission, for determinism replays
+        self.submission_log: Deque[Tuple[int, float]] = deque(maxlen=FATE_LOG_LIMIT)
+        self._started = False
+        #: the start() anchor, recorded so replays reproduce time-relative
+        #: stages (blackout windows, rate buckets) exactly
+        self.started_at: Optional[float] = None
+
+    def __bool__(self) -> bool:
+        return bool(self._stages)
+
+    # ------------------------------------------------------------- plumbing
+
+    def note(self, index: int, action: str) -> None:
+        self.counters[action] += 1
+        if len(self.fates) < FATE_LOG_LIMIT:
+            self.fates.append(f"{index}:{action}")
+
+    def event(self, now: float, kind: str, detail: str) -> None:
+        if self.ring is not None:
+            self.ring.record(now, kind, detail)
+
+    # ------------------------------------------------------------ data path
+
+    def start(self, now: float) -> None:
+        """Anchor time-relative stages (blackout windows, rate buckets)."""
+        self._started = True
+        self.started_at = now
+        for stage in self._stages:
+            stage.start(now)
+
+    def submit(self, datagram: bytes, now: float) -> List[bytes]:
+        """Run one datagram through the chain; returns what to send *now*."""
+        if not self._started:
+            self.start(now)
+        self.submitted += 1
+        self.submission_log.append((len(datagram), now))
+        items = self._cascade([datagram], 0, now)
+        self.delivered += len(items)
+        return items
+
+    def pump(self, now: float) -> List[bytes]:
+        """Release every held datagram that has come due, chain-correctly."""
+        released: List[bytes] = []
+        for position, stage in enumerate(self._stages):
+            for datagram in stage.pump(now):
+                released.extend(self._cascade([datagram], position + 1, now))
+        self.delivered += len(released)
+        return released
+
+    def _cascade(self, items: List[bytes], from_stage: int, now: float) -> List[bytes]:
+        for stage in self._stages[from_stage:]:
+            next_items: List[bytes] = []
+            for item in items:
+                next_items.extend(stage.process(item, now))
+            next_items.extend(stage.pump(now))
+            items = next_items
+            if not items:
+                # nothing in flight at this link of the chain; later stages
+                # still pump on the endpoint's next loop iteration
+                break
+        return items
+
+    def next_deadline(self) -> Optional[float]:
+        """Earliest wall-clock moment a held datagram becomes releasable."""
+        deadlines = [d for d in (s.next_deadline() for s in self._stages) if d is not None]
+        return min(deadlines) if deadlines else None
+
+    @property
+    def pending(self) -> int:
+        """Datagrams currently held back inside any stage."""
+        return sum(stage.pending for stage in self._stages)
+
+    # ---------------------------------------------------------- determinism
+
+    def counters_snapshot(self) -> Dict[str, int]:
+        snapshot = dict(self.counters)
+        snapshot["submitted"] = self.submitted
+        snapshot["delivered"] = self.delivered
+        return snapshot
+
+    def replay_determinism_check(self) -> bool:
+        """Re-run the recorded submissions through a fresh twin pipeline.
+
+        Returns True iff the twin reproduces this pipeline's fate log and
+        counters bit-identically — the enforceable core of "identical
+        seeds reproduce identical transport counters" for live runs whose
+        wall-clock submission *times* can never repeat exactly.
+        """
+        twin = ImpairmentPipeline(self.spec, self.direction, seed=self.seed)
+        log = list(self.submission_log)
+        if self.started_at is not None:
+            twin.start(self.started_at)
+        elif log:
+            twin.start(log[0][1])
+        for size, now in log:
+            twin.submit(b"\x00" * size, now)
+        final = log[-1][1] if log else 0.0
+        twin.pump(final + 3600.0)
+        return twin.fates == self.fates and dict(twin.counters) == dict(self.counters)
+
+
+def build_pipelines(
+    spec_text: str,
+    seed: int = 0,
+    up_ring: Optional[EventRing] = None,
+    down_ring: Optional[EventRing] = None,
+) -> Tuple[Optional[ImpairmentPipeline], Optional[ImpairmentPipeline]]:
+    """Parse a spec and build the (up, down) pipelines it asks for.
+
+    Either side comes back ``None`` when no stage applies to it, so the
+    endpoints skip the per-datagram pipeline hop entirely on a clean
+    direction.
+    """
+    stages = parse_impair_spec(spec_text)
+    up = ImpairmentPipeline(stages, "up", seed=seed, ring=up_ring)
+    down = ImpairmentPipeline(stages, "down", seed=seed, ring=down_ring)
+    return (up if up else None, down if down else None)

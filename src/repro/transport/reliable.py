@@ -13,8 +13,9 @@ protocol, keyed on per-datagram 16-bit wire sequence numbers that
   from retransmitted sequence numbers);
 * :class:`RetransmitBuffer` — sender side: holds encoded frames until
   acked, declares loss on SACK evidence (dupthresh 3, fast-retransmit
-  idiom) or RTO expiry with exponential backoff, and reports which frames
-  to re-send;
+  idiom) or RTO expiry with exponential backoff, reports which frames to
+  re-send, and bounds its own memory (datagram count *and* bytes) with a
+  backpressure watermark the sender honours by deferring protocol ticks;
 * :class:`ReorderWindow` — receiver side: dedups duplicates, tolerates
   reordering, tracks the cumulative ack point plus a 64-bit SACK bitmap
   for the feedback frame, and counts duplicate/reordered datagrams for the
@@ -45,6 +46,14 @@ SACK_SPAN = 64
 
 #: outstanding-window cap; far below SEQ_HALF so ring comparisons stay valid
 MAX_OUTSTANDING = 1024
+
+#: retransmit-buffer byte budget: MAX_OUTSTANDING MTU-ish datagrams would be
+#: ~1.4 MB; the cap below that bounds memory even with the count un-hit
+MAX_BUFFERED_BYTES = 2 * 1024 * 1024
+
+#: fraction of either bound at which the buffer asks the sender to stop
+#: offering new data (backpressure) rather than waiting to drop at the brim
+BACKPRESSURE_WATERMARK = 0.75
 
 
 class AdaptiveRTO:
@@ -117,9 +126,17 @@ class RetransmitBuffer:
     via :meth:`retransmitted`.
     """
 
-    def __init__(self, rto: Optional[AdaptiveRTO] = None) -> None:
+    def __init__(
+        self,
+        rto: Optional[AdaptiveRTO] = None,
+        max_outstanding: int = MAX_OUTSTANDING,
+        max_bytes: int = MAX_BUFFERED_BYTES,
+    ) -> None:
         self.rto = rto if rto is not None else AdaptiveRTO()
+        self.max_outstanding = int(max_outstanding)
+        self.max_bytes = int(max_bytes)
         self._outstanding: Dict[int, _Outstanding] = {}
+        self._bytes_held = 0
         #: cumulative stats for the harness report
         self.total_retransmits = 0
         self.fast_retransmits = 0
@@ -132,16 +149,39 @@ class RetransmitBuffer:
     def in_flight(self) -> int:
         return len(self._outstanding)
 
+    @property
+    def bytes_held(self) -> int:
+        """Encoded bytes currently pinned for possible retransmission."""
+        return self._bytes_held
+
     def has_room(self) -> bool:
-        return len(self._outstanding) < MAX_OUTSTANDING
+        return (
+            len(self._outstanding) < self.max_outstanding
+            and self._bytes_held < self.max_bytes
+        )
+
+    @property
+    def under_backpressure(self) -> bool:
+        """True when the buffer is filling and the sender should stop ticking.
+
+        Trips at ``BACKPRESSURE_WATERMARK`` of either the datagram-count or
+        the byte bound, well before :meth:`has_room` starts refusing, so
+        the sender defers *offering* new data (no fresh protocol ticks)
+        instead of dropping at the brim — bounded memory by construction.
+        """
+        return (
+            len(self._outstanding) >= BACKPRESSURE_WATERMARK * self.max_outstanding
+            or self._bytes_held >= BACKPRESSURE_WATERMARK * self.max_bytes
+        )
 
     def track(self, seq: int, encoded: bytes, now: float) -> None:
         """Register a freshly transmitted datagram."""
         if seq in self._outstanding:
             raise ValueError(f"wire seq {seq} already outstanding")
-        if len(self._outstanding) >= MAX_OUTSTANDING:
+        if not self.has_room():
             raise ValueError("retransmit buffer full; caller must respect has_room()")
         self._outstanding[seq] = _Outstanding(encoded=encoded, sent_at=now, first_sent_at=now)
+        self._bytes_held += len(encoded)
 
     def on_feedback(self, ack_seq: int, sack_bitmap: int, now: float) -> List[int]:
         """Apply one feedback frame's ack state; return the seqs newly acked.
@@ -164,7 +204,9 @@ class RetransmitBuffer:
                     acked.append(seq)
                 sacked.append(seq)
         for seq in acked:
-            self._outstanding.pop(seq, None)
+            entry = self._outstanding.pop(seq, None)
+            if entry is not None:
+                self._bytes_held -= len(entry.encoded)
         if sacked:
             highest_sacked = sacked[-1]
             for seq, entry in self._outstanding.items():
@@ -200,6 +242,7 @@ class RetransmitBuffer:
         if entry is None:
             return
         was_fast = entry.sack_hits >= DUPTHRESH
+        self._bytes_held += len(encoded) - len(entry.encoded)
         entry.encoded = encoded
         entry.sent_at = now
         entry.retransmits += 1
@@ -214,6 +257,15 @@ class RetransmitBuffer:
         """Times ``seq`` has been (re)transmitted beyond the original send."""
         entry = self._outstanding.get(seq)
         return entry.retransmits if entry is not None else 0
+
+    def fast_due(self, seq: int) -> bool:
+        """True iff ``seq`` is due on SACK evidence (vs. RTO expiry).
+
+        Lets the endpoint classify a retransmission for its event ring
+        before :meth:`retransmitted` resets the SACK-hit counter.
+        """
+        entry = self._outstanding.get(seq)
+        return entry is not None and entry.sack_hits >= DUPTHRESH
 
     def next_deadline(self, now: float) -> Optional[float]:
         """Earliest RTO expiry among outstanding datagrams (for select())."""

@@ -2,9 +2,14 @@
 
 Inside the emulator, Sprout control fields travel in a packet's ``headers``
 dict (:mod:`repro.core.packets`).  On a real socket they must be bytes;
-this module is the codec.  Three frame types share a fixed 6-byte preamble
-``(magic, version, type, wire_seq)`` so a receiver can reject foreign or
-stale-format datagrams before trusting a single field:
+this module is the codec.  Four frame types share a fixed 10-byte preamble
+``(magic, version, type, wire_seq, crc32)`` so a receiver can reject
+foreign, stale-format, or *corrupted* datagrams before trusting a single
+field — the CRC32 (computed over the whole frame with the checksum field
+zeroed) exists because the adversarial impairment pipeline
+(:mod:`repro.transport.impair`) flips bytes in flight, and a flipped byte
+in a float field would otherwise feed silent garbage (negative delays,
+absurd forecasts) straight into the protocol:
 
 * **data** (sender → receiver): the transport-level 16-bit wire sequence
   number (one per datagram, mod 2\\ :sup:`16` — wraparound arithmetic in
@@ -18,8 +23,10 @@ stale-format datagrams before trusting a single field:
   cumulative ack (next wire seq not yet received in order) and a 64-bit
   SACK bitmap for seqs ``ack+1 .. ack+64`` — and the RTT echo (echoed wire
   seq, its send timestamp, and the receiver's hold time);
-* **close** (sender → receiver, best-effort): ends a transfer early so the
-  receiver need not wait out its idle timeout.
+* **close** (sender → receiver): ends a transfer; the sender retransmits
+  it with backoff until the receiver's **close-ack** (receiver → sender,
+  preamble-only) confirms the handshake, so a lossy or blacked-out tail
+  cannot leave the receiver waiting out its idle timeout.
 
 Integers are network byte order; timestamps and the Sprout fields that are
 floats in the simulator are IEEE-754 doubles, so a frame round-trips every
@@ -29,17 +36,20 @@ value bit-exactly (``tests/test_transport_wire.py``).
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass, field
 from typing import List, Union
 
 #: first bytes of every frame; rejects non-Sprout datagrams cheaply
 MAGIC = b"Sw"
 #: bump on any incompatible layout change; decoders reject other versions
-WIRE_VERSION = 1
+#: (v2 added the preamble CRC32 and the CLOSE-ACK frame type)
+WIRE_VERSION = 2
 
 TYPE_DATA = 1
 TYPE_FEEDBACK = 2
 TYPE_CLOSE = 3
+TYPE_CLOSE_ACK = 4
 
 #: data-frame flag bits
 FLAG_HEARTBEAT = 0x01
@@ -116,19 +126,29 @@ class FeedbackFrame:
 
 @dataclass
 class CloseFrame:
-    """Best-effort end-of-transfer marker."""
+    """End-of-transfer marker; retransmitted until a CLOSE-ACK answers it."""
 
     wire_seq: int
 
 
-Frame = Union[DataFrame, FeedbackFrame, CloseFrame]
+@dataclass
+class CloseAckFrame:
+    """Receiver's confirmation of a CLOSE — completes the close handshake."""
+
+    wire_seq: int
+
+
+Frame = Union[DataFrame, FeedbackFrame, CloseFrame, CloseAckFrame]
 
 
 class WireFormatError(ValueError):
     """A datagram that is not a valid Sprout frame (foreign, torn, stale)."""
 
 
-_PREAMBLE = struct.Struct("!2sBBH")  # magic, version, type, wire_seq
+_PREAMBLE = struct.Struct("!2sBBHI")  # magic, version, type, wire_seq, crc32
+#: byte span of the checksum inside the preamble (zeroed while computing it)
+_CRC_SLICE = slice(6, 10)
+_CRC = struct.Struct("!I")
 _DATA_BODY = struct.Struct("!HQQQQdd")
 # flags, seq_bytes, throwaway_bytes, transfer_total, size, time_to_next, timestamp
 _FEEDBACK_BODY = struct.Struct("!HQQHddd B")
@@ -145,6 +165,23 @@ def _check_seq(seq: int) -> int:
     return seq
 
 
+def _seal(frame_bytes: bytes) -> bytes:
+    """Write the CRC32 of ``frame_bytes`` (checksum field zeroed) in place.
+
+    Encoders pack the preamble with a zero checksum, append body and
+    padding, then seal — so the CRC covers every byte of the datagram,
+    padding included, and any single flipped byte fails verification.
+    """
+    crc = zlib.crc32(frame_bytes) & 0xFFFFFFFF
+    return frame_bytes[: _CRC_SLICE.start] + _CRC.pack(crc) + frame_bytes[_CRC_SLICE.stop:]
+
+
+def _verify_crc(datagram: bytes, stored: int) -> None:
+    zeroed = datagram[: _CRC_SLICE.start] + b"\x00\x00\x00\x00" + datagram[_CRC_SLICE.stop:]
+    if zlib.crc32(zeroed) & 0xFFFFFFFF != stored:
+        raise WireFormatError("checksum mismatch (corrupted datagram)")
+
+
 def encode_data(frame: DataFrame) -> bytes:
     """Serialise a data frame, padded out to ``frame.size`` bytes.
 
@@ -157,7 +194,7 @@ def encode_data(frame: DataFrame) -> bytes:
         | (FLAG_RETRANSMIT if frame.retransmit else 0)
         | (FLAG_FIN if frame.fin else 0)
     )
-    head = _PREAMBLE.pack(MAGIC, WIRE_VERSION, TYPE_DATA, _check_seq(frame.wire_seq))
+    head = _PREAMBLE.pack(MAGIC, WIRE_VERSION, TYPE_DATA, _check_seq(frame.wire_seq), 0)
     body = _DATA_BODY.pack(
         flags,
         frame.seq_bytes,
@@ -170,7 +207,7 @@ def encode_data(frame: DataFrame) -> bytes:
     encoded = head + body
     if frame.size > len(encoded):
         encoded += b"\x00" * (frame.size - len(encoded))
-    return encoded
+    return _seal(encoded)
 
 
 def encode_feedback(frame: FeedbackFrame) -> bytes:
@@ -181,7 +218,7 @@ def encode_feedback(frame: FeedbackFrame) -> bytes:
             f"forecast too long for the wire: {len(forecast)} ticks "
             f"(limit {MAX_FORECAST_TICKS})"
         )
-    head = _PREAMBLE.pack(MAGIC, WIRE_VERSION, TYPE_FEEDBACK, _check_seq(frame.wire_seq))
+    head = _PREAMBLE.pack(MAGIC, WIRE_VERSION, TYPE_FEEDBACK, _check_seq(frame.wire_seq), 0)
     body = _FEEDBACK_BODY.pack(
         _check_seq(frame.ack_seq),
         frame.sack_bitmap & ((1 << 64) - 1),
@@ -193,12 +230,19 @@ def encode_feedback(frame: FeedbackFrame) -> bytes:
         len(forecast),
     )
     tail = struct.pack(f"!{len(forecast)}d", *forecast)
-    return head + body + tail
+    return _seal(head + body + tail)
 
 
 def encode_close(frame: CloseFrame) -> bytes:
     """Serialise a close frame (preamble only)."""
-    return _PREAMBLE.pack(MAGIC, WIRE_VERSION, TYPE_CLOSE, _check_seq(frame.wire_seq))
+    return _seal(_PREAMBLE.pack(MAGIC, WIRE_VERSION, TYPE_CLOSE, _check_seq(frame.wire_seq), 0))
+
+
+def encode_close_ack(frame: CloseAckFrame) -> bytes:
+    """Serialise a close-ack frame (preamble only)."""
+    return _seal(
+        _PREAMBLE.pack(MAGIC, WIRE_VERSION, TYPE_CLOSE_ACK, _check_seq(frame.wire_seq), 0)
+    )
 
 
 def decode_frame(datagram: bytes) -> Frame:
@@ -210,13 +254,14 @@ def decode_frame(datagram: bytes) -> Frame:
     """
     if len(datagram) < _PREAMBLE.size:
         raise WireFormatError(f"datagram shorter than the preamble: {len(datagram)} bytes")
-    magic, version, frame_type, wire_seq = _PREAMBLE.unpack_from(datagram)
+    magic, version, frame_type, wire_seq, crc = _PREAMBLE.unpack_from(datagram)
     if magic != MAGIC:
         raise WireFormatError(f"bad magic {magic!r}; not a Sprout frame")
     if version != WIRE_VERSION:
         raise WireFormatError(
             f"unsupported wire version {version} (this code speaks {WIRE_VERSION})"
         )
+    _verify_crc(datagram, crc)
     body = datagram[_PREAMBLE.size:]
     if frame_type == TYPE_DATA:
         if len(body) < _DATA_BODY.size:
@@ -274,4 +319,6 @@ def decode_frame(datagram: bytes) -> Frame:
         )
     if frame_type == TYPE_CLOSE:
         return CloseFrame(wire_seq=wire_seq)
+    if frame_type == TYPE_CLOSE_ACK:
+        return CloseAckFrame(wire_seq=wire_seq)
     raise WireFormatError(f"unknown frame type {frame_type}")

@@ -308,12 +308,26 @@ def test_live_out_requires_export(capsys):
 
 
 def test_live_rejects_bad_knobs(capsys):
-    assert main(["live", "--loss", "1.5"]) == 2
-    assert "live error:" in capsys.readouterr().err
-    assert main(["live", "--bytes", "0"]) == 2
-    assert "live error:" in capsys.readouterr().err
-    assert main(["live", "--repeats", "0"]) == 2
-    assert "live error:" in capsys.readouterr().err
+    # argparse-level validation: exit 2 with a usage message naming the
+    # offending option, never a deep traceback out of LiveConfig.
+    for argv in (
+        ["live", "--loss", "1.5"],
+        ["live", "--loss", "-0.1"],
+        ["live", "--loss", "nope"],
+        ["live", "--bytes", "0"],
+        ["live", "--bytes", "-5"],
+        ["live", "--repeats", "0"],
+        ["live", "--deadline", "0"],
+        ["live", "--deadline", "-2"],
+        ["live", "--impair", "bogus:p=0.1"],
+        ["live", "--impair", "ge:p=2"],
+    ):
+        with pytest.raises(SystemExit) as excinfo:
+            main(argv)
+        assert excinfo.value.code == 2
+        err = capsys.readouterr().err
+        assert "usage:" in err
+        assert argv[1].lstrip("-") in err
 
 
 @pytest.mark.transport

@@ -263,3 +263,58 @@ def test_sack_span_matches_the_wire_bitmap_width():
     win.accept(SACK_SPAN + 1)  # ack=1, so 65 == ack+1+63: the bitmap's far edge
     assert win.sack_bitmap() >> 63 & 1 == 1
     assert win.sack_bitmap() < 1 << 64
+
+
+# ------------------------------------------------- backpressure accounting
+
+
+def test_buffer_tracks_bytes_held_through_lifecycle():
+    buffer = RetransmitBuffer()
+    buffer.track(0, b"a" * 100, 0.0)
+    buffer.track(1, b"b" * 200, 0.0)
+    assert buffer.bytes_held == 300
+    # a retransmission that re-encodes to a different size adjusts the count
+    buffer.retransmitted(0, b"a" * 150, 1.0)
+    assert buffer.bytes_held == 350
+    buffer.on_feedback(1, 0b0, 2.0)  # acks seq 0
+    assert buffer.bytes_held == 200
+    buffer.on_feedback(2, 0b0, 3.0)
+    assert buffer.bytes_held == 0
+
+
+def test_buffer_byte_bound_and_backpressure_watermark():
+    from repro.transport.reliable import BACKPRESSURE_WATERMARK
+
+    buffer = RetransmitBuffer(max_outstanding=1000, max_bytes=1000)
+    assert not buffer.under_backpressure
+    seq = 0
+    while buffer.bytes_held < BACKPRESSURE_WATERMARK * 1000:
+        buffer.track(seq, b"x" * 100, 0.0)
+        seq += 1
+    assert buffer.under_backpressure  # watermark trips before the hard cap
+    assert buffer.has_room()
+    while buffer.has_room():
+        buffer.track(seq, b"x" * 100, 0.0)
+        seq += 1
+    with pytest.raises(ValueError):
+        buffer.track(seq, b"x", 0.0)  # the hard byte bound refuses
+
+
+def test_buffer_count_watermark_trips_backpressure():
+    buffer = RetransmitBuffer(max_outstanding=8, max_bytes=10**9)
+    for seq in range(6):  # 6 >= 0.75 * 8
+        buffer.track(seq, b"x", 0.0)
+    assert buffer.under_backpressure
+
+
+def test_buffer_fast_due_classifies_before_reset():
+    buffer = RetransmitBuffer()
+    buffer.track(0, b"zero", 0.0)
+    buffer.track(1, b"one", 0.0)
+    for _ in range(DUPTHRESH):
+        buffer.on_feedback(0, 0b1, 0.01)  # SACKs seq 1, seq 0 is the hole
+    assert buffer.fast_due(0)
+    assert not buffer.fast_due(1)
+    buffer.retransmitted(0, b"zero", 0.02)
+    assert not buffer.fast_due(0)  # retransmission consumed the evidence
+    assert buffer.fast_retransmits == 1

@@ -206,3 +206,58 @@ def test_flag_bits_are_distinct():
     assert FLAG_HEARTBEAT & FLAG_RETRANSMIT == 0
     assert FLAG_HEARTBEAT & FLAG_FIN == 0
     assert FLAG_RETRANSMIT & FLAG_FIN == 0
+
+
+# ------------------------------------------------------- CRC32 integrity
+
+
+def test_close_ack_frame_round_trips():
+    from repro.transport.wire import CloseAckFrame, encode_close_ack
+
+    decoded = decode_frame(encode_close_ack(CloseAckFrame(wire_seq=77)))
+    assert isinstance(decoded, CloseAckFrame)
+    assert decoded.wire_seq == 77
+
+
+def _sample_encodings():
+    data = encode_data(
+        DataFrame(
+            wire_seq=5, seq_bytes=1400, throwaway_bytes=0, time_to_next=0.02,
+            timestamp=1.5, transfer_total=65536, size=1400,
+        )
+    )
+    feedback = encode_feedback(
+        FeedbackFrame(
+            wire_seq=9, forecast_bytes=[100, 200], forecast_time=2.0,
+            received_or_lost_bytes=1400, ack_seq=6, sack_bitmap=0b101,
+            echo_seq=5, echo_timestamp=1.5, echo_delay=0.001,
+        )
+    )
+    close = encode_close(CloseFrame(wire_seq=10))
+    return [data, feedback, close]
+
+
+def test_crc_rejects_any_single_byte_flip():
+    # the corruption-storm defence: whatever single byte an adversary
+    # flips, anywhere in the frame (padding included), decode must reject
+    # the datagram instead of feeding garbage to the protocol
+    for encoded in _sample_encodings():
+        assert decode_frame(encoded)  # the pristine frame is fine
+        for position in range(len(encoded)):
+            for bit in (0x01, 0x80):
+                mutated = bytearray(encoded)
+                mutated[position] ^= bit
+                with pytest.raises(WireFormatError):
+                    decode_frame(bytes(mutated))
+
+
+def test_crc_covers_data_padding():
+    frame = DataFrame(
+        wire_seq=1, seq_bytes=100, throwaway_bytes=0, time_to_next=0.02,
+        timestamp=0.5, transfer_total=4096, size=1200,  # padded on the wire
+    )
+    encoded = encode_data(frame)
+    mutated = bytearray(encoded)
+    mutated[-1] ^= 0xFF  # deep inside the padding
+    with pytest.raises(WireFormatError):
+        decode_frame(bytes(mutated))
